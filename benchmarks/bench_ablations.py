@@ -1,0 +1,66 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+Each parametrized case runs the full flow under one variant so the
+benchmark report doubles as the ablation table (HPWL in extra_info).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.detailed import DetailedPlacer
+from repro.legalize import tetris_legalize
+from repro.models import hpwl
+
+LAMBDA_MODES = ["complx", "simpl", "double"]
+NET_MODELS = ["b2b", "clique", "star", "hybrid"]
+EPS_ROWS = [0.5, 1.5, 3.0]
+
+
+def _flow(netlist, config):
+    result = ComPLxPlacer(netlist, config).place()
+    dp = DetailedPlacer(netlist, legalizer=tetris_legalize)
+    legal = dp.place(result.upper)
+    return result, hpwl(netlist, legal)
+
+
+@pytest.mark.parametrize("mode", LAMBDA_MODES)
+def test_ablation_lambda_schedule(benchmark, design_cache, mode):
+    design = design_cache("adaptec1_s")
+    config = ComPLxConfig(lambda_mode=mode)
+    result, legal = benchmark.pedantic(
+        lambda: _flow(design.netlist, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["legal_hpwl"] = legal
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+@pytest.mark.parametrize("model", NET_MODELS)
+def test_ablation_net_model(benchmark, design_cache, model):
+    design = design_cache("adaptec1_s")
+    config = ComPLxConfig(net_model=model)
+    result, legal = benchmark.pedantic(
+        lambda: _flow(design.netlist, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["legal_hpwl"] = legal
+
+
+@pytest.mark.parametrize("eps_rows", EPS_ROWS)
+def test_ablation_anchor_eps(benchmark, design_cache, eps_rows):
+    design = design_cache("adaptec1_s")
+    config = ComPLxConfig(eps_rows=eps_rows)
+    result, legal = benchmark.pedantic(
+        lambda: _flow(design.netlist, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["legal_hpwl"] = legal
+
+
+@pytest.mark.parametrize("per_macro", [True, False])
+def test_ablation_per_macro_lambda(benchmark, design_cache, per_macro):
+    design = design_cache("newblue1_s")
+    config = ComPLxConfig(gamma=0.8, per_macro_lambda=per_macro)
+    result, legal = benchmark.pedantic(
+        lambda: _flow(design.netlist, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["legal_hpwl"] = legal

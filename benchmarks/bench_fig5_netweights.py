@@ -1,0 +1,30 @@
+"""Figure 5 / S6 benchmark: critical-path net weighting.
+
+Times the weighted continuation run and asserts the figure's claims:
+weighted paths shrink substantially, with total-HPWL movement bounded
+relative to the paths' share of the design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_netweight_protocol(benchmark, bench_scale, tmp_path):
+    scale = max(bench_scale, 0.08)  # needs enough cells for 3 paths
+
+    def protocol():
+        return run_fig5(scale=scale, factors=(1.0, 40.0),
+                        warmup_iterations=15, out_dir=str(tmp_path))
+
+    records = benchmark.pedantic(protocol, rounds=1, iterations=1)
+    base, heavy = records[0], records[-1]
+    shrink = sum(heavy["path_lengths"]) / max(sum(base["path_lengths"]), 1e-9)
+    assert shrink < 0.9, "weighted paths must shrink"
+    path_share = sum(base["path_lengths"]) / base["total_hpwl"]
+    move = abs(heavy["total_hpwl"] / base["total_hpwl"] - 1.0)
+    assert move < max(4.0 * path_share, 0.05)
+    benchmark.extra_info["path_shrink"] = shrink
+    benchmark.extra_info["hpwl_move"] = move

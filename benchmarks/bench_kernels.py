@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the placer's computational kernels.
+
+These track where the per-iteration time goes (paper S3: near-linear
+time per iteration): HPWL evaluation, B2B system assembly, the CG solve,
+density rasterization, and one projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import weighted_hpwl
+from repro.models.quadratic import build_system
+from repro.projection import DensityGrid, FeasibilityProjection
+from repro.solvers import jacobi_pcg
+
+
+@pytest.fixture(scope="module")
+def kernel_setup(design_cache):
+    design = design_cache("bigblue1_s", 0.2)
+    nl = design.netlist
+    placement = nl.initial_placement(jitter=2.0, seed=0)
+    return nl, placement
+
+
+def test_kernel_hpwl(benchmark, kernel_setup):
+    nl, placement = kernel_setup
+    benchmark(weighted_hpwl, nl, placement)
+
+
+def test_kernel_b2b_assembly(benchmark, kernel_setup):
+    nl, placement = kernel_setup
+    benchmark(build_system, nl, placement, "x", "b2b", 0.5)
+
+
+def test_kernel_cg_solve(benchmark, kernel_setup):
+    nl, placement = kernel_setup
+    system = build_system(nl, placement, "x", "b2b", 0.5)
+    # regularize singleton rows so CG always applies
+    diag = system.matrix.diagonal()
+    weak = np.where(diag <= 1e-12, 1e-6, 0.0)
+    system.add_anchors(weak, np.zeros(system.size))
+    benchmark(jacobi_pcg, system.matrix, system.rhs, None, 1e-6)
+
+
+def test_kernel_rasterize(benchmark, kernel_setup):
+    nl, placement = kernel_setup
+    grid = DensityGrid(nl, 16, 16)
+    benchmark(grid.usage, placement)
+
+
+def test_kernel_projection(benchmark, kernel_setup):
+    nl, placement = kernel_setup
+    projection = FeasibilityProjection(nl)
+    benchmark(projection, placement)

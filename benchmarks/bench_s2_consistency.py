@@ -1,0 +1,31 @@
+"""Section S2 benchmark: self-consistency of the projection.
+
+Times ComPLx runs with the consistency monitor active over a small suite
+mix and asserts the paper's qualitative finding: the approximate
+projection is self-consistent for the large majority of iteration pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.workloads import suite_entry
+
+SUITES = ["adaptec1_s", "newblue1_s"]
+
+
+def test_s2_self_consistency(benchmark, design_cache):
+    def run_all():
+        monitors = []
+        for suite in SUITES:
+            design = design_cache(suite)
+            gamma = suite_entry(suite).target_density
+            placer = ComPLxPlacer(design.netlist, ComPLxConfig(gamma=gamma))
+            monitors.append(placer.place().consistency)
+        return monitors
+
+    monitors = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    consistent = sum(m.consistent for m in monitors)
+    total = sum(m.total for m in monitors)
+    rate = consistent / max(total, 1)
+    assert rate > 0.6, f"projection should be mostly self-consistent, got {rate:.2f}"
+    benchmark.extra_info["consistent_rate"] = rate

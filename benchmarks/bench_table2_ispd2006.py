@@ -1,0 +1,34 @@
+"""Table 2 benchmark: ISPD-2006-style mixed-size flow under the contest
+metric (scaled HPWL with overflow penalty).
+
+Exercises movable macros (shredding + per-macro lambda) and per-suite
+density targets.  Shape expectation (paper): ComPLx has the best scaled
+HPWL geomean; the nonlinear NTUPlace/mPL stand-in is competitive on
+quality but markedly slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import run_flow
+from repro.workloads import suite_entry
+
+SUITES = ["newblue1_s", "newblue2_s", "adaptec5_s"]
+PLACERS = ["complx", "simpl", "rql", "nonlinear"]
+
+
+@pytest.mark.parametrize("suite", SUITES)
+@pytest.mark.parametrize("placer", PLACERS)
+def test_table2_flow(benchmark, design_cache, suite, placer):
+    design = design_cache(suite)
+    gamma = suite_entry(suite).target_density
+
+    def flow():
+        return run_flow(design.netlist, placer, gamma=gamma)
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    benchmark.extra_info["scaled_hpwl"] = result.scaled_hpwl
+    benchmark.extra_info["overflow_percent"] = result.overflow_percent
+    benchmark.extra_info["gamma"] = gamma
+    assert result.scaled_hpwl > 0

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures at a reduced scale so
+``pytest benchmarks/ --benchmark-only`` completes in minutes.  Set
+``REPRO_BENCH_SCALE`` to rescale (1.0 = the full 1/100-contest-size
+suites used for the reported EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads import load_suite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def design_cache():
+    """Memoized suite loader shared across benchmark modules."""
+    cache: dict = {}
+
+    def load(name: str, scale: float = BENCH_SCALE):
+        key = (name, scale)
+        if key not in cache:
+            cache[key] = load_suite(name, scale=scale)
+        return cache[key]
+
+    return load

@@ -1,0 +1,45 @@
+"""Bookshelf I/O: export a design, read it back, and place from file.
+
+Shows the ISPD Bookshelf (.aux/.nodes/.nets/.wts/.pl/.scl) reader and
+writer — the interchange format the real contest benchmarks use — so
+users with access to the original ISPD 2005/2006 files can run this
+reproduction on them directly:
+
+    from repro.netlist.bookshelf import read_aux
+    netlist, initial = read_aux("adaptec1.aux")
+
+    python examples/bookshelf_roundtrip.py
+"""
+
+import os
+import tempfile
+
+from repro import hpwl, load_suite, place
+from repro.netlist.bookshelf import read_aux, write_aux
+
+
+def main() -> None:
+    design = load_suite("newblue1_s", scale=0.1)
+    netlist = design.netlist
+    placed = place(netlist)
+    print(f"Generated and placed {netlist}")
+    print(f"  feasible HPWL: {hpwl(netlist, placed.upper):.1f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        aux = write_aux(netlist, placed.upper, tmp)
+        files = sorted(os.listdir(tmp))
+        print(f"Wrote Bookshelf file set: {files}")
+
+        reread, initial = read_aux(aux)
+        print(f"Read back: {reread}")
+        print(f"  HPWL from .pl file: {hpwl(reread, initial):.1f} "
+              "(matches the exported placement)")
+
+        # Re-place the round-tripped netlist from the stored positions.
+        result = place(reread)
+        print(f"  re-placed HPWL: {hpwl(reread, result.upper):.1f} "
+              f"in {result.iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

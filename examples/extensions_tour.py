@@ -1,0 +1,67 @@
+"""Tour of the optional extensions: multilevel and routability-driven
+placement.
+
+* **Multilevel** (mPL-style): cluster the netlist by connectivity, place
+  the coarse problem, uncluster and refine warm-started — the classic
+  speed lever for very large designs.
+* **Routability** (SimPLR special case, paper Section 5): estimate
+  congestion with RUDY on the placed design, inflate cells in hot bins
+  inside the feasibility projection, and re-place.
+
+    python examples/extensions_tour.py [suite] [scale]
+"""
+
+import sys
+import time
+
+from repro import hpwl, load_suite
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.multilevel import cluster_netlist, multilevel_place
+from repro.projection import DensityGrid
+from repro.routability import routability_place, rudy_map
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "bigblue1_s"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    design = load_suite(suite, scale=scale)
+    netlist = design.netlist
+    print(f"{netlist}")
+
+    # ----- baseline flat run --------------------------------------
+    t0 = time.perf_counter()
+    flat = ComPLxPlacer(netlist, ComPLxConfig()).place()
+    flat_time = time.perf_counter() - t0
+    print(f"flat ComPLx:   {flat_time:5.1f}s, "
+          f"HPWL {hpwl(netlist, flat.upper):9.1f}, "
+          f"{flat.iterations} iterations")
+
+    # ----- multilevel --------------------------------------------
+    clustering = cluster_netlist(netlist)
+    print(f"clustering: {netlist.num_movable} movables -> "
+          f"{clustering.clustered.num_movable} clusters")
+    t0 = time.perf_counter()
+    ml = multilevel_place(netlist, fine_iterations=25)
+    ml_time = time.perf_counter() - t0
+    print(f"multilevel:    {ml_time:5.1f}s, "
+          f"HPWL {hpwl(netlist, ml.upper):9.1f}, "
+          f"levels {[lvl['cells'] for lvl in ml.levels]}")
+
+    # ----- routability-driven ------------------------------------
+    grid = DensityGrid(netlist, 12, 12)
+    before = rudy_map(netlist, flat.upper, grid)
+    t0 = time.perf_counter()
+    routed = routability_place(netlist, max_rounds=3,
+                               congestion_threshold=1.05)
+    rt_time = time.perf_counter() - t0
+    after = rudy_map(netlist, routed.upper, grid,
+                     supply_per_area=before.supply / (grid.bin_w * grid.bin_h))
+    print(f"routability:   {rt_time:5.1f}s, "
+          f"HPWL {hpwl(netlist, routed.upper):9.1f}, "
+          f"max congestion {before.max_congestion:.2f} -> "
+          f"{after.max_congestion:.2f} "
+          f"({len(routed.rounds)} rounds)")
+
+
+if __name__ == "__main__":
+    main()

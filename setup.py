@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The sandboxed environment has no `wheel` package, so PEP-517 editable
+installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+setuptools develop mode.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""ComPLx reproduction: primal-dual Lagrange global placement.
+
+Reproduction of M.-C. Kim and I. L. Markov, "ComPLx: A Competitive
+Primal-dual Lagrange Optimization for Global Placement", DAC 2012.
+
+Quickstart::
+
+    from repro import load_suite, place, hpwl
+
+    design = load_suite("adaptec1_s", scale=0.1)
+    result = place(design.netlist)
+    print(hpwl(design.netlist, result.upper), result.iterations)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table/figure reproductions.
+"""
+
+from .core import (
+    ComPLxConfig,
+    ComPLxPlacer,
+    GlobalPlacementResult,
+    default_config,
+    dp_every_iteration_config,
+    finest_grid_config,
+    place,
+    simpl_config,
+)
+from .models import hpwl, per_net_hpwl, weighted_hpwl
+from .netlist import (
+    CellKind,
+    CoreArea,
+    Netlist,
+    NetlistBuilder,
+    Placement,
+    Rect,
+    check_legal,
+)
+from .projection import DensityGrid, FeasibilityProjection
+from .workloads import load_suite, suite_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellKind",
+    "ComPLxConfig",
+    "ComPLxPlacer",
+    "CoreArea",
+    "DensityGrid",
+    "FeasibilityProjection",
+    "GlobalPlacementResult",
+    "Netlist",
+    "NetlistBuilder",
+    "Placement",
+    "Rect",
+    "check_legal",
+    "default_config",
+    "dp_every_iteration_config",
+    "finest_grid_config",
+    "hpwl",
+    "load_suite",
+    "per_net_hpwl",
+    "place",
+    "simpl_config",
+    "suite_names",
+    "weighted_hpwl",
+]

@@ -1,0 +1,164 @@
+"""Placement quality analysis and reporting.
+
+Gathers the statistics a placement engineer inspects after a run — net
+length distribution, density profile, displacement between stages,
+pin-alignment — into one report object.  Used by the examples and handy
+when qualifying the placer on new workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .models.hpwl import per_net_hpwl
+from .netlist import Netlist, Placement
+from .netlist.validate import check_legal
+from .projection.grid import DensityGrid, default_grid_shape
+
+
+@dataclass
+class NetLengthStats:
+    """Distribution of per-net HPWL."""
+
+    total: float
+    mean: float
+    median: float
+    p95: float
+    max: float
+    zero_fraction: float
+
+
+@dataclass
+class DensityStats:
+    """Bin utilization profile at a grid resolution."""
+
+    bins: int
+    mean_utilization: float
+    max_utilization: float
+    overflow_percent: float
+    gini: float  # inequality of the utilization distribution
+
+
+@dataclass
+class PlacementReport:
+    """Everything :func:`analyze_placement` computes."""
+
+    netlist_name: str
+    num_cells: int
+    num_nets: int
+    hpwl: float
+    net_lengths: NetLengthStats
+    density: DensityStats
+    legal: bool
+    legality_summary: str
+    extras: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        nl = self.net_lengths
+        d = self.density
+        return (
+            f"Placement report: {self.netlist_name} "
+            f"({self.num_cells} cells, {self.num_nets} nets)\n"
+            f"  HPWL: {self.hpwl:.1f} "
+            f"(mean net {nl.mean:.2f}, median {nl.median:.2f}, "
+            f"p95 {nl.p95:.2f}, max {nl.max:.2f})\n"
+            f"  density ({d.bins}x{d.bins} bins): "
+            f"mean {d.mean_utilization:.2f}, max {d.max_utilization:.2f}, "
+            f"overflow {d.overflow_percent:.2f}%, gini {d.gini:.2f}\n"
+            f"  legal: {self.legal} ({self.legality_summary})"
+        )
+
+
+def net_length_stats(netlist: Netlist, placement: Placement) -> NetLengthStats:
+    """Summary statistics of the per-net HPWL distribution."""
+    lengths = per_net_hpwl(netlist, placement)
+    if lengths.size == 0:
+        return NetLengthStats(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return NetLengthStats(
+        total=float(lengths.sum()),
+        mean=float(lengths.mean()),
+        median=float(np.median(lengths)),
+        p95=float(np.percentile(lengths, 95)),
+        max=float(lengths.max()),
+        zero_fraction=float((lengths <= 1e-12).mean()),
+    )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient in [0, 1]; 0 = perfectly even distribution."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() <= 0:
+        return 0.0
+    n = v.size
+    index = np.arange(1, n + 1)
+    return float((2 * index - n - 1) @ v / (n * v.sum()))
+
+
+def density_stats(
+    netlist: Netlist,
+    placement: Placement,
+    gamma: float = 1.0,
+    bins: int | None = None,
+) -> DensityStats:
+    """Bin utilization profile at the (default) grid resolution."""
+    if bins is None:
+        bins = default_grid_shape(netlist.num_movable)
+    grid = DensityGrid(netlist, bins, bins)
+    usage = grid.usage(placement)
+    cap = np.maximum(grid.capacity, 1e-12)
+    utilization = usage / cap
+    usable = grid.capacity > 1e-9
+    return DensityStats(
+        bins=bins,
+        mean_utilization=float(utilization[usable].mean()) if usable.any() else 0.0,
+        max_utilization=float(utilization[usable].max()) if usable.any() else 0.0,
+        overflow_percent=grid.overflow_percent(usage, gamma),
+        gini=_gini(utilization[usable]),
+    )
+
+
+def displacement_stats(
+    netlist: Netlist,
+    before: Placement,
+    after: Placement,
+) -> dict[str, float]:
+    """L1 displacement of movable cells between two stages."""
+    movable = netlist.movable
+    d = (np.abs(after.x - before.x) + np.abs(after.y - before.y))[movable]
+    if d.size == 0:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+    return {
+        "total": float(d.sum()),
+        "mean": float(d.mean()),
+        "max": float(d.max()),
+        "p95": float(np.percentile(d, 95)),
+    }
+
+
+def analyze_placement(
+    netlist: Netlist,
+    placement: Placement,
+    gamma: float = 1.0,
+    check_legality: bool = True,
+) -> PlacementReport:
+    """Full quality report for one placement."""
+    lengths = net_length_stats(netlist, placement)
+    density = density_stats(netlist, placement, gamma=gamma)
+    if check_legality:
+        report = check_legal(netlist, placement)
+        legal, summary = report.legal, report.summary()
+    else:
+        legal, summary = False, "not checked"
+    return PlacementReport(
+        netlist_name=netlist.name,
+        num_cells=netlist.num_cells,
+        num_nets=netlist.num_nets,
+        hpwl=lengths.total,
+        net_lengths=lengths,
+        density=density,
+        legal=legal,
+        legality_summary=summary,
+    )

@@ -1,0 +1,27 @@
+"""Baseline placers the paper compares against, reimplemented from their
+publications: SimPL (a ComPLx special case), RQL-like relaxed quadratic
+spreading, FastPlace-like cell shifting, and an NTUPlace/mPL-like
+nonlinear penalty placer."""
+
+from .fastplace import FastPlacePlacer, fastplace_place
+from .gordian import GordianPlacer, gordian_place, quadrisect_groups, solve_cog_constrained
+from .nonlinear import NonlinearPlacer, SmoothDensity, nonlinear_place
+from .rql import RQLPlacer, rql_config, rql_place
+from .simpl import SimPLPlacer, simpl_place
+
+__all__ = [
+    "FastPlacePlacer",
+    "GordianPlacer",
+    "gordian_place",
+    "quadrisect_groups",
+    "solve_cog_constrained",
+    "NonlinearPlacer",
+    "RQLPlacer",
+    "SimPLPlacer",
+    "SmoothDensity",
+    "fastplace_place",
+    "nonlinear_place",
+    "rql_config",
+    "rql_place",
+    "simpl_place",
+]

@@ -1,0 +1,281 @@
+"""GORDIAN-L-like baseline: QP with center-of-gravity constraints.
+
+Paper Section S4 contrasts ComPLx with the only prior primal-dual
+placement optimization [Alpert et al. 1998], which was "limited to
+explicit center-of-gravity (CoG) spreading constraints" as used by
+GORDIAN and GORDIAN-L [Sigl, Doll, Johannes, DAC 1991].  This module
+reimplements that classic scheme so the contrast is measurable:
+
+* **partitioning**: cells are recursively quadrisected by their current
+  coordinates (area-balanced splits), assigning each cell to one region
+  of a 2^l x 2^l grid at level ``l``,
+* **CoG constraints**: at each level the quadratic program is solved
+  subject to *equality* constraints — every region's area-weighted
+  center of gravity must sit at its region center.  Because the groups
+  partition the cells, the constraints are enforced exactly with a
+  projected Conjugate Gradient: iterates are shifted to the constraint
+  manifold and search directions projected onto its null space (zero
+  group means),
+* **objective**: the pure quadratic (clique) model of classic GORDIAN
+  by default; under CoG-only constraints the GORDIAN-L style B2B
+  linearization is unstable (flyaway cells), see ``net_model``.
+
+The scheme's known weakness — CoG constraints are "insufficient to
+handle modern IC layouts" (S4): a region's CoG can be correct while its
+cells still pile up — is exactly what the comparison against ComPLx's
+feasibility projection exhibits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import ComPLxConfig, GlobalPlacementResult
+from ..core.convergence import SelfConsistencyMonitor
+from ..core.history import IterationRecord, RunHistory
+from ..models.hpwl import weighted_hpwl
+from ..models.quadratic import build_system
+from ..netlist import Netlist, Placement
+from ..projection.grid import DensityGrid, default_grid_shape
+
+
+def quadrisect_groups(
+    netlist: Netlist,
+    placement: Placement,
+    level: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign movable cells to a ``2^l x 2^l`` grid of regions.
+
+    Splits are area-balanced medians of the *current* placement (the
+    GORDIAN recursive-partitioning step).  Returns ``(group_of_cell,
+    target_x, target_y)`` where group ``-1`` marks fixed cells and the
+    targets are the region centers each group's CoG is constrained to.
+    """
+    bounds = netlist.core.bounds
+    n_side = 2 ** level
+    movable = np.flatnonzero(netlist.movable)
+    group = np.full(netlist.num_cells, -1, dtype=np.int64)
+
+    # 2*level alternating binary splits (x then y per level) give the
+    # full quadrisection into n_side x n_side regions.
+    def split2(cells: np.ndarray, rect, depth: int) -> None:
+        if cells.size == 0:
+            return
+        if depth == 2 * level:
+            cx = rect[0] + rect[2] / 2
+            cy = rect[1] + rect[3] / 2
+            gx = min(int((cx - bounds.xlo) / bounds.width * n_side),
+                     n_side - 1)
+            gy = min(int((cy - bounds.ylo) / bounds.height * n_side),
+                     n_side - 1)
+            group[cells] = gx * n_side + gy
+            return
+        axis = placement.x if depth % 2 == 0 else placement.y
+        order = cells[np.argsort(axis[cells], kind="stable")]
+        areas = np.maximum(netlist.areas[order], 1e-12)
+        half = np.searchsorted(np.cumsum(areas), 0.5 * areas.sum())
+        half = min(max(int(half), 1), order.size - 1) if order.size > 1 else 0
+        xlo, ylo, w, h = rect
+        if depth % 2 == 0:
+            split2(order[:half], (xlo, ylo, w / 2, h), depth + 1)
+            split2(order[half:], (xlo + w / 2, ylo, w / 2, h), depth + 1)
+        else:
+            split2(order[:half], (xlo, ylo, w, h / 2), depth + 1)
+            split2(order[half:], (xlo, ylo + h / 2, w, h / 2), depth + 1)
+
+    split2(movable, (bounds.xlo, bounds.ylo, bounds.width, bounds.height), 0)
+
+    cell_w = bounds.width / n_side
+    cell_h = bounds.height / n_side
+    count = n_side * n_side
+    target_x = np.array([
+        bounds.xlo + (g // n_side + 0.5) * cell_w for g in range(count)
+    ])
+    target_y = np.array([
+        bounds.ylo + (g % n_side + 0.5) * cell_h for g in range(count)
+    ])
+    return group, target_x, target_y
+
+
+def _group_project(v: np.ndarray, groups: np.ndarray, weights: np.ndarray,
+                   num_groups: int) -> np.ndarray:
+    """Project onto the null space: subtract each group's weighted mean."""
+    sums = np.bincount(groups, weights=v * weights, minlength=num_groups)
+    totals = np.maximum(
+        np.bincount(groups, weights=weights, minlength=num_groups), 1e-300
+    )
+    return v - (sums / totals)[groups]
+
+
+def solve_cog_constrained(
+    matrix,
+    rhs: np.ndarray,
+    groups: np.ndarray,
+    weights: np.ndarray,
+    targets: np.ndarray,
+    x0: np.ndarray,
+    tol: float = 1e-6,
+    max_iter: int = 400,
+) -> np.ndarray:
+    """Minimize ``x^T Q x - 2 b^T x`` s.t. per-group weighted means.
+
+    Projected CG: start from a feasible point (``x0`` shifted so each
+    group's weighted mean hits its target) and keep every search
+    direction inside the null space of the constraints, so feasibility
+    is preserved exactly throughout.
+    """
+    num_groups = int(targets.shape[0])
+    x = x0.copy()
+    # Shift to the constraint manifold.
+    sums = np.bincount(groups, weights=x * weights, minlength=num_groups)
+    totals = np.maximum(
+        np.bincount(groups, weights=weights, minlength=num_groups), 1e-300
+    )
+    x = x + (targets - sums / totals)[groups]
+
+    r = rhs - matrix @ x
+    r = _group_project(r, groups, weights, num_groups)
+    p = r.copy()
+    rr = float(r @ r)
+    threshold = (tol * max(np.linalg.norm(rhs), 1e-300)) ** 2
+    for _ in range(max_iter):
+        if rr <= threshold:
+            break
+        ap = matrix @ p
+        pap = float(p @ ap)
+        if pap <= 1e-300:
+            break
+        alpha = rr / pap
+        x += alpha * p
+        r -= alpha * ap
+        r = _group_project(r, groups, weights, num_groups)
+        rr_new = float(r @ r)
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+    return x
+
+
+class GordianPlacer:
+    """GORDIAN-L-like global placement (CoG-constrained quadratic)."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        max_level: int | None = None,
+        relinearizations: int = 2,
+        net_model: str = "clique",
+        seed: int = 0,
+    ) -> None:
+        self.netlist = netlist
+        if max_level is None:
+            # Stop when regions hold ~8 cells on average.
+            max_level = max(
+                int(np.ceil(0.5 * np.log2(max(netlist.num_movable, 1) / 8.0))),
+                1,
+            )
+        self.max_level = max_level
+        self.relinearizations = relinearizations
+        # Classic GORDIAN minimizes a *pure quadratic* (clique) model:
+        # under CoG-only constraints the B2B linearization is unstable
+        # (long edges get ever-cheaper, letting single cells fly far to
+        # balance a group mean).  GORDIAN-L's careful reweighting is
+        # approximated by the clique model plus the level refinement.
+        self.net_model = net_model
+        self.seed = seed
+        self._b2b_eps = max(0.5 * netlist.core.row_height, 1e-9)
+        bins = default_grid_shape(netlist.num_movable)
+        self.grid = DensityGrid(netlist, bins, bins)
+
+    def place(self, initial: Placement | None = None) -> GlobalPlacementResult:
+        """Run the level schedule; returns the usual result object."""
+        start = time.perf_counter()
+        nl = self.netlist
+        bounds = nl.core.bounds
+        jitter = 0.005 * min(bounds.width, bounds.height)
+        current = (
+            initial.copy() if initial is not None
+            else nl.initial_placement(jitter=jitter, seed=self.seed)
+        )
+        history = RunHistory()
+
+        # Level 0: unconstrained (one global CoG constraint is just the
+        # core center; harmless) quadratic solves to seed positions.
+        for _ in range(2):
+            current = self._solve_level(current, level=0)
+
+        k = 0
+        for level in range(1, self.max_level + 1):
+            for _ in range(self.relinearizations):
+                k += 1
+                t0 = time.perf_counter()
+                current = self._solve_level(current, level=level)
+                usage = self.grid.usage(current)
+                overflow = self.grid.overflow_percent(usage, 1.0)
+                phi = weighted_hpwl(nl, current)
+                history.append(IterationRecord(
+                    iteration=k, lam=float(level), phi_lower=phi,
+                    phi_upper=phi, pi=overflow, lagrangian=phi,
+                    overflow_percent=overflow, grid_bins=2**level,
+                    runtime_seconds=time.perf_counter() - t0,
+                ))
+        history.stop_reason = "levels_exhausted"
+
+        config = ComPLxConfig()
+        return GlobalPlacementResult(
+            lower=current, upper=current, history=history,
+            consistency=SelfConsistencyMonitor(), config=config,
+            runtime_seconds=time.perf_counter() - start,
+            extras={"placer": "gordian", "levels": self.max_level},
+        )
+
+    def _solve_level(self, current: Placement, level: int) -> Placement:
+        nl = self.netlist
+        groups, tx, ty = quadrisect_groups(nl, current, level)
+        out = current.copy()
+        for axis, targets in (("x", tx), ("y", ty)):
+            system = build_system(nl, current, axis, model=self.net_model,
+                                  eps=self._b2b_eps)
+            # Weak regularization for isolated cells.
+            diag = system.matrix.diagonal()
+            max_diag = float(diag.max()) if diag.size else 1.0
+            bad = diag <= 1e-12 * max_diag
+            if bad.any():
+                center = nl.core.bounds.center[0 if axis == "x" else 1]
+                system.add_anchors(
+                    np.where(bad, 1e-6 * max_diag, 0.0),
+                    np.full(system.size, center),
+                )
+            slots = system.cell_of_slot
+            slot_groups = groups[slots]
+            # Defensive: every movable slot must belong to a group.
+            slot_groups = np.maximum(slot_groups, 0)
+            weights = np.maximum(nl.areas[slots], 1e-12)
+            coords = current.x if axis == "x" else current.y
+            solution = solve_cog_constrained(
+                system.matrix, system.rhs, slot_groups, weights, targets,
+                x0=coords[slots],
+            )
+            target_arr = out.x if axis == "x" else out.y
+            target_arr[slots] = solution
+        # Clamping stray cells perturbs group means; restore feasibility
+        # by shifting each group back onto its CoG target.
+        out = nl.clamp_to_core(out)
+        for axis, targets in (("x", tx), ("y", ty)):
+            coords = out.x if axis == "x" else out.y
+            movable = nl.movable
+            w = np.maximum(nl.areas, 1e-12) * movable
+            sums = np.bincount(np.maximum(groups, 0), weights=coords * w,
+                               minlength=targets.shape[0])
+            totals = np.maximum(
+                np.bincount(np.maximum(groups, 0), weights=w,
+                            minlength=targets.shape[0]), 1e-300)
+            shift = (targets - sums / totals)[np.maximum(groups, 0)]
+            coords[movable] += shift[movable]
+        return nl.clamp_to_core(out)
+
+
+def gordian_place(netlist: Netlist, **kwargs) -> GlobalPlacementResult:
+    """Run the GORDIAN-L-like baseline on a netlist."""
+    return GordianPlacer(netlist, **kwargs).place()

@@ -1,0 +1,27 @@
+"""SimPL baseline — literally a ComPLx configuration (paper Section 5).
+
+The paper's central structural claim is that SimPL *is* a special case of
+the ComPLx primal-dual framework: same B2B-linearized quadratic model,
+same look-ahead legalization as the feasibility projection, but a fixed
+additive pseudo-net weight ramp instead of the Pi-proportional Formula
+(12), no per-macro multipliers, and a laxer stopping rule.  This module
+exposes that configuration as a placer so benchmark tables can list
+"SimPL" as a first-class competitor.
+"""
+
+from __future__ import annotations
+
+from ..core import ComPLxPlacer, GlobalPlacementResult, simpl_config
+from ..netlist import Netlist
+
+
+class SimPLPlacer(ComPLxPlacer):
+    """SimPL as the special-case instantiation of ComPLx."""
+
+    def __init__(self, netlist: Netlist, **config_overrides) -> None:
+        super().__init__(netlist, config=simpl_config(**config_overrides))
+
+
+def simpl_place(netlist: Netlist, **config_overrides) -> GlobalPlacementResult:
+    """Run the SimPL configuration on a netlist."""
+    return SimPLPlacer(netlist, **config_overrides).place()

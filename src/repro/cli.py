@@ -1,0 +1,138 @@
+"""Command-line placer: Bookshelf in, placed Bookshelf out.
+
+The front door for users with real designs::
+
+    python -m repro place design.aux --out placed/ --gamma 0.9
+    python -m repro place design.aux --placer simpl --svg layout.svg
+    python -m repro generate adaptec1_s --scale 0.2 --out bench/
+    python -m repro analyze design.aux
+
+``place`` runs the full paper flow (ComPLx global placement →
+legalization → detailed placement) and writes the placed design as a
+new Bookshelf file set plus an optional SVG and quality report.
+``generate`` materializes a synthetic suite as Bookshelf files.
+``analyze`` prints the quality report for a design's ``.pl`` placement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis import analyze_placement
+from .detailed import DetailedPlacer
+from .experiments.common import make_placer
+from .legalize import abacus_legalize, tetris_legalize
+from .models import hpwl
+from .netlist.bookshelf import read_aux, write_aux
+from .viz import placement_svg
+from .workloads import load_suite, suite_names
+
+LEGALIZERS = {"tetris": tetris_legalize, "abacus": abacus_legalize}
+
+
+def _add_place_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("aux", help="input .aux file")
+    parser.add_argument("--out", default="placed",
+                        help="output directory for the placed file set")
+    parser.add_argument("--placer", default="complx",
+                        help="placer: complx, complx_finest, complx_lse, "
+                             "simpl, rql, fastplace, nonlinear, gordian")
+    parser.add_argument("--gamma", type=float, default=1.0,
+                        help="target density in (0, 1]")
+    parser.add_argument("--legalizer", choices=sorted(LEGALIZERS),
+                        default="abacus")
+    parser.add_argument("--skip-detailed", action="store_true",
+                        help="stop after legalization")
+    parser.add_argument("--svg", default=None,
+                        help="also write a placement plot to this path")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    """Place a Bookshelf design end to end."""
+    netlist, initial = read_aux(args.aux)
+    print(f"loaded {netlist}")
+    placer = make_placer(args.placer, netlist, gamma=args.gamma,
+                         seed=args.seed)
+
+    t0 = time.perf_counter()
+    result = placer.place()
+    gp_seconds = time.perf_counter() - t0
+    print(f"global placement: {result.history.summary()} "
+          f"[{gp_seconds:.1f}s]")
+
+    legalizer = LEGALIZERS[args.legalizer]
+    t1 = time.perf_counter()
+    if args.skip_detailed:
+        final = legalizer(netlist, result.upper)
+    else:
+        dp = DetailedPlacer(netlist, legalizer=legalizer)
+        final = dp.place(result.upper)
+    print(f"legalization+DP: HPWL {hpwl(netlist, final):.1f} "
+          f"[{time.perf_counter() - t1:.1f}s]")
+
+    report = analyze_placement(netlist, final, gamma=args.gamma)
+    print(report.render())
+
+    aux = write_aux(netlist, final, args.out,
+                    design=f"{netlist.name}_placed")
+    print(f"wrote {aux}")
+    if args.svg:
+        placement_svg(netlist, final, args.svg,
+                      title=f"{netlist.name} ({args.placer})")
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Materialize a synthetic suite as Bookshelf files."""
+    design = load_suite(args.suite, scale=args.scale)
+    netlist = design.netlist
+    placement = netlist.initial_placement()
+    aux = write_aux(netlist, placement, args.out)
+    print(f"generated {netlist}")
+    print(f"wrote {aux}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Quality report for an existing placement."""
+    netlist, placement = read_aux(args.aux)
+    report = analyze_placement(netlist, placement, gamma=args.gamma)
+    print(report.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ComPLx placement flows over Bookshelf designs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place_parser = sub.add_parser(
+        "place", help="place a Bookshelf design end to end")
+    _add_place_args(place_parser)
+    place_parser.set_defaults(func=cmd_place)
+
+    gen_parser = sub.add_parser(
+        "generate", help="write a synthetic suite as Bookshelf files")
+    gen_parser.add_argument("suite", choices=suite_names())
+    gen_parser.add_argument("--scale", type=float, default=0.2)
+    gen_parser.add_argument("--out", default="generated")
+    gen_parser.set_defaults(func=cmd_generate)
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="quality report for a design's .pl placement")
+    analyze_parser.add_argument("aux")
+    analyze_parser.add_argument("--gamma", type=float, default=1.0)
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The ComPLx placer core: primal-dual Lagrange global placement."""
+
+from .anchors import add_anchors_to_system, anchor_penalty_value, anchor_weights
+from .complx import ComPLxPlacer, GlobalPlacementResult, place
+from .config import (
+    ComPLxConfig,
+    default_config,
+    dp_every_iteration_config,
+    finest_grid_config,
+    simpl_config,
+)
+from .convergence import SelfConsistencyMonitor, StoppingRule, l1_distance
+from .history import IterationRecord, RunHistory
+from .lagrangian import (
+    LambdaSchedule,
+    duality_gap,
+    lagrangian_value,
+    macro_lambda_scale,
+    relative_gap,
+)
+
+__all__ = [
+    "ComPLxConfig",
+    "ComPLxPlacer",
+    "GlobalPlacementResult",
+    "IterationRecord",
+    "LambdaSchedule",
+    "RunHistory",
+    "SelfConsistencyMonitor",
+    "StoppingRule",
+    "add_anchors_to_system",
+    "anchor_penalty_value",
+    "anchor_weights",
+    "default_config",
+    "dp_every_iteration_config",
+    "duality_gap",
+    "finest_grid_config",
+    "l1_distance",
+    "lagrangian_value",
+    "macro_lambda_scale",
+    "place",
+    "relative_gap",
+    "simpl_config",
+]

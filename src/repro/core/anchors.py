@@ -1,0 +1,80 @@
+"""Pseudo-net anchors: the linearized L1 penalty term (paper Section 5).
+
+The simplified Lagrangian (Formula 10) adds ``lambda * ||(x,y)-(x°,y°)||_1``
+to the objective.  Like the HPWL itself, the L1 term is linearized into a
+quadratic: each movable cell is connected to its anchor (its pseudo-legal
+position from ``P_C``) by a pseudo-net contributing ``w_i (x_i - x_i°)^2``
+with
+
+    w_i = lambda * scale_i / (|x_i - x_i°| + eps)
+
+based on the last iterate, where eps = 1.5 x row height keeps the weight
+bounded and the system strictly convex.  ``scale_i`` carries the
+extensions: per-macro multipliers (Section 5) and timing/power
+criticalities (Formula 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from ..models.quadratic import QuadraticSystem
+
+
+def anchor_weights(
+    current: np.ndarray,
+    anchor: np.ndarray,
+    lam: float,
+    eps: float,
+    scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """Linearized per-cell anchor weights along one axis."""
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    w = lam / (np.abs(current - anchor) + eps)
+    if scale is not None:
+        w = w * scale
+    return w
+
+
+def add_anchors_to_system(
+    system: QuadraticSystem,
+    netlist: Netlist,
+    current: Placement,
+    anchor: Placement,
+    lam: float,
+    eps: float,
+    axis: str,
+    scale: np.ndarray | None = None,
+) -> None:
+    """Add pseudo-net anchors for every movable cell to a built system."""
+    cells = system.cell_of_slot
+    if axis == "x":
+        cur, tgt = current.x[cells], anchor.x[cells]
+    elif axis == "y":
+        cur, tgt = current.y[cells], anchor.y[cells]
+    else:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    cell_scale = scale[cells] if scale is not None else None
+    weights = anchor_weights(cur, tgt, lam, eps, cell_scale)
+    system.add_anchors(weights, tgt)
+
+
+def anchor_penalty_value(
+    current: Placement,
+    anchor: Placement,
+    lam: float,
+    movable: np.ndarray,
+    scale: np.ndarray | None = None,
+) -> float:
+    """Exact (non-linearized) penalty ``lambda * sum scale_i * L1_i``.
+
+    With ``scale`` this is the criticality-weighted penalty of Formula 13.
+    """
+    l1 = np.abs(current.x - anchor.x) + np.abs(current.y - anchor.y)
+    if scale is not None:
+        l1 = l1 * scale
+    return float(lam * l1[movable].sum())

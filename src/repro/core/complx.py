@@ -1,0 +1,357 @@
+"""The ComPLx global placer: projected-subgradient primal-dual Lagrange
+optimization (paper Sections 3-5).
+
+One global placement iteration is:
+
+1. **dual / projection step** — ``(x°, y°) = P_C(x, y)``: look-ahead
+   legalization produces a density-feasible anchor placement; its L1
+   displacement is the violation ``Pi``,
+2. **multiplier step** — ``lambda`` is initialized as ``Phi/(100 Pi)`` and
+   then advanced by Formula (12),
+3. **primal step** — minimize the simplified Lagrangian (Formula 10):
+   interconnect model + pseudo-net anchors, either by solving the SPD
+   linearized-quadratic systems with CG (the SimPL-style default) or by
+   nonlinear CG on the log-sum-exp model.
+
+The loop maintains a *lower-bound* placement (the primal iterate, whose
+wHPWL underestimates the achievable cost) and an *upper-bound* feasible
+placement (the projection) satisfying the weak-duality sandwich of
+Formula (7); it stops on the duality gap, near-feasibility, or the
+iteration budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..models.hpwl import weighted_hpwl
+from ..models.logsumexp import lse_wirelength
+from ..models.quadratic import build_system
+from ..netlist import Netlist, Placement
+from ..projection import FeasibilityProjection
+from ..solvers.cg import solve_spd
+from ..solvers.nonlinear_cg import minimize_nlcg
+from .anchors import add_anchors_to_system
+from .config import ComPLxConfig
+from .convergence import SelfConsistencyMonitor, StoppingRule
+from .history import IterationRecord, RunHistory
+from .lagrangian import LambdaSchedule, macro_lambda_scale
+
+#: Observer invoked after every iteration: (iteration, lower, upper).
+IterationCallback = Callable[[int, Placement, Placement], None]
+
+
+@dataclass
+class GlobalPlacementResult:
+    """Outcome of a ComPLx run."""
+
+    lower: Placement                    # last primal iterate
+    upper: Placement                    # last feasible (projected) iterate
+    history: RunHistory
+    consistency: SelfConsistencyMonitor
+    config: ComPLxConfig
+    runtime_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def final_lambda(self) -> float:
+        return self.history.final_lambda
+
+    @property
+    def iterations(self) -> int:
+        return self.history.iterations
+
+
+class ComPLxPlacer:
+    """Primal-dual Lagrange global placement for one netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The design to place.
+    config:
+        Algorithm knobs; defaults to the paper's default configuration.
+    criticality:
+        Optional per-cell multipliers ``gamma_i`` for the penalty term
+        (Formula 13): timing/power-critical cells get values > 1 so the
+        projection displaces them less.
+    detailed_placer:
+        Optional callable ``placement -> placement`` applied to each
+        projected placement when ``config.dp_each_iteration`` is set
+        (the Table 1 "P_C += FastPlace-DP" variant).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: ComPLxConfig | None = None,
+        criticality: np.ndarray | None = None,
+        detailed_placer: Callable[[Placement], Placement] | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.config = config or ComPLxConfig()
+        if criticality is None:
+            criticality = np.ones(netlist.num_cells)
+        criticality = np.asarray(criticality, dtype=np.float64)
+        if criticality.shape != (netlist.num_cells,):
+            raise ValueError("criticality needs one entry per cell")
+        if np.any(criticality <= 0):
+            raise ValueError("criticalities must be positive")
+        self.criticality = criticality
+        self.detailed_placer = detailed_placer
+        if self.config.dp_each_iteration and detailed_placer is None:
+            raise ValueError(
+                "dp_each_iteration requires a detailed_placer callable"
+            )
+
+        self.projection = FeasibilityProjection(
+            netlist,
+            gamma=self.config.gamma,
+            leaf_size=self.config.leaf_size,
+            shred_rows=self.config.shred_rows,
+            method=self.config.projection_method,
+        )
+        row_h = netlist.core.row_height
+        self._anchor_eps = self.config.eps_rows * row_h
+        self._b2b_eps = max(self.config.b2b_eps_rows * row_h, 1e-9)
+        self._anchor_scale = self._build_anchor_scale()
+        self._finest_bins = (
+            self.config.max_bins
+            if self.config.max_bins is not None
+            else self.projection.default_shape()
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _build_anchor_scale(self) -> np.ndarray:
+        scale = self.criticality.copy()
+        if self.config.per_macro_lambda:
+            scale = scale * macro_lambda_scale(self.netlist)
+        return scale
+
+    def _grid_bins(self, iteration: int) -> int:
+        """Coarse-to-fine schedule: double every ``refine_every`` iters."""
+        if self.config.finest_grid_only:
+            return self._finest_bins
+        doublings = iteration // max(self.config.refine_every, 1)
+        bins = self.config.initial_bins * (2 ** doublings)
+        return int(min(bins, self._finest_bins))
+
+    def _phi(self, placement: Placement) -> float:
+        return weighted_hpwl(self.netlist, placement)
+
+    # ------------------------------------------------------------------
+    # primal steps
+    # ------------------------------------------------------------------
+    def _solve_quadratic(
+        self,
+        current: Placement,
+        anchor: Placement | None,
+        lam: float,
+    ) -> Placement:
+        """One linearized-quadratic primal step (both axes)."""
+        out = current.copy()
+        for axis in ("x", "y"):
+            system = build_system(
+                self.netlist, current, axis,
+                model=self.config.net_model, eps=self._b2b_eps,
+            )
+            if anchor is not None and lam > 0:
+                self._add_anchors(system, current, anchor, lam, axis)
+            self._regularize(system, axis)
+            coords = current.x if axis == "x" else current.y
+            warm = coords[system.cell_of_slot]
+            solution = solve_spd(
+                system.matrix, system.rhs, x0=warm,
+                tol=self.config.cg_tol, max_iter=self.config.cg_max_iter,
+                backend=self.config.cg_backend,
+            )
+            self._last_cg_iterations += solution.iterations
+            target = out.x if axis == "x" else out.y
+            target[system.cell_of_slot] = solution.x
+        return self.netlist.clamp_to_core(out)
+
+    def _add_anchors(self, system, current: Placement, anchor: Placement,
+                     lam: float, axis: str) -> None:
+        """Attach the pseudo-net anchors (overridable; RQL-style
+        baselines hook in their force thresholding here)."""
+        add_anchors_to_system(
+            system, self.netlist, current, anchor, lam,
+            self._anchor_eps, axis, scale=self._anchor_scale,
+        )
+
+    def _regularize(self, system, axis: str) -> None:
+        """Weak center anchors on singular rows (isolated cells, or
+        netlists without fixed pins) so the system stays SPD."""
+        diag = system.matrix.diagonal()
+        max_diag = float(diag.max()) if diag.size else 0.0
+        if max_diag <= 0:
+            weak = np.ones(system.size)
+        else:
+            bad = diag <= 1e-12 * max_diag
+            if not bad.any():
+                return
+            weak = np.where(bad, 1e-6 * max_diag, 0.0)
+        center = self.netlist.core.bounds.center[0 if axis == "x" else 1]
+        system.add_anchors(weak, np.full(system.size, center))
+
+    def _solve_lse(
+        self,
+        current: Placement,
+        anchor: Placement | None,
+        lam: float,
+    ) -> Placement:
+        """Nonlinear-CG primal step on the log-sum-exp model."""
+        netlist = self.netlist
+        movable = np.flatnonzero(netlist.movable)
+        n = movable.shape[0]
+        gamma = max(
+            self.config.lse_gamma_fraction
+            * max(netlist.core.bounds.width, netlist.core.bounds.height),
+            1e-9,
+        )
+        beta = (0.1 * self._anchor_eps) ** 2
+        scale = self._anchor_scale[movable]
+
+        def objective(z: np.ndarray) -> tuple[float, np.ndarray]:
+            trial = current.copy()
+            trial.x[movable] = z[:n]
+            trial.y[movable] = z[n:]
+            wl = lse_wirelength(netlist, trial, gamma)
+            value = wl.value
+            grad = np.concatenate([wl.grad_x[movable], wl.grad_y[movable]])
+            if anchor is not None and lam > 0:
+                dx = trial.x[movable] - anchor.x[movable]
+                dy = trial.y[movable] - anchor.y[movable]
+                rx = np.sqrt(dx**2 + beta)
+                ry = np.sqrt(dy**2 + beta)
+                value += lam * float((scale * (rx + ry)).sum())
+                grad[:n] += lam * scale * dx / rx
+                grad[n:] += lam * scale * dy / ry
+            return value, grad
+
+        z0 = np.concatenate([current.x[movable], current.y[movable]])
+        result = minimize_nlcg(
+            objective, z0, max_iter=self.config.nlcg_max_iter,
+            grad_tol=1e-6 * max(n, 1),
+        )
+        out = current.copy()
+        out.x[movable] = result.x[:n]
+        out.y[movable] = result.x[n:]
+        return self.netlist.clamp_to_core(out)
+
+    def _primal_step(
+        self, current: Placement, anchor: Placement | None, lam: float
+    ) -> Placement:
+        if self.config.net_model == "lse":
+            return self._solve_lse(current, anchor, lam)
+        return self._solve_quadratic(current, anchor, lam)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        initial: Placement | None = None,
+        callback: IterationCallback | None = None,
+    ) -> GlobalPlacementResult:
+        """Run global placement to convergence."""
+        start_time = time.perf_counter()
+        netlist = self.netlist
+        config = self.config
+        bounds = netlist.core.bounds
+        jitter = 0.005 * min(bounds.width, bounds.height)
+        lower = (
+            initial.copy() if initial is not None
+            else netlist.initial_placement(jitter=jitter, seed=config.seed)
+        )
+
+        # Initial unconstrained interconnect optimization (lambda_0 = 0):
+        # a few re-linearized sweeps stabilize the B2B model.
+        self._last_cg_iterations = 0
+        for _ in range(max(config.init_sweeps, 1)):
+            lower = self._primal_step(lower, anchor=None, lam=0.0)
+
+        schedule = LambdaSchedule(
+            init_ratio=config.lambda_init_ratio,
+            growth_cap=config.lambda_growth_cap,
+            h_factor=config.lambda_h_factor,
+            mode=config.lambda_mode,
+        )
+        stopping = StoppingRule(
+            gap_tol=config.gap_tol,
+            pi_tol_fraction=config.pi_tol_fraction,
+            max_iterations=config.max_iterations,
+        )
+        history = RunHistory()
+        monitor = SelfConsistencyMonitor()
+        upper = lower.copy()
+        pi_prev: float | None = None
+
+        for k in range(1, config.max_iterations + 1):
+            iter_start = time.perf_counter()
+            self._last_cg_iterations = 0
+            bins = self._grid_bins(k - 1)
+            projected = self.projection(lower, nx=bins, ny=bins)
+            upper = projected.placement
+            if config.dp_each_iteration and self.detailed_placer is not None:
+                upper = self.detailed_placer(upper)
+            pi = projected.pi
+            monitor.observe(k, lower, upper, netlist.movable)
+
+            phi_lb = self._phi(lower)
+            phi_ub = self._phi(upper)
+            if not schedule.initialized:
+                schedule.initialize(phi_lb, pi)
+                stopping.note_initial_pi(pi)
+            elif pi_prev is not None:
+                schedule.update(pi_prev, pi)
+            pi_prev = pi
+            lam = schedule.value
+
+            history.append(
+                IterationRecord(
+                    iteration=k,
+                    lam=lam,
+                    phi_lower=phi_lb,
+                    phi_upper=phi_ub,
+                    pi=pi,
+                    lagrangian=phi_lb + lam * pi,
+                    overflow_percent=projected.overflow_percent,
+                    grid_bins=bins,
+                    cg_iterations=self._last_cg_iterations,
+                    runtime_seconds=time.perf_counter() - iter_start,
+                )
+            )
+            if callback is not None:
+                callback(k, lower, upper)
+
+            stop, reason = stopping.should_stop(k, phi_lb, phi_ub, pi)
+            if stop:
+                history.stop_reason = reason
+                break
+
+            lower = self._primal_step(lower, anchor=upper, lam=lam)
+        else:
+            history.stop_reason = "max_iterations"
+
+        return GlobalPlacementResult(
+            lower=lower,
+            upper=upper,
+            history=history,
+            consistency=monitor,
+            config=config,
+            runtime_seconds=time.perf_counter() - start_time,
+        )
+
+
+def place(netlist: Netlist, config: ComPLxConfig | None = None,
+          **kwargs) -> GlobalPlacementResult:
+    """One-call convenience wrapper: ``place(netlist).upper`` is the
+    feasible global placement ready for legalization."""
+    return ComPLxPlacer(netlist, config=config, **kwargs).place()

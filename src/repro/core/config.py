@@ -1,0 +1,150 @@
+"""Configuration for the ComPLx placer.
+
+Defaults reproduce the paper's "Default Config." column of Table 1; the
+other two columns are the ``finest_grid_only`` and ``dp_each_iteration``
+variants.  SimPL is recovered by :func:`simpl_config` (Section 5: SimPL
+is a special case of ComPLx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class ComPLxConfig:
+    """All knobs of the ComPLx placer.
+
+    Interconnect model
+    ------------------
+    * ``net_model`` — ``b2b`` (default; the SimPL/ComPLx model), ``clique``,
+      ``star`` or ``hybrid``; ``lse`` switches the primal step to nonlinear
+      CG on the log-sum-exp objective.
+    * ``eps_rows`` — pseudo-net epsilon in row heights (paper: 1.5).
+    * ``b2b_eps_rows`` — epsilon bounding B2B denominators away from zero.
+
+    Lagrange multiplier schedule (Section 4)
+    ----------------------------------------
+    * ``lambda_init_ratio`` — lambda_1 = Phi / (ratio * Pi); paper: 100.
+    * ``lambda_growth_cap`` — max multiplicative growth per iteration
+      (paper: 2.0, i.e. at most +100%).
+    * ``lambda_h_factor`` — the scaling constant ``h`` of Formula (12)
+      expressed as a multiple of lambda_1.
+
+    Feasibility projection
+    ----------------------
+    * ``gamma`` — target utilization/density in (0, 1].
+    * ``initial_bins`` / ``refine_every`` / ``max_bins`` — coarse-to-fine
+      grid schedule; the grid doubles every ``refine_every`` iterations.
+      ``max_bins=None`` picks the finest grid from the netlist size.
+    * ``projection_method`` — ``topdown`` (SimPL-style bisection) or
+      ``alternating`` (the S2 alternating-1D-pass formulation).
+    * ``finest_grid_only`` — Table 1 "Finest Grid" variant.
+    * ``dp_each_iteration`` — Table 1 "P_C += FastPlace-DP" variant: run
+      detailed placement on every projected placement.
+
+    Termination
+    -----------
+    * ``max_iterations``; ``gap_tol`` — stop when the relative duality gap
+      (Phi_ub - Phi_lb)/Phi_ub falls below this; ``pi_tol_fraction`` —
+      stop when Pi drops below this fraction of its initial value.
+
+    Mixed-size / timing extensions
+    ------------------------------
+    * ``per_macro_lambda`` — scale each macro's anchor weight by its area
+      ratio to the average standard cell (Section 5).
+    * ``shred_rows`` — macro shred size in row heights.
+    """
+
+    # interconnect model
+    net_model: str = "b2b"
+    eps_rows: float = 1.5
+    b2b_eps_rows: float = 0.5
+    lse_gamma_fraction: float = 0.01
+
+    # multiplier schedule
+    lambda_init_ratio: float = 100.0
+    lambda_growth_cap: float = 2.0
+    lambda_h_factor: float = 20.0
+    lambda_mode: str = "complx"
+
+    # projection
+    gamma: float = 1.0
+    projection_method: str = "topdown"
+    initial_bins: int = 8
+    refine_every: int = 4
+    max_bins: int | None = None
+    finest_grid_only: bool = False
+    leaf_size: int = 3
+    shred_rows: float = 2.0
+
+    # solver
+    cg_backend: str = "own"
+    cg_tol: float = 1e-5
+    cg_max_iter: int = 500
+    init_sweeps: int = 3
+    nlcg_max_iter: int = 60
+
+    # termination
+    max_iterations: int = 100
+    gap_tol: float = 0.08
+    pi_tol_fraction: float = 0.02
+
+    # extensions
+    per_macro_lambda: bool = True
+    dp_each_iteration: bool = False
+
+    # reproducibility
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.net_model not in ("b2b", "clique", "star", "hybrid", "lse"):
+            raise ValueError(f"unknown net model {self.net_model!r}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must lie in (0, 1]")
+        if self.lambda_growth_cap <= 1.0:
+            raise ValueError("lambda growth cap must exceed 1")
+        if self.lambda_init_ratio <= 0:
+            raise ValueError("lambda_init_ratio must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.projection_method not in ("topdown", "alternating"):
+            raise ValueError(
+                f"unknown projection method {self.projection_method!r}"
+            )
+
+    def with_overrides(self, **kwargs) -> "ComPLxConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def default_config(**overrides) -> ComPLxConfig:
+    """The paper's Default Config. (Table 1, rightmost columns)."""
+    return ComPLxConfig(**overrides)
+
+
+def finest_grid_config(**overrides) -> ComPLxConfig:
+    """Table 1 "Finest Grid": the finest grid during all iterations."""
+    return ComPLxConfig(finest_grid_only=True, **overrides)
+
+
+def dp_every_iteration_config(**overrides) -> ComPLxConfig:
+    """Table 1 "P_C += FastPlace-DP": detailed-place every projection."""
+    return ComPLxConfig(dp_each_iteration=True, **overrides)
+
+
+def simpl_config(**overrides) -> ComPLxConfig:
+    """SimPL as a special case of ComPLx (paper Section 5).
+
+    SimPL's pseudo-net weights grow by a fixed additive increment rather
+    than ComPLx's Pi-proportional Formula (12), it has no per-macro
+    multipliers, and it uses a slightly laxer stopping rule.
+    """
+    base = dict(
+        lambda_mode="simpl",
+        lambda_h_factor=14.0,
+        per_macro_lambda=False,
+        gap_tol=0.10,
+    )
+    base.update(overrides)
+    return ComPLxConfig(**base)

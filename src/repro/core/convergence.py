@@ -1,0 +1,139 @@
+"""Convergence criteria and the self-consistency monitor (Sections 4, S2).
+
+ComPLx stops on whichever of these fires first:
+
+* the relative duality gap ``(Phi_ub - Phi_lb)/Phi_ub`` drops below a
+  tolerance (the refined criterion of Section 4 — detailed placement will
+  run on the feasible upper bound, so the gap bounds the final loss),
+* the violation ``Pi`` falls below a fraction of its initial value
+  (near-feasible iterate),
+* the iteration budget runs out.
+
+Section S2 evaluates the *self-consistency* of the approximate
+projection (Formula 11): whenever the new iterate is closer to the old
+anchor than the old iterate was, it should also be closer to its own new
+anchor.  :class:`SelfConsistencyMonitor` reproduces the paper's 96.0% /
+0.6% / 3.3% statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Placement
+
+
+def l1_distance(a: Placement, b: Placement, movable: np.ndarray) -> float:
+    """L1 distance between two placements over movable cells."""
+    return float(
+        (np.abs(a.x - b.x) + np.abs(a.y - b.y))[movable].sum()
+    )
+
+
+@dataclass
+class StoppingRule:
+    """Composable termination test for the ComPLx loop.
+
+    Stops on (a) small relative duality gap, (b) near-feasibility of the
+    primal iterate (Pi below a fraction of its initial value), (c) a
+    *plateau*: the best feasible cost has stopped improving for
+    ``plateau_window`` iterations — the practical form of "detailed
+    placement runs on the feasible iterate, so once it stops improving
+    more global iterations cannot pay off" (Section 4) — or (d) the
+    iteration budget.
+    """
+
+    gap_tol: float = 0.08
+    pi_tol_fraction: float = 0.02
+    max_iterations: int = 60
+    plateau_window: int = 12
+    plateau_tol: float = 0.005
+    _pi_initial: float | None = None
+    _recent_ub: list[float] = field(default_factory=list)
+
+    def note_initial_pi(self, pi: float) -> None:
+        if self._pi_initial is None:
+            self._pi_initial = max(pi, 1e-12)
+
+    def should_stop(self, iteration: int, phi_lb: float, phi_ub: float,
+                    pi: float) -> tuple[bool, str]:
+        """Returns (stop?, reason)."""
+        self._recent_ub.append(phi_ub)
+        if iteration >= self.max_iterations:
+            return True, "max_iterations"
+        if phi_ub > 0:
+            gap = max(phi_ub - phi_lb, 0.0) / phi_ub
+            if gap <= self.gap_tol:
+                return True, "duality_gap"
+        if self._pi_initial is not None and pi <= self.pi_tol_fraction * self._pi_initial:
+            return True, "pi_feasible"
+        if len(self._recent_ub) >= 2 * self.plateau_window:
+            window = self._recent_ub[-self.plateau_window:]
+            prior = self._recent_ub[-2 * self.plateau_window:-self.plateau_window]
+            if min(prior) - min(window) < self.plateau_tol * min(prior):
+                return True, "plateau"
+        return False, ""
+
+
+@dataclass
+class SelfConsistencyMonitor:
+    """Tracks Formula (11) between consecutive iterations.
+
+    For iterates p (old) and q (new) with projections Pp and Pq:
+
+    * *premise*:    ||p - Pp|| > ||q - Pp||   (q moved toward the anchor)
+    * *conclusion*: ||p - Pq|| > ||q - Pq||   (q is also closer to its own)
+
+    ``consistent`` counts premise&conclusion, ``inconsistent`` counts
+    premise&not-conclusion, ``premise_failed`` counts not-premise.
+    """
+
+    consistent: int = 0
+    inconsistent: int = 0
+    premise_failed: int = 0
+    inconsistent_iterations: list[int] = field(default_factory=list)
+
+    _prev_iterate: Placement | None = None
+    _prev_projection: Placement | None = None
+
+    def observe(
+        self,
+        iteration: int,
+        iterate: Placement,
+        projection: Placement,
+        movable: np.ndarray,
+    ) -> None:
+        if self._prev_iterate is not None and self._prev_projection is not None:
+            p, pp = self._prev_iterate, self._prev_projection
+            q, pq = iterate, projection
+            premise = (
+                l1_distance(p, pp, movable) > l1_distance(q, pp, movable)
+            )
+            if not premise:
+                self.premise_failed += 1
+            else:
+                conclusion = (
+                    l1_distance(p, pq, movable) > l1_distance(q, pq, movable)
+                )
+                if conclusion:
+                    self.consistent += 1
+                else:
+                    self.inconsistent += 1
+                    self.inconsistent_iterations.append(iteration)
+        self._prev_iterate = iterate.copy()
+        self._prev_projection = projection.copy()
+
+    @property
+    def total(self) -> int:
+        return self.consistent + self.inconsistent + self.premise_failed
+
+    def rates(self) -> dict[str, float]:
+        """Fractions in [0,1] matching the Section S2 statistics."""
+        total = max(self.total, 1)
+        return {
+            "consistent": self.consistent / total,
+            "inconsistent": self.inconsistent / total,
+            "premise_failed": self.premise_failed / total,
+        }

@@ -1,0 +1,82 @@
+"""Per-iteration records of a ComPLx run.
+
+Figure 1 of the paper plots the progressions of L (total Lagrangian),
+Phi (interconnect) and Pi (L1 distance to legal) over iterations; Figure 3
+plots final lambda and iteration counts.  :class:`RunHistory` captures
+everything those plots need, plus grid/solver diagnostics.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """Snapshot of one global placement iteration."""
+
+    iteration: int
+    lam: float
+    phi_lower: float          # wHPWL of the lower-bound (primal) iterate
+    phi_upper: float          # wHPWL of the feasible (projected) iterate
+    pi: float                 # L1 distance to the projected placement
+    lagrangian: float         # phi_lower + lam * pi
+    overflow_percent: float
+    grid_bins: int
+    cg_iterations: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def duality_gap(self) -> float:
+        return self.phi_upper - self.phi_lower
+
+
+@dataclass
+class RunHistory:
+    """Ordered iteration records with convenience extractors."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    stop_reason: str = ""
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, i: int) -> IterationRecord:
+        return self.records[i]
+
+    def series(self, name: str) -> np.ndarray:
+        """Numpy array of one field across iterations (e.g. ``'pi'``)."""
+        return np.array([getattr(r, name) for r in self.records])
+
+    @property
+    def final_lambda(self) -> float:
+        return self.records[-1].lam if self.records else 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    def to_csv(self, path: str) -> None:
+        """Dump the records for external plotting."""
+        names = [f.name for f in fields(IterationRecord)]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for record in self.records:
+                writer.writerow([getattr(record, n) for n in names])
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no iterations"
+        last = self.records[-1]
+        return (
+            f"{len(self.records)} iterations, final lambda={last.lam:.4g}, "
+            f"Phi_ub={last.phi_upper:.4g}, Pi={last.pi:.4g}, "
+            f"gap={last.duality_gap:.4g}, stop={self.stop_reason or 'n/a'}"
+        )

@@ -1,0 +1,114 @@
+"""Lagrange multiplier bookkeeping (paper Sections 3-4).
+
+The scalar dual variable ``lambda`` trades off interconnect against the
+distance-to-feasibility penalty:
+
+    L(x, y, lambda) = Phi(x, y) + lambda * Pi(x, y)
+
+Both Phi and Pi are lengths (meters), so lambda is dimensionless.  The
+schedule implements the two rules of Section 4:
+
+* initialization  ``lambda_1 = Phi / (100 * Pi)``  so the first penalized
+  iteration is still dominated by the convex cost term,
+* update  ``lambda_{k+1} = min(2 lambda_k, lambda_k + (Pi_{k+1}/Pi_k) h)``
+  (Formula 12) — capped doubling early, Pi-proportional additive growth
+  later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Netlist
+
+
+@dataclass
+class LambdaSchedule:
+    """Stateful multiplier schedule.
+
+    ``init_ratio`` is the 100 of ``Phi/(100 Pi)``; ``growth_cap`` the 2 of
+    Formula (12); ``h`` is resolved on initialization as
+    ``h_factor * lambda_1`` so its magnitude adapts to the instance.
+
+    ``mode`` selects the update rule:
+
+    * ``complx`` — Formula (12): capped, Pi-ratio-proportional growth,
+    * ``simpl``  — SimPL-style fixed additive increment (the pseudo-net
+      weight ramp of [23], cast as a lambda schedule per Section 5),
+    * ``double`` — pure multiplicative growth (an ablation baseline).
+    """
+
+    init_ratio: float = 100.0
+    growth_cap: float = 2.0
+    h_factor: float = 1.0
+    mode: str = "complx"
+    value: float = 0.0
+    h: float = 0.0
+    _initialized: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("complx", "simpl", "double"):
+            raise ValueError(f"unknown lambda schedule mode {self.mode!r}")
+
+    def initialize(self, phi: float, pi: float) -> float:
+        """Set ``lambda_1`` from the first iterate's Phi and Pi."""
+        if phi < 0 or pi < 0:
+            raise ValueError("Phi and Pi must be non-negative")
+        self.value = phi / (self.init_ratio * max(pi, 1e-12))
+        self.h = self.h_factor * self.value
+        self._initialized = True
+        return self.value
+
+    def update(self, pi_prev: float, pi_new: float) -> float:
+        """Advance lambda by the selected rule (Formula 12 by default)."""
+        if not self._initialized:
+            raise RuntimeError("LambdaSchedule.update before initialize")
+        if self.mode == "complx":
+            ratio = pi_new / max(pi_prev, 1e-12)
+            self.value = min(
+                self.growth_cap * self.value,
+                self.value + ratio * self.h,
+            )
+        elif self.mode == "simpl":
+            self.value = self.value + self.h
+        else:  # "double"
+            self.value = self.growth_cap * self.value
+        return self.value
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+
+def lagrangian_value(phi: float, lam: float, pi: float) -> float:
+    """The simplified Lagrangian L = Phi + lambda * Pi (Formula 10)."""
+    return phi + lam * pi
+
+
+def duality_gap(phi_lower: float, phi_upper: float) -> float:
+    """Delta_Phi = Phi(feasible) - Phi(iterate)  (Formula 8)."""
+    return phi_upper - phi_lower
+
+
+def relative_gap(phi_lower: float, phi_upper: float) -> float:
+    """Duality gap normalized by the feasible cost."""
+    if phi_upper <= 0:
+        return 0.0
+    return max(duality_gap(phi_lower, phi_upper), 0.0) / phi_upper
+
+
+def macro_lambda_scale(netlist: Netlist) -> np.ndarray:
+    """Per-cell multiplier for the anchor weights (Section 5).
+
+    Macros get ``area(macro) / mean standard-cell area`` (at least 1) to
+    stabilize them early; standard cells get 1.
+    """
+    scale = np.ones(netlist.num_cells)
+    std = netlist.movable & ~netlist.is_macro
+    avg_area = float(netlist.areas[std].mean()) if std.any() else 1.0
+    macros = netlist.movable_macros
+    if macros.any() and avg_area > 0:
+        scale[macros] = np.maximum(netlist.areas[macros] / avg_area, 1.0)
+    return scale

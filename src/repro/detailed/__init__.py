@@ -1,0 +1,17 @@
+"""Detailed placement: legalized HPWL optimization (FastPlace-DP role)."""
+
+from .dp import DetailedPlacementReport, DetailedPlacer, detailed_place
+from .incremental import HPWLDelta
+from .passes import global_swap_pass, local_reorder_pass, row_shift_pass
+from .structure import RowStructure
+
+__all__ = [
+    "DetailedPlacementReport",
+    "DetailedPlacer",
+    "HPWLDelta",
+    "RowStructure",
+    "detailed_place",
+    "global_swap_pass",
+    "local_reorder_pass",
+    "row_shift_pass",
+]

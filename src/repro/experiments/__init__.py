@@ -1,0 +1,29 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.experiments table1 [--scale 0.2] [--out results]
+    python -m repro.experiments table2
+    python -m repro.experiments fig1 | fig2 | fig3 | fig4 | fig5
+    python -m repro.experiments s2 | s4
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+"""
+
+from . import ablations, fig1, fig2, fig3, fig4, fig5, s2, s4, table1, table2
+from .common import FlowResult, make_placer, run_flow
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "fig1": fig1.main,
+    "fig2": fig2.main,
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "s2": s2.main,
+    "s4": s4.main,
+    "ablations": ablations.main,
+}
+
+__all__ = ["EXPERIMENTS", "FlowResult", "make_placer", "run_flow"]

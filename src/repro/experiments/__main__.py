@@ -1,0 +1,47 @@
+"""CLI entry point: ``python -m repro.experiments <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="benchmark size multiplier (default: per-experiment; "
+        "1.0 = 1/100 of the contest sizes)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="output directory for CSV/SVG artifacts (default: results/)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        start = time.perf_counter()
+        kwargs = {"out_dir": args.out}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        EXPERIMENTS[name](**kwargs)
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

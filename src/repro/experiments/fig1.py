@@ -1,0 +1,86 @@
+"""Figure 1 reproduction: L, Phi, Pi progressions on BIGBLUE4.
+
+The paper's Figure 1 plots, over ComPLx iterations on BIGBLUE4:
+
+* the total Lagrangian L (rises steeply in the early iterations as
+  lambda increases),
+* Phi, the netlist interconnect (gradually increases),
+* Pi, the L1 distance to a legal placement (decreases).
+
+This experiment runs the default configuration on the BIGBLUE4-style
+synthetic suite, prints the three series as an ASCII chart, and writes
+``fig1_convergence.svg`` + a CSV of the raw records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core import ComPLxConfig, ComPLxPlacer
+from ..viz import ascii_chart, line_chart_svg
+from .common import load_design, results_dir
+
+
+def run_fig1(
+    suite: str = "bigblue4_s",
+    scale: float = 0.1,
+    out_dir: str | None = None,
+):
+    """Run the convergence experiment; returns the run result."""
+    design = load_design(suite, scale)
+    placer = ComPLxPlacer(design.netlist, ComPLxConfig())
+    result = placer.place()
+    history = result.history
+
+    out = results_dir(out_dir)
+    history.to_csv(os.path.join(out, "fig1_history.csv"))
+    series = {
+        "L (Lagrangian)": history.series("lagrangian"),
+        "Phi (interconnect)": history.series("phi_lower"),
+        "Pi (dist to legal)": history.series("pi"),
+    }
+    line_chart_svg(
+        series, os.path.join(out, "fig1_convergence.svg"),
+        title=f"Fig 1 (repro): ComPLx progressions on {suite}",
+    )
+    return result
+
+
+def shape_checks(result) -> dict[str, bool]:
+    """The qualitative claims Figure 1 makes, as booleans."""
+    h = result.history
+    lagr = h.series("lagrangian")
+    phi = h.series("phi_lower")
+    pi = h.series("pi")
+    third = max(len(lagr) // 3, 1)
+    return {
+        # L increases steeply early (first third gains most of the rise).
+        "lagrangian_rises_early": lagr[third - 1] > lagr[0],
+        # Pi decreases overall.
+        "pi_decreases": pi[-1] < 0.5 * pi[:3].max(),
+        # Phi gradually increases.
+        "phi_increases": phi[-1] > phi[0],
+        # Weak duality: Phi_lb <= Phi_ub every iteration.
+        "weak_duality": bool(
+            np.all(h.series("phi_lower") <= h.series("phi_upper") + 1e-6)
+        ),
+    }
+
+
+def main(scale: float = 0.1, out_dir: str | None = None) -> None:
+    """Run the experiment and print the paper-shape checks."""
+    result = run_fig1(scale=scale, out_dir=out_dir)
+    h = result.history
+    print(ascii_chart(
+        {
+            "L": h.series("lagrangian"),
+            "Phi": h.series("phi_lower"),
+            "Pi": h.series("pi"),
+        },
+        title="Fig 1 (repro): L/Phi/Pi over ComPLx iterations (bigblue4_s)",
+    ))
+    print(h.summary())
+    for name, ok in shape_checks(result).items():
+        print(f"  shape {name}: {'PASS' if ok else 'FAIL'}")

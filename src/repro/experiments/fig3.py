@@ -1,0 +1,100 @@
+"""Figure 3 / Section S3 reproduction: scalability of ComPLx.
+
+The paper plots the final lambda value and the number of global
+placement iterations against the number of nets over all 16 ISPD
+2005/2006 benchmarks, observing that *neither grows systematically with
+instance size* — the empirical basis for the near-linear overall
+runtime claim (near-linear time per iteration x size-independent
+iteration count).
+
+This experiment runs ComPLx on every suite (downscaled), collects
+(num_nets, final_lambda, iterations, runtime), fits a log-log slope of
+runtime vs size, and writes ``fig3_scalability.svg`` + CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from ..core import ComPLxConfig, ComPLxPlacer
+from ..viz import scatter_svg
+from ..workloads import suite_entry, suite_names
+from .common import load_design, results_dir
+
+
+def run_fig3(
+    scale: float = 0.1,
+    suites: list[str] | None = None,
+    out_dir: str | None = None,
+) -> list[dict]:
+    """Run all suites; returns one record per suite."""
+    suites = suites or suite_names()
+    records: list[dict] = []
+    for suite in suites:
+        entry = suite_entry(suite)
+        design = load_design(suite, scale)
+        placer = ComPLxPlacer(
+            design.netlist, ComPLxConfig(gamma=entry.target_density)
+        )
+        result = placer.place()
+        records.append({
+            "suite": suite,
+            "num_nets": design.netlist.num_nets,
+            "num_cells": design.netlist.num_cells,
+            "final_lambda": result.final_lambda,
+            "iterations": result.iterations,
+            "runtime_seconds": result.runtime_seconds,
+            "stop_reason": result.history.stop_reason,
+        })
+
+    out = results_dir(out_dir)
+    with open(os.path.join(out, "fig3_scalability.csv"), "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=list(records[0].keys()))
+        writer.writeheader()
+        writer.writerows(records)
+    nets = np.array([r["num_nets"] for r in records], dtype=float)
+    scatter_svg(
+        nets,
+        {
+            "final lambda": np.array([r["final_lambda"] for r in records]),
+            "iterations": np.array([r["iterations"] for r in records], float),
+        },
+        os.path.join(out, "fig3_scalability.svg"),
+        title="Fig 3 (repro): final lambda and iterations vs #nets",
+        logx=True,
+    )
+    return records
+
+
+def growth_slope(records: list[dict], field: str) -> float:
+    """Log-log slope of a field against the number of nets.
+
+    Figure 3's claim is slope ~ 0 for final lambda and iterations; the
+    S3 runtime discussion predicts a slope near 1 (near-linear) for
+    runtime, vs FastPlace's reported 1.38.
+    """
+    x = np.log(np.array([r["num_nets"] for r in records], dtype=float))
+    y = np.log(np.maximum(
+        np.array([r[field] for r in records], dtype=float), 1e-12
+    ))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def main(scale: float = 0.1, out_dir: str | None = None) -> None:
+    """Run the experiment and print the paper-shape checks."""
+    records = run_fig3(scale=scale, out_dir=out_dir)
+    print(f"{'suite':14s} {'nets':>7s} {'final_lambda':>12s} "
+          f"{'iters':>6s} {'runtime_s':>10s}")
+    for r in records:
+        print(f"{r['suite']:14s} {r['num_nets']:7d} "
+              f"{r['final_lambda']:12.3f} {r['iterations']:6d} "
+              f"{r['runtime_seconds']:10.2f}")
+    for field, expect in (("final_lambda", "~0"), ("iterations", "~0"),
+                          ("runtime_seconds", "~1 (near-linear)")):
+        slope = growth_slope(records, field)
+        print(f"log-log slope of {field} vs #nets: {slope:+.2f} "
+              f"(paper shape: {expect})")

@@ -1,0 +1,74 @@
+"""Table 1 reproduction: ISPD-2005-style legal HPWL and runtime.
+
+The paper's Table 1 compares, over the eight ISPD 2005 benchmarks:
+
+* the best published placer per design (SimPL or RQL),
+* ComPLx with the finest grid during all iterations,
+* ComPLx with FastPlace-DP run after every projection,
+* ComPLx default configuration,
+
+reporting legal HPWL and total runtime (global + detailed placement).
+The expected *shape*: the default configuration matches or beats the
+baselines' HPWL geomean while being the fastest; the finest-grid variant
+costs extra runtime for ~1% HPWL; the DP-every-iteration variant costs a
+large runtime multiple for marginal HPWL movement.
+
+We additionally run the FastPlace-like baseline to reproduce the "10%
+faster than FastPlace" runtime comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..metrics import ComparisonTable
+from ..workloads import suite_names
+from .common import FlowResult, load_design, results_dir, run_flow
+
+#: The placers in Table 1, in column order.
+TABLE1_PLACERS = ["simpl", "rql", "fastplace",
+                  "complx_finest", "complx_dp", "complx"]
+
+
+def run_table1(
+    scale: float = 0.2,
+    suites: list[str] | None = None,
+    placers: list[str] | None = None,
+    out_dir: str | None = None,
+) -> tuple[ComparisonTable, ComparisonTable, list[FlowResult]]:
+    """Run the Table 1 matrix; returns (HPWL table, runtime table, raw)."""
+    suites = suites or suite_names("ispd2005")
+    placers = placers or TABLE1_PLACERS
+    hpwl_table = ComparisonTable(
+        "Table 1 (repro): legal HPWL, ISPD-2005-style suites",
+        reference_column="complx",
+    )
+    time_table = ComparisonTable(
+        "Table 1 (repro): total runtime (GP+DP) in seconds",
+        reference_column="complx",
+    )
+    raw: list[FlowResult] = []
+    for suite in suites:
+        design = load_design(suite, scale)
+        for placer in placers:
+            flow = run_flow(design.netlist, placer, gamma=1.0)
+            raw.append(flow)
+            hpwl_table.add(placer, suite, flow.legal_hpwl)
+            time_table.add(placer, suite, flow.total_seconds)
+
+    out = results_dir(out_dir)
+    hpwl_table.to_csv(os.path.join(out, "table1_hpwl.csv"))
+    time_table.to_csv(os.path.join(out, "table1_runtime.csv"))
+    return hpwl_table, time_table, raw
+
+
+def main(scale: float = 0.2, out_dir: str | None = None) -> None:
+    """Run the experiment and print the paper-shape checks."""
+    hpwl_table, time_table, _ = run_table1(scale=scale, out_dir=out_dir)
+    print(hpwl_table.render())
+    print(time_table.render())
+    print(
+        "Shape check: 'complx' should have the best (lowest) HPWL geomean\n"
+        "ratio and runtime; 'complx_dp' should be the slowest by a large\n"
+        "multiple; 'complx_finest' marginally different HPWL at extra time."
+    )

@@ -1,0 +1,18 @@
+"""Legalizers: macro cleanup plus Tetris and Abacus standard-cell
+legalization."""
+
+from .abacus import abacus_legalize
+from .macros import legalize_macros, macro_obstacles
+from .rows import FreeSegment, RowMap, snap_placement_to_sites, snap_row_to_sites
+from .tetris import tetris_legalize
+
+__all__ = [
+    "FreeSegment",
+    "RowMap",
+    "abacus_legalize",
+    "legalize_macros",
+    "macro_obstacles",
+    "snap_placement_to_sites",
+    "snap_row_to_sites",
+    "tetris_legalize",
+]

@@ -1,0 +1,157 @@
+"""Abacus row-based legalization [Spindler et al., DATE 2008].
+
+Cells are processed in x order; each is trial-inserted into candidate
+rows.  Within a row (more precisely, within each obstacle-free segment)
+cells form *clusters* placed at their weighted-optimal position; adding a
+cell that would overlap its predecessor merges clusters, which keeps
+every cell at the least-squares-optimal legal position given the cell
+order.  Displacement is typically much lower than Tetris.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from .macros import legalize_macros, macro_obstacles
+from .rows import RowMap, snap_placement_to_sites
+
+
+@dataclass
+class _Cluster:
+    """A maximal group of abutting cells within one segment."""
+
+    x: float = 0.0        # left edge of the cluster
+    e: float = 0.0        # total weight
+    q: float = 0.0        # weighted sum of (desired left edge - offset)
+    w: float = 0.0        # total width
+    cells: list[int] = field(default_factory=list)
+    offsets: list[float] = field(default_factory=list)
+
+    def add_cell(self, cell: int, desired: float, weight: float, width: float) -> None:
+        self.offsets.append(self.w)
+        self.cells.append(cell)
+        self.e += weight
+        self.q += weight * (desired - self.w)
+        self.w += width
+
+    def merge(self, other: "_Cluster") -> None:
+        shift = self.w
+        for off in other.offsets:
+            self.offsets.append(off + shift)
+        self.cells.extend(other.cells)
+        self.e += other.e
+        # q accumulates e_i * (desired_i - offset_i); the merged cells'
+        # offsets grow by `shift`, so their q contribution shrinks.
+        self.q += other.q - other.e * shift
+        self.w += other.w
+
+    def optimal_x(self, lo: float, hi: float) -> float:
+        x = self.q / self.e if self.e > 0 else lo
+        return min(max(x, lo), max(hi - self.w, lo))
+
+
+def _insert(
+    clusters: list[_Cluster],
+    cell: int,
+    desired: float,
+    weight: float,
+    width: float,
+    lo: float,
+    hi: float,
+) -> tuple[list[_Cluster], float] | None:
+    """Trial-insert a cell; returns (new clusters, final left edge) or
+    None when the segment cannot hold it."""
+    used = sum(c.w for c in clusters)
+    if used + width > hi - lo + 1e-9:
+        return None
+    out = [
+        _Cluster(c.x, c.e, c.q, c.w, list(c.cells), list(c.offsets))
+        for c in clusters
+    ]
+    new = _Cluster()
+    new.add_cell(cell, desired, weight, width)
+    new.x = new.optimal_x(lo, hi)
+    out.append(new)
+    # Collapse: merge with predecessor while overlapping.
+    while len(out) >= 2 and out[-2].x + out[-2].w > out[-1].x + 1e-12:
+        prev = out[-2]
+        prev.merge(out[-1])
+        out.pop()
+        prev.x = prev.optimal_x(lo, hi)
+    tail = out[-1]
+    # Left edge of the inserted cell after collapsing.
+    final = tail.x + tail.offsets[tail.cells.index(cell)]
+    return out, final
+
+
+def abacus_legalize(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int = 4,
+    snap_sites: bool = True,
+) -> Placement:
+    """Legalize movable cells: macros greedily, standard cells by Abacus.
+
+    ``snap_sites`` aligns final x positions to the site grid.
+    """
+    out = legalize_macros(netlist, placement)
+    rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
+                    site_align=snap_sites)
+
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return out
+    order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
+                           kind="stable")]
+
+    # clusters[row][segment] -> list of clusters
+    clusters: list[list[list[_Cluster]]] = [
+        [[] for _ in segs] for segs in rowmap.segments
+    ]
+    assignment: dict[int, tuple[int, int]] = {}
+
+    for cell in order:
+        w = netlist.widths[cell]
+        desired = out.x[cell] - 0.5 * w
+        want_row = rowmap.row_index(out.y[cell])
+        best = None  # (cost, row, seg, new clusters, x)
+        window = row_window
+        while best is None and window <= 4 * rowmap.num_rows:
+            lo_row = max(want_row - window, 0)
+            hi_row = min(want_row + window, rowmap.num_rows - 1)
+            for row in range(lo_row, hi_row + 1):
+                dy = abs(rowmap.row_center_y(row) - out.y[cell])
+                if best is not None and dy >= best[0]:
+                    continue
+                for s, seg in enumerate(rowmap.segments[row]):
+                    trial = _insert(
+                        clusters[row][s], int(cell), desired, 1.0, w,
+                        seg.lo, seg.hi,
+                    )
+                    if trial is None:
+                        continue
+                    new_clusters, x = trial
+                    cost = abs(x - desired) + dy
+                    if best is None or cost < best[0]:
+                        best = (cost, row, s, new_clusters, x)
+            window *= 2
+        if best is None:
+            continue
+        _, row, s, new_clusters, _ = best
+        clusters[row][s] = new_clusters
+        assignment[int(cell)] = (row, s)
+
+    # Read final positions out of the cluster structures.
+    for row, row_clusters in enumerate(clusters):
+        y = rowmap.row_center_y(row)
+        for seg_clusters in row_clusters:
+            for cluster in seg_clusters:
+                for cell, off in zip(cluster.cells, cluster.offsets):
+                    out.x[cell] = cluster.x + off + 0.5 * netlist.widths[cell]
+                    out.y[cell] = y
+    if snap_sites:
+        out = snap_placement_to_sites(netlist, out, rowmap)
+    return out

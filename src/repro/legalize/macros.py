@@ -1,0 +1,97 @@
+"""Legalization of movable macros.
+
+Global placement (with macro shredding in ``P_C``) leaves movable macros
+near-legal but possibly overlapping slightly (paper Section 5 explicitly
+tolerates this and leaves the cleanup to the detailed placer).  This
+module removes residual macro overlaps with a greedy shifting pass, then
+snaps macros to row boundaries.  Legalized macros become obstacles for
+standard-cell legalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+
+
+def legalize_macros(netlist: Netlist, placement: Placement) -> Placement:
+    """Snap movable macros to rows and nudge apart overlapping pairs.
+
+    Macros are processed in decreasing area order; each is placed at the
+    nearest overlap-free location found on an expanding spiral of
+    candidate offsets (coarse, row-quantized).  With the small residual
+    overlaps global placement leaves, the nearest candidate almost always
+    works immediately.
+    """
+    out = placement.copy()
+    macros = np.flatnonzero(netlist.movable_macros)
+    if macros.size == 0:
+        return out
+    order = macros[np.argsort(-netlist.areas[macros], kind="stable")]
+    bounds = netlist.core.bounds
+    row_h = netlist.core.row_height
+
+    placed: list[tuple[float, float, float, float]] = []
+    fixed = ~netlist.movable & (netlist.areas > 0)
+    for i in np.flatnonzero(fixed):
+        placed.append(_rect_of(netlist, i, netlist.fixed_x[i], netlist.fixed_y[i]))
+
+    for m in order:
+        w, h = netlist.widths[m], netlist.heights[m]
+        # Snap bottom edge to a row boundary.
+        def snap(x: float, y: float) -> tuple[float, float]:
+            y_bot = y - 0.5 * h
+            y_bot = bounds.ylo + round((y_bot - bounds.ylo) / row_h) * row_h
+            y = min(max(y_bot + 0.5 * h, bounds.ylo + 0.5 * h), bounds.yhi - 0.5 * h)
+            x = min(max(x, bounds.xlo + 0.5 * w), bounds.xhi - 0.5 * w)
+            return x, y
+
+        cx, cy = snap(out.x[m], out.y[m])
+        best = None
+        # Expanding search over row-quantized candidate displacements.
+        for radius in range(0, 41):
+            step = radius * row_h
+            candidates = (
+                [(0.0, 0.0)] if radius == 0 else
+                [(step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step),
+                 (step, step), (step, -step), (-step, step), (-step, -step)]
+            )
+            for dx, dy in candidates:
+                x, y = snap(cx + dx, cy + dy)
+                rect = _rect_of(netlist, m, x, y)
+                if not _overlaps_any(rect, placed):
+                    best = (x, y)
+                    break
+            if best is not None:
+                break
+        if best is None:
+            best = (cx, cy)  # give up; detailed placement may still fix it
+        out.x[m], out.y[m] = best
+        placed.append(_rect_of(netlist, m, best[0], best[1]))
+    return out
+
+
+def macro_obstacles(netlist: Netlist, placement: Placement) -> list[tuple[float, float, float, float]]:
+    """Rectangles of movable macros at their (legalized) positions."""
+    out = []
+    for m in np.flatnonzero(netlist.movable_macros):
+        out.append(_rect_of(netlist, m, placement.x[m], placement.y[m]))
+    return out
+
+
+def _rect_of(netlist: Netlist, i: int, x: float, y: float) -> tuple[float, float, float, float]:
+    return (
+        x - 0.5 * netlist.widths[i], y - 0.5 * netlist.heights[i],
+        x + 0.5 * netlist.widths[i], y + 0.5 * netlist.heights[i],
+    )
+
+
+def _overlaps_any(rect: tuple[float, float, float, float],
+                  placed: list[tuple[float, float, float, float]]) -> bool:
+    xlo, ylo, xhi, yhi = rect
+    for (axlo, aylo, axhi, ayhi) in placed:
+        if xlo < axhi - 1e-9 and axlo < xhi - 1e-9 \
+                and ylo < ayhi - 1e-9 and aylo < yhi - 1e-9:
+            return True
+    return False

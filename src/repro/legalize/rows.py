@@ -1,0 +1,188 @@
+"""Row occupancy bookkeeping shared by the legalizers.
+
+A :class:`RowMap` slices the core into rows and tracks, per row, the free
+segments left after fixed obstacles (terminals with area, fixed macros,
+and — once legalized — movable macros) are carved out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Netlist
+
+
+@dataclass
+class FreeSegment:
+    """A maximal free interval ``[lo, hi]`` within one row."""
+
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+class RowMap:
+    """Free-space map of all rows of a netlist's core."""
+
+    def __init__(self, netlist: Netlist,
+                 extra_obstacles: list[tuple[float, float, float, float]] | None = None,
+                 site_align: bool = False):
+        """``extra_obstacles``: additional (xlo, ylo, xhi, yhi) rectangles
+        (e.g. legalized movable macros) carved out of the rows.
+
+        ``site_align`` shrinks every free segment inward to the site
+        grid, so packing decisions made against segment widths remain
+        valid after site snapping (obstacles need not end on a site
+        boundary, which otherwise makes the aligned capacity smaller
+        than the continuous width).
+        """
+        self.netlist = netlist
+        core = netlist.core
+        self.row_height = core.row_height
+        self.bounds = core.bounds
+        self.num_rows = len(core.rows)
+        self.row_y = np.array([r.y for r in core.rows])
+
+        obstacles: list[tuple[float, float, float, float]] = []
+        fixed = ~netlist.movable & (netlist.areas > 0)
+        for i in np.flatnonzero(fixed):
+            obstacles.append((
+                netlist.fixed_x[i] - 0.5 * netlist.widths[i],
+                netlist.fixed_y[i] - 0.5 * netlist.heights[i],
+                netlist.fixed_x[i] + 0.5 * netlist.widths[i],
+                netlist.fixed_y[i] + 0.5 * netlist.heights[i],
+            ))
+        obstacles.extend(extra_obstacles or [])
+
+        self.segments: list[list[FreeSegment]] = []
+        for r, row in enumerate(core.rows):
+            blocked: list[tuple[float, float]] = []
+            y_lo, y_hi = row.y, row.y + row.height
+            for (oxlo, oylo, oxhi, oyhi) in obstacles:
+                if oylo < y_hi - 1e-9 and oyhi > y_lo + 1e-9:
+                    blocked.append((max(oxlo, row.x), min(oxhi, row.x_end)))
+            segments = _subtract_intervals(row.x, row.x_end, blocked)
+            if site_align and row.site_width > 0:
+                aligned = []
+                sw = row.site_width
+                for seg in segments:
+                    lo = row.x + np.ceil((seg.lo - row.x) / sw - 1e-9) * sw
+                    hi = row.x + np.floor((seg.hi - row.x) / sw + 1e-9) * sw
+                    if hi - lo > 1e-9:
+                        aligned.append(FreeSegment(lo, hi))
+                segments = aligned
+            self.segments.append(segments)
+
+    def row_index(self, y_center: float) -> int:
+        idx = int(np.floor((y_center - 0.5 * self.row_height - self.bounds.ylo)
+                           / self.row_height + 0.5))
+        return min(max(idx, 0), self.num_rows - 1)
+
+    def row_center_y(self, row: int) -> float:
+        return float(self.row_y[row] + 0.5 * self.row_height)
+
+
+def snap_row_to_sites(
+    left_edges: list[float],
+    widths: list[float],
+    segment_lo: float,
+    segment_hi: float,
+    origin: float,
+    site_width: float,
+) -> list[float]:
+    """Snap a row segment's cells (given in x order) onto the site grid.
+
+    Greedy left-to-right: each cell takes the site-aligned position
+    nearest its current left edge that does not overlap its predecessor
+    or leave the segment; if the tail would spill past the segment end a
+    right-to-left pass pulls cells back.  Returns new left edges.
+    """
+    if site_width <= 0:
+        return list(left_edges)
+
+    def align_up(x: float) -> float:
+        k = np.ceil((x - origin) / site_width - 1e-9)
+        return origin + k * site_width
+
+    def align_down(x: float) -> float:
+        k = np.floor((x - origin) / site_width + 1e-9)
+        return origin + k * site_width
+
+    n = len(left_edges)
+    out = list(left_edges)
+    cursor = segment_lo
+    for i in range(n):
+        desired = align_down(max(out[i], cursor))
+        if desired < cursor - 1e-9 or desired < segment_lo - 1e-9:
+            desired = align_up(max(cursor, segment_lo))
+        out[i] = desired
+        cursor = desired + widths[i]
+    # Fix any spill past the segment end by packing right-to-left.  The
+    # repair may land off-site when the segment is pathologically tight,
+    # but never crosses the segment start (legality over alignment).
+    limit = segment_hi
+    for i in range(n - 1, -1, -1):
+        if out[i] + widths[i] > limit + 1e-9:
+            out[i] = max(align_down(limit - widths[i]), segment_lo)
+            if out[i] + widths[i] > limit + 1e-9:
+                out[i] = max(limit - widths[i], segment_lo)
+        limit = out[i]
+    return out
+
+
+def snap_placement_to_sites(netlist: Netlist, placement, rowmap: "RowMap"):
+    """Snap all movable standard cells of a legal placement onto sites.
+
+    Cells are grouped per (row, segment) in x order and each group is
+    site-aligned with :func:`snap_row_to_sites`.  Returns a new
+    placement; macros and fixed cells are untouched.
+    """
+    out = placement.copy()
+    core = netlist.core
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return out
+    by_slot: dict[tuple[int, int], list[int]] = {}
+    for cell in std:
+        row = rowmap.row_index(out.y[cell])
+        segs = rowmap.segments[row]
+        if not segs:
+            continue
+        gaps = [max(s.lo - out.x[cell], out.x[cell] - s.hi, 0.0) for s in segs]
+        seg = int(np.argmin(gaps))
+        by_slot.setdefault((row, seg), []).append(int(cell))
+    for (row, seg), cells in by_slot.items():
+        cells.sort(key=lambda c: out.x[c])
+        segment = rowmap.segments[row][seg]
+        widths = [float(netlist.widths[c]) for c in cells]
+        lefts = [out.x[c] - 0.5 * netlist.widths[c] for c in cells]
+        snapped = snap_row_to_sites(
+            lefts, widths, segment.lo, segment.hi,
+            origin=core.rows[row].x, site_width=core.site_width,
+        )
+        for cell, left, width in zip(cells, snapped, widths):
+            out.x[cell] = left + 0.5 * width
+    return out
+
+
+def _subtract_intervals(
+    lo: float, hi: float, blocked: list[tuple[float, float]]
+) -> list[FreeSegment]:
+    """Free segments of ``[lo, hi]`` after removing blocked intervals."""
+    if hi <= lo:
+        return []
+    events = sorted((max(b0, lo), min(b1, hi)) for b0, b1 in blocked if b1 > lo and b0 < hi)
+    segments: list[FreeSegment] = []
+    cursor = lo
+    for b0, b1 in events:
+        if b0 > cursor + 1e-12:
+            segments.append(FreeSegment(cursor, b0))
+        cursor = max(cursor, b1)
+    if cursor < hi - 1e-12:
+        segments.append(FreeSegment(cursor, hi))
+    return segments

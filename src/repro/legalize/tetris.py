@@ -1,0 +1,76 @@
+"""Tetris-style greedy legalization.
+
+The classic Hill-style legalizer: process standard cells left-to-right;
+each cell takes the lowest-cost legal slot among nearby rows, where each
+row advances a "frontier" past the cells already placed in it.  Fast and
+robust; Abacus (see :mod:`.abacus`) usually yields lower displacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from .macros import legalize_macros, macro_obstacles
+from .rows import RowMap, snap_placement_to_sites
+
+
+def tetris_legalize(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int = 6,
+    snap_sites: bool = True,
+) -> Placement:
+    """Legalize all movable cells (macros first, then standard cells).
+
+    ``row_window`` bounds how many rows above/below a cell's position are
+    tried before the search widens (it expands automatically when no slot
+    fits).  ``snap_sites`` aligns final x positions to the site grid.
+    """
+    out = legalize_macros(netlist, placement)
+    rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
+                    site_align=snap_sites)
+
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return out
+    order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
+                           kind="stable")]
+
+    # Per-row, per-segment frontier: next free x in each segment.
+    frontiers: list[list[float]] = [
+        [seg.lo for seg in segs] for segs in rowmap.segments
+    ]
+
+    for cell in order:
+        w = netlist.widths[cell]
+        want_x = out.x[cell] - 0.5 * w
+        want_row = rowmap.row_index(out.y[cell])
+        best = None  # (cost, row, seg index, x position)
+        window = row_window
+        while best is None and window <= 4 * rowmap.num_rows:
+            lo_row = max(want_row - window, 0)
+            hi_row = min(want_row + window, rowmap.num_rows - 1)
+            for row in range(lo_row, hi_row + 1):
+                dy = abs(rowmap.row_center_y(row) - out.y[cell])
+                if best is not None and dy >= best[0]:
+                    continue
+                for s, seg in enumerate(rowmap.segments[row]):
+                    x = max(frontiers[row][s], min(want_x, seg.hi - w))
+                    if x + w > seg.hi + 1e-9 or x < seg.lo - 1e-9:
+                        continue
+                    cost = abs(x - want_x) + dy
+                    if best is None or cost < best[0]:
+                        best = (cost, row, s, x)
+            window *= 2
+        if best is None:
+            # Pathologically full layout: leave the cell; the caller can
+            # check legality and react.
+            continue
+        _, row, s, x = best
+        frontiers[row][s] = x + w
+        out.x[cell] = x + 0.5 * w
+        out.y[cell] = rowmap.row_center_y(row)
+    if snap_sites:
+        out = snap_placement_to_sites(netlist, out, rowmap)
+    return out

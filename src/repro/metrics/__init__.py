@@ -1,0 +1,12 @@
+"""Metrics and reporting: contest metric, geomeans, paper-style tables."""
+
+from .report import ComparisonTable, geomean, ratio_geomean
+from .scaled import ScaledHPWL, scaled_hpwl
+
+__all__ = [
+    "ComparisonTable",
+    "ScaledHPWL",
+    "geomean",
+    "ratio_geomean",
+    "scaled_hpwl",
+]

@@ -1,0 +1,122 @@
+"""Table formatting and aggregate statistics for experiment reports.
+
+The paper's tables report per-benchmark values plus geometric-mean
+ratios against a reference column; :class:`ComparisonTable` reproduces
+that layout as monospace text (and CSV for machine consumption).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def geomean(values) -> float:
+    """Geometric mean; ignores non-positive entries defensively."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.log(arr).mean()))
+
+
+def ratio_geomean(values, reference) -> float:
+    """Geometric mean of pairwise ratios value/reference."""
+    pairs = [
+        (v, r) for v, r in zip(values, reference) if v > 0 and r > 0
+    ]
+    if not pairs:
+        return 0.0
+    return geomean(v / r for v, r in pairs)
+
+
+@dataclass
+class ComparisonTable:
+    """A paper-style table: one row per benchmark, one column group per
+    placer/configuration, with a geomean footer row.
+
+    ``columns`` maps column name -> {row name -> value}.  Values may be
+    floats or (value, annotation) pairs (Table 2 puts overflow penalties
+    in parentheses).
+    """
+
+    title: str
+    row_names: list[str] = field(default_factory=list)
+    columns: dict[str, dict[str, object]] = field(default_factory=dict)
+    reference_column: str | None = None
+
+    def add(self, column: str, row: str, value: float,
+            annotation: float | None = None) -> None:
+        if row not in self.row_names:
+            self.row_names.append(row)
+        cell = value if annotation is None else (value, annotation)
+        self.columns.setdefault(column, {})[row] = cell
+
+    def _value(self, cell) -> float:
+        return cell[0] if isinstance(cell, tuple) else cell
+
+    def _annotation(self, cell) -> float | None:
+        return cell[1] if isinstance(cell, tuple) else None
+
+    def column_geomean_ratio(self, column: str) -> float:
+        """Geomean of column/reference over rows present in both."""
+        ref_name = self.reference_column or column
+        ref = self.columns.get(ref_name, {})
+        col = self.columns.get(column, {})
+        rows = [r for r in self.row_names if r in ref and r in col]
+        return ratio_geomean(
+            (self._value(col[r]) for r in rows),
+            (self._value(ref[r]) for r in rows),
+        )
+
+    def render(self, value_format: str = "{:.2f}") -> str:
+        """Monospace rendering with a geomean footer."""
+        names = list(self.columns.keys())
+        width_row = max([len(r) for r in self.row_names] + [len("geomean")]) + 2
+        col_width = max([len(n) for n in names] + [14]) + 2
+
+        def fmt_cell(cell) -> str:
+            if cell is None:
+                return "-"
+            value = value_format.format(self._value(cell))
+            ann = self._annotation(cell)
+            if ann is not None:
+                value += f" ({ann:.2f})"
+            return value
+
+        out = io.StringIO()
+        out.write(self.title + "\n")
+        out.write("".ljust(width_row))
+        for n in names:
+            out.write(n.rjust(col_width))
+        out.write("\n")
+        for r in self.row_names:
+            out.write(r.ljust(width_row))
+            for n in names:
+                out.write(fmt_cell(self.columns[n].get(r)).rjust(col_width))
+            out.write("\n")
+        out.write("geomean".ljust(width_row))
+        for n in names:
+            ratio = self.column_geomean_ratio(n)
+            out.write(f"{ratio:.3f}x".rjust(col_width))
+        out.write("\n")
+        return out.getvalue()
+
+    def to_csv(self, path: str) -> None:
+        names = list(self.columns.keys())
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["benchmark"] + names)
+            for r in self.row_names:
+                row = [r]
+                for n in names:
+                    cell = self.columns[n].get(r)
+                    row.append("" if cell is None else self._value(cell))
+                writer.writerow(row)
+            writer.writerow(
+                ["geomean_ratio"]
+                + [self.column_geomean_ratio(n) for n in names]
+            )

@@ -1,0 +1,40 @@
+"""Interconnect models: exact HPWL and its smooth/quadratic approximations."""
+
+from .hpwl import (
+    hpwl,
+    hpwl_by_axis,
+    net_bounding_boxes,
+    per_net_hpwl,
+    pin_positions,
+    weighted_hpwl,
+)
+from .logsumexp import SmoothWirelengthResult, default_gamma, lse_wirelength
+from .quadratic import (
+    QuadraticSystem,
+    assemble_system,
+    b2b_edges,
+    build_system,
+    clique_edges,
+    star_edges,
+)
+from .regularization import beta_regularized_wirelength, pnorm_wirelength
+
+__all__ = [
+    "QuadraticSystem",
+    "SmoothWirelengthResult",
+    "assemble_system",
+    "b2b_edges",
+    "beta_regularized_wirelength",
+    "build_system",
+    "clique_edges",
+    "default_gamma",
+    "hpwl",
+    "hpwl_by_axis",
+    "lse_wirelength",
+    "net_bounding_boxes",
+    "per_net_hpwl",
+    "pin_positions",
+    "pnorm_wirelength",
+    "star_edges",
+    "weighted_hpwl",
+]

@@ -1,0 +1,325 @@
+"""Quadratic interconnect models and sparse system assembly.
+
+Quadratic placers approximate HPWL with Formula (2) of the paper,
+
+    Phi_Q(x, y) = x^T Qx x + fx x + y^T Qy y + fy y,
+
+one independent system per axis.  This module decomposes hypernets into
+two-pin edges using one of three net models and assembles the (strictly
+convex, SPD) reduced system over movable cells:
+
+* ``b2b``    — Bound2Bound [Spindler et al., Kraftwerk2]: every pin
+  connects to the two boundary pins of its net with weight
+  ``w_e / ((d-1) |x_p - x_b|)``; the quadratic cost equals the net's
+  HPWL at the linearization point.  This is the model SimPL / ComPLx use,
+  and it embeds the Sigl-style linearization (division by the last
+  iterate's distance).
+* ``clique`` — all pin pairs with weight ``w_e / (d-1)``.
+* ``star``   — equivalent to a clique scaled by ``1/d`` (the auxiliary
+  star node is eliminated analytically).
+* ``hybrid`` — clique for small nets, B2B for larger ones.
+
+The assembled system is stored with the convention ``grad = 2 (Q x - b)``
+so the unconstrained optimum solves ``Q x = b``.  Fixed-cell terms and pin
+offsets fold into ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..netlist import Netlist, Placement
+
+#: Edge lists as produced by the net-model decompositions: pin indices a, b
+#: plus the (already distance-linearized) edge weight.
+EdgeList = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass
+class QuadraticSystem:
+    """Reduced quadratic system over movable cells, one axis.
+
+    Minimizing ``x^T Q x - 2 b^T x + const`` over the movable slots is
+    equivalent to solving ``Q x = b``.  ``slot_of_cell[i]`` maps a cell
+    index to its row (``-1`` for fixed cells), ``cell_of_slot`` inverts it.
+    """
+
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    slot_of_cell: np.ndarray
+    cell_of_slot: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.rhs.shape[0])
+
+    def cost(self, x_movable: np.ndarray) -> float:
+        """Quadratic objective value (up to the dropped constant)."""
+        return float(x_movable @ (self.matrix @ x_movable) - 2.0 * self.rhs @ x_movable)
+
+    def residual_norm(self, x_movable: np.ndarray) -> float:
+        return float(np.linalg.norm(self.matrix @ x_movable - self.rhs))
+
+    def add_anchor(self, cell: int, weight: float, target: float) -> None:
+        """Add a pseudonet term ``weight * (x_cell - target)^2`` in place.
+
+        This realizes the linearized L1 penalty of Formula (10): the caller
+        supplies ``weight = lambda / (|x - x_anchor| + eps)``.
+        """
+        slot = int(self.slot_of_cell[cell])
+        if slot < 0:
+            raise ValueError(f"cell {cell} is fixed; anchors apply to movables")
+        self.matrix[slot, slot] += weight
+        self.rhs[slot] += weight * target
+
+    def add_anchors(self, weights: np.ndarray, targets: np.ndarray) -> None:
+        """Vectorized anchors for *all movable slots* at once.
+
+        ``weights``/``targets`` are indexed by slot.  Anchoring every
+        movable cell keeps the system strictly positive definite even for
+        netlists with few fixed pins.
+        """
+        if weights.shape != (self.size,) or targets.shape != (self.size,):
+            raise ValueError("weights/targets must have one entry per slot")
+        if np.any(weights < 0):
+            raise ValueError("anchor weights must be non-negative")
+        diag = sp.diags(weights, format="csr")
+        self.matrix = (self.matrix + diag).tocsr()
+        self.rhs = self.rhs + weights * targets
+
+
+# ---------------------------------------------------------------------------
+# net-model edge decompositions (pin-level)
+# ---------------------------------------------------------------------------
+
+def clique_edges(netlist: Netlist, scale_by_degree: bool = False) -> EdgeList:
+    """Clique decomposition: all pin pairs, weight ``w_e/(d-1)``.
+
+    With ``scale_by_degree`` the weights become ``w_e/(d(d-1))`` which is
+    the analytic elimination of the star model's auxiliary node.
+    """
+    a_parts: list[np.ndarray] = []
+    b_parts: list[np.ndarray] = []
+    w_parts: list[np.ndarray] = []
+    degrees = netlist.net_degrees
+    for e in range(netlist.num_nets):
+        d = int(degrees[e])
+        if d < 2:
+            continue
+        pins = np.arange(netlist.net_start[e], netlist.net_start[e + 1])
+        ii, jj = np.triu_indices(d, k=1)
+        weight = netlist.net_weights[e] / (d - 1)
+        if scale_by_degree:
+            weight /= d
+        a_parts.append(pins[ii])
+        b_parts.append(pins[jj])
+        w_parts.append(np.full(ii.shape[0], weight))
+    if not a_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), np.zeros(0)
+    return (
+        np.concatenate(a_parts),
+        np.concatenate(b_parts),
+        np.concatenate(w_parts),
+    )
+
+
+def star_edges(netlist: Netlist) -> EdgeList:
+    """Star decomposition with the star node eliminated analytically."""
+    return clique_edges(netlist, scale_by_degree=True)
+
+
+def b2b_edges(
+    netlist: Netlist,
+    placement: Placement,
+    axis: str,
+    eps: float,
+) -> EdgeList:
+    """Bound2Bound decomposition along one axis at the current iterate.
+
+    For each net, pins are sorted by coordinate; the extreme pins are the
+    *boundary* pins.  Every pin connects to the boundary pin(s) it is not
+    itself, with weight ``2 w_e / ((d-1) (|c_p - c_b| + eps))``, yielding
+    ``2d - 3`` edges per net.  At the linearization point the quadratic
+    cost of these edges telescopes to the net's HPWL along the axis.
+    """
+    if axis not in ("x", "y"):
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if axis == "x":
+        coords = placement.x[netlist.pin_cell] + netlist.pin_dx
+    else:
+        coords = placement.y[netlist.pin_cell] + netlist.pin_dy
+
+    degrees = netlist.net_degrees
+    net_of_pin = netlist.pin_net_ids()
+    # Sort pins of each net by coordinate; CSR order keeps nets contiguous.
+    order = np.lexsort((coords, net_of_pin))
+    starts = netlist.net_start[:-1]
+    ends = netlist.net_start[1:] - 1
+
+    valid = degrees >= 2
+    if not valid.any():
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), np.zeros(0)
+
+    min_pin_of_net = order[np.minimum(starts, len(order) - 1)]
+    max_pin_of_net = order[np.maximum(ends, 0)]
+    min_of_pin = np.repeat(min_pin_of_net, degrees)
+    max_of_pin = np.repeat(max_pin_of_net, degrees)
+    # Weight 1/(d-1) per unit distance: summing the 2d-3 boundary edges
+    # telescopes to exactly (d-1) * span, so the quadratic cost equals
+    # the net's HPWL along this axis at the linearization point.
+    weight_of_pin = np.repeat(
+        np.where(valid, netlist.net_weights / np.maximum(degrees - 1, 1), 0.0),
+        degrees,
+    )
+    pin_ids = np.arange(netlist.num_pins)
+    valid_pin = np.repeat(valid, degrees)
+
+    # Edge set 1: every pin except the min connects to the min boundary pin
+    # (this includes the max pin, giving the boundary-boundary edge).
+    m1 = valid_pin & (pin_ids != min_of_pin)
+    a1, b1 = pin_ids[m1], min_of_pin[m1]
+    w1 = weight_of_pin[m1] / (np.abs(coords[a1] - coords[b1]) + eps)
+
+    # Edge set 2: every interior pin connects to the max boundary pin.
+    m2 = valid_pin & (pin_ids != min_of_pin) & (pin_ids != max_of_pin)
+    a2, b2 = pin_ids[m2], max_of_pin[m2]
+    w2 = weight_of_pin[m2] / (np.abs(coords[a2] - coords[b2]) + eps)
+
+    return (
+        np.concatenate([a1, a2]),
+        np.concatenate([b1, b2]),
+        np.concatenate([w1, w2]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# system assembly
+# ---------------------------------------------------------------------------
+
+def assemble_system(
+    netlist: Netlist,
+    edges: EdgeList,
+    axis: str,
+    placement: Placement,
+) -> QuadraticSystem:
+    """Assemble the reduced SPD system from pin-level edges.
+
+    Each edge contributes ``w (p_a - p_b)^2`` with ``p = x_cell + offset``.
+    Movable-movable edges populate the matrix; edges to fixed cells fold
+    into the diagonal and right-hand side; pin offsets shift the rhs.
+    """
+    if axis == "x":
+        offsets = netlist.pin_dx
+        fixed_pos = placement.x
+    elif axis == "y":
+        offsets = netlist.pin_dy
+        fixed_pos = placement.y
+    else:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+    slot_of_cell = np.full(netlist.num_cells, -1, dtype=np.int64)
+    cell_of_slot = np.flatnonzero(netlist.movable)
+    slot_of_cell[cell_of_slot] = np.arange(cell_of_slot.shape[0])
+    n = cell_of_slot.shape[0]
+
+    pin_a, pin_b, w = edges
+    cell_a = netlist.pin_cell[pin_a]
+    cell_b = netlist.pin_cell[pin_b]
+    # Drop self-edges (two pins of the same cell contribute a constant).
+    keep = cell_a != cell_b
+    cell_a, cell_b, w = cell_a[keep], cell_b[keep], w[keep]
+    off_a, off_b = offsets[pin_a[keep]], offsets[pin_b[keep]]
+    mov_a = netlist.movable[cell_a]
+    mov_b = netlist.movable[cell_b]
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    rhs = np.zeros(n)
+
+    # movable-movable: w (xa + da - xb - db)^2
+    mm = mov_a & mov_b
+    if mm.any():
+        sa = slot_of_cell[cell_a[mm]]
+        sb = slot_of_cell[cell_b[mm]]
+        wm = w[mm]
+        delta = off_a[mm] - off_b[mm]
+        rows += [sa, sb, sa, sb]
+        cols += [sa, sb, sb, sa]
+        vals += [wm, wm, -wm, -wm]
+        np.add.at(rhs, sa, -wm * delta)
+        np.add.at(rhs, sb, wm * delta)
+
+    # movable-fixed: w (xa + da - c)^2 with c the fixed pin position
+    for m_mask, m_cell, m_off, f_cell, f_off in (
+        (mov_a & ~mov_b, cell_a, off_a, cell_b, off_b),
+        (~mov_a & mov_b, cell_b, off_b, cell_a, off_a),
+    ):
+        if not m_mask.any():
+            continue
+        s = slot_of_cell[m_cell[m_mask]]
+        wf = w[m_mask]
+        c = fixed_pos[f_cell[m_mask]] + f_off[m_mask]
+        rows.append(s)
+        cols.append(s)
+        vals.append(wf)
+        np.add.at(rhs, s, wf * (c - m_off[m_mask]))
+
+    if rows:
+        matrix = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        ).tocsr()
+    else:
+        matrix = sp.csr_matrix((n, n))
+    return QuadraticSystem(matrix, rhs, slot_of_cell, cell_of_slot)
+
+
+def build_system(
+    netlist: Netlist,
+    placement: Placement,
+    axis: str,
+    model: str = "b2b",
+    eps: float = 1.0,
+    hybrid_threshold: int = 3,
+) -> QuadraticSystem:
+    """Build the quadratic system for one axis with the chosen net model."""
+    if model == "b2b":
+        edges = b2b_edges(netlist, placement, axis, eps)
+    elif model == "clique":
+        edges = clique_edges(netlist)
+    elif model == "star":
+        edges = star_edges(netlist)
+    elif model == "hybrid":
+        edges = _hybrid_edges(netlist, placement, axis, eps, hybrid_threshold)
+    else:
+        raise ValueError(f"unknown net model {model!r}")
+    return assemble_system(netlist, edges, axis, placement)
+
+
+def _hybrid_edges(
+    netlist: Netlist,
+    placement: Placement,
+    axis: str,
+    eps: float,
+    threshold: int,
+) -> EdgeList:
+    """Clique for nets up to ``threshold`` pins, B2B above."""
+    a_b2b, b_b2b, w_b2b = b2b_edges(netlist, placement, axis, eps)
+    a_clq, b_clq, w_clq = clique_edges(netlist)
+    net_of_pin = netlist.pin_net_ids()
+    degrees = netlist.net_degrees
+    small_b2b = degrees[net_of_pin[a_b2b]] <= threshold
+    small_clq = degrees[net_of_pin[a_clq]] <= threshold
+    return (
+        np.concatenate([a_b2b[~small_b2b], a_clq[small_clq]]),
+        np.concatenate([b_b2b[~small_b2b], b_clq[small_clq]]),
+        np.concatenate([w_b2b[~small_b2b], w_clq[small_clq]]),
+    )

@@ -1,0 +1,111 @@
+"""Alternative smooth HPWL approximations from paper Section S1.
+
+* **beta-regularization** [Alpert et al. 1998]:
+  ``sqrt((x_i - x_j)^2 + beta) -> |x_i - x_j|`` as ``beta -> 0``;
+  applied to a two-pin (clique-decomposed) view of each net.
+* **p,beta-regularization** [Kennings & Markov 2002]:
+  ``(sum_{i,j in e} |x_i - x_j|^p + beta)^(1/p) -> max spread`` as
+  ``p -> inf``; a per-net smooth max.
+
+Both return value + gradient in the same shape as
+:func:`repro.models.logsumexp.lse_wirelength`, so any of the three can be
+plugged into the nonlinear-CG instantiation of ComPLx (the paper's claim
+that the framework is interconnect-model agnostic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from .hpwl import pin_positions
+from .logsumexp import SmoothWirelengthResult
+
+
+def beta_regularized_wirelength(
+    netlist: Netlist,
+    placement: Placement,
+    beta: float,
+    with_grad: bool = True,
+) -> SmoothWirelengthResult:
+    """Sum over clique edges of ``w_e/(d-1) * sqrt(delta^2 + beta)``."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    px, py = pin_positions(netlist, placement)
+    grad_x = np.zeros(netlist.num_cells)
+    grad_y = np.zeros(netlist.num_cells)
+    value = 0.0
+    degrees = netlist.net_degrees
+    for e in range(netlist.num_nets):
+        d = int(degrees[e])
+        if d < 2:
+            continue
+        span = netlist.net_pins(e)
+        cells = netlist.pin_cell[span]
+        weight = netlist.net_weights[e] / (d - 1)
+        for coords, grad in ((px, grad_x), (py, grad_y)):
+            c = coords[span]
+            delta = c[:, None] - c[None, :]
+            root = np.sqrt(delta**2 + beta)
+            ii, jj = np.triu_indices(d, k=1)
+            value += weight * float(root[ii, jj].sum())
+            if with_grad:
+                # d/dc_i of sum sqrt((c_i-c_j)^2+beta) = sum delta/root
+                g = weight * (delta / root).sum(axis=1)
+                np.add.at(grad, cells, g)
+    if with_grad:
+        grad_x[~netlist.movable] = 0.0
+        grad_y[~netlist.movable] = 0.0
+    return SmoothWirelengthResult(value, grad_x, grad_y)
+
+
+def pnorm_wirelength(
+    netlist: Netlist,
+    placement: Placement,
+    p: float = 8.0,
+    beta: float = 1e-6,
+    with_grad: bool = True,
+) -> SmoothWirelengthResult:
+    """Per-net smooth max: ``(sum |c_i - c_j|^p + beta)^(1/p)``.
+
+    Large ``p`` approaches the true HPWL span from above.  Computed per
+    net over clique pairs; numerically normalized by the largest pairwise
+    distance to avoid overflow for large ``p``.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    px, py = pin_positions(netlist, placement)
+    grad_x = np.zeros(netlist.num_cells)
+    grad_y = np.zeros(netlist.num_cells)
+    value = 0.0
+    degrees = netlist.net_degrees
+    for e in range(netlist.num_nets):
+        d = int(degrees[e])
+        if d < 2:
+            continue
+        span = netlist.net_pins(e)
+        cells = netlist.pin_cell[span]
+        weight = netlist.net_weights[e]
+        for coords, grad in ((px, grad_x), (py, grad_y)):
+            c = coords[span]
+            delta = np.abs(c[:, None] - c[None, :])
+            scale = float(delta.max())
+            if scale <= 0.0:
+                value += weight * beta ** (1.0 / p)
+                continue
+            normed = delta / scale
+            total = float((np.triu(normed**p, k=1)).sum()) + beta / scale**p
+            net_val = scale * total ** (1.0 / p)
+            value += weight * net_val
+            if with_grad:
+                # d(net_val)/dc_i via chain rule on sum |c_i - c_j|^p
+                signed = c[:, None] - c[None, :]
+                contrib = (
+                    np.sign(signed) * normed ** (p - 1.0)
+                )
+                g = weight * total ** (1.0 / p - 1.0) * contrib.sum(axis=1)
+                np.add.at(grad, cells, g)
+    if with_grad:
+        grad_x[~netlist.movable] = 0.0
+        grad_y[~netlist.movable] = 0.0
+    return SmoothWirelengthResult(value, grad_x, grad_y)

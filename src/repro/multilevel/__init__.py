@@ -1,0 +1,12 @@
+"""Multilevel extension: clustering + coarse-to-fine ComPLx placement."""
+
+from .clustering import Clustering, cluster_netlist
+from .multilevel import MultilevelPlacer, MultilevelResult, multilevel_place
+
+__all__ = [
+    "Clustering",
+    "MultilevelPlacer",
+    "MultilevelResult",
+    "cluster_netlist",
+    "multilevel_place",
+]

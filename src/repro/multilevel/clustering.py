@@ -1,0 +1,185 @@
+"""Connectivity-driven cell clustering (best-choice style).
+
+mPL6 — one of the placers Table 2 compares against — owes its speed to a
+multilevel scheme: cluster the netlist, place the small clustered
+problem, then uncluster and refine.  This module provides the clustering
+substrate for :class:`~repro.multilevel.multilevel.MultilevelPlacer`:
+
+* pairwise affinity ``sum_e w_e / ((|e| - 1) * sqrt(area_u * area_v))``
+  over shared nets (the standard best-choice score: strong connectivity,
+  small clusters first),
+* greedy pair merging down to a target cluster count, with an area cap
+  so clusters stay placeable,
+* cluster netlist construction: merged cells become one standard cell of
+  the combined area (one row high); macros, terminals and fixed cells
+  are never clustered; nets collapse duplicate pins and drop nets that
+  become internal to a cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import CellKind, Netlist, NetlistBuilder, Placement
+
+
+@dataclass
+class Clustering:
+    """Mapping between a netlist and its clustered version."""
+
+    original: Netlist
+    clustered: Netlist
+    #: cluster slot of every original cell (index into clustered netlist)
+    cluster_of: np.ndarray
+
+    def project_up(self, placement: Placement) -> Placement:
+        """Original-cell placement -> clustered placement (area-weighted
+        centroid of each cluster's members)."""
+        n = self.clustered.num_cells
+        w = np.maximum(self.original.areas, 1e-12)
+        x = np.bincount(self.cluster_of, weights=placement.x * w, minlength=n)
+        y = np.bincount(self.cluster_of, weights=placement.y * w, minlength=n)
+        total = np.bincount(self.cluster_of, weights=w, minlength=n)
+        total = np.maximum(total, 1e-12)
+        return Placement(x / total, y / total)
+
+    def project_down(self, placement: Placement,
+                     jitter: float = 0.0, seed: int = 0) -> Placement:
+        """Clustered placement -> original cells at their cluster's
+        position (fixed cells keep their own locations)."""
+        x = placement.x[self.cluster_of].copy()
+        y = placement.y[self.cluster_of].copy()
+        nl = self.original
+        x[~nl.movable] = nl.fixed_x[~nl.movable]
+        y[~nl.movable] = nl.fixed_y[~nl.movable]
+        if jitter > 0.0:
+            rng = np.random.default_rng(seed)
+            x += np.where(nl.movable, rng.uniform(-jitter, jitter, x.shape), 0.0)
+            y += np.where(nl.movable, rng.uniform(-jitter, jitter, y.shape), 0.0)
+        return nl.clamp_to_core(Placement(x, y))
+
+
+def _pair_affinities(netlist: Netlist, clusterable: np.ndarray,
+                     max_degree: int = 10) -> dict[tuple[int, int], float]:
+    """Affinity per clusterable cell pair sharing a small net."""
+    affinity: dict[tuple[int, int], float] = {}
+    areas = np.maximum(netlist.areas, 1e-3)
+    degrees = netlist.net_degrees
+    for e in range(netlist.num_nets):
+        d = int(degrees[e])
+        if d < 2 or d > max_degree:
+            continue
+        span = netlist.net_pins(e)
+        cells = np.unique(netlist.pin_cell[span])
+        cells = cells[clusterable[cells]]
+        if cells.size < 2:
+            continue
+        score = netlist.net_weights[e] / (d - 1)
+        for i in range(cells.size):
+            for j in range(i + 1, cells.size):
+                u, v = int(cells[i]), int(cells[j])
+                key = (min(u, v), max(u, v))
+                bonus = score / np.sqrt(areas[u] * areas[v])
+                affinity[key] = affinity.get(key, 0.0) + bonus
+    return affinity
+
+
+def cluster_netlist(
+    netlist: Netlist,
+    target_clusters: int | None = None,
+    max_cluster_area_factor: float = 8.0,
+    seed: int = 0,
+) -> Clustering:
+    """Cluster movable standard cells down to ~``target_clusters``.
+
+    Defaults to halving the movable standard-cell count.  Macros,
+    terminals and fixed cells always remain singleton clusters.
+    """
+    std = netlist.movable & ~netlist.is_macro
+    num_std = int(std.sum())
+    if target_clusters is None:
+        target_clusters = max(num_std // 2, 1)
+
+    avg_area = float(netlist.areas[std].mean()) if num_std else 1.0
+    area_cap = max_cluster_area_factor * avg_area
+
+    # Union-find over cells; only std movable cells may merge.
+    parent = np.arange(netlist.num_cells)
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return int(i)
+
+    group_area = netlist.areas.astype(np.float64).copy()
+    affinity = _pair_affinities(netlist, std)
+    heap = [(-score, u, v) for (u, v), score in affinity.items()]
+    heapq.heapify(heap)
+
+    merges_left = num_std - target_clusters
+    while heap and merges_left > 0:
+        neg_score, u, v = heapq.heappop(heap)
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            continue
+        if group_area[ru] + group_area[rv] > area_cap:
+            continue
+        parent[rv] = ru
+        group_area[ru] += group_area[rv]
+        merges_left -= 1
+
+    # Relabel roots to contiguous cluster ids, originals first so fixed
+    # cells keep deterministic spots.
+    roots = np.array([find(i) for i in range(netlist.num_cells)])
+    unique_roots, cluster_of = np.unique(roots, return_inverse=True)
+
+    clustered = _build_clustered_netlist(netlist, unique_roots, cluster_of)
+    return Clustering(netlist, clustered, cluster_of.astype(np.int64))
+
+
+def _build_clustered_netlist(
+    netlist: Netlist,
+    unique_roots: np.ndarray,
+    cluster_of: np.ndarray,
+) -> Netlist:
+    builder = NetlistBuilder(f"{netlist.name}_clustered", core=netlist.core)
+    row_h = netlist.core.row_height
+
+    member_area = np.bincount(cluster_of, weights=netlist.areas,
+                              minlength=unique_roots.size)
+    member_count = np.bincount(cluster_of, minlength=unique_roots.size)
+    for c, root in enumerate(unique_roots):
+        root = int(root)
+        name = f"cl{c}"
+        if member_count[c] == 1:
+            # Singleton: keep the original geometry and fixedness.
+            kind = CellKind(int(netlist.kinds[root]))
+            builder.add_cell(
+                name, float(netlist.widths[root]), float(netlist.heights[root]),
+                kind=kind,
+                fixed_at=(
+                    None if netlist.movable[root]
+                    else (float(netlist.fixed_x[root]), float(netlist.fixed_y[root]))
+                ),
+            )
+        else:
+            width = max(float(member_area[c]) / row_h, 1e-6)
+            builder.add_cell(name, width, row_h)
+
+    # Nets: collapse pins to clusters, drop single-cluster nets.  Pin
+    # offsets are dropped (cluster geometry is synthetic anyway).
+    for e in range(netlist.num_nets):
+        span = netlist.net_pins(e)
+        clusters = np.unique(cluster_of[netlist.pin_cell[span]])
+        if clusters.size < 2:
+            continue
+        builder.add_net(
+            netlist.net_names[e],
+            [(f"cl{int(c)}", 0.0, 0.0) for c in clusters],
+            weight=float(netlist.net_weights[e]),
+        )
+    return builder.build()

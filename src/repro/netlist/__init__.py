@@ -1,0 +1,24 @@
+"""Netlist data model, Bookshelf I/O and legality checking."""
+
+from .builder import NetlistBuilder
+from .cells import CellKind, CellView
+from .geometry import Rect
+from .netlist import Netlist, Placement, PlacementRegion
+from .rows import CoreArea, Row
+from .validate import LegalityReport, check_legal, find_overlaps, total_overlap_area
+
+__all__ = [
+    "CellKind",
+    "CellView",
+    "CoreArea",
+    "LegalityReport",
+    "Netlist",
+    "NetlistBuilder",
+    "Placement",
+    "PlacementRegion",
+    "Rect",
+    "Row",
+    "check_legal",
+    "find_overlaps",
+    "total_overlap_area",
+]

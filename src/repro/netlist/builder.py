@@ -1,0 +1,186 @@
+"""Incremental construction of :class:`~repro.netlist.netlist.Netlist`.
+
+The builder lets tests, examples and the Bookshelf reader assemble a
+netlist by name without worrying about the CSR pin layout::
+
+    b = NetlistBuilder("demo", core=CoreArea.uniform(Rect(0, 0, 100, 100), 1.0))
+    b.add_cell("a", width=2.0, height=1.0)
+    b.add_cell("p0", width=0.0, height=0.0, kind=CellKind.TERMINAL,
+               fixed_at=(0.0, 50.0))
+    b.add_net("n0", [("a", 0.0, 0.0), ("p0", 0.0, 0.0)])
+    netlist = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cells import CellKind
+from .geometry import Rect
+from .netlist import Netlist, PlacementRegion
+from .rows import CoreArea
+
+#: A pin spec: (cell name, x offset from center, y offset from center).
+PinSpec = tuple[str, float, float]
+
+
+@dataclass
+class _CellRecord:
+    name: str
+    width: float
+    height: float
+    kind: CellKind
+    movable: bool
+    fixed_x: float
+    fixed_y: float
+
+
+@dataclass
+class _NetRecord:
+    name: str
+    pins: list[PinSpec]
+    weight: float
+    driver: int  # index into pins of the driving pin
+
+
+@dataclass
+class NetlistBuilder:
+    """Accumulates cells and nets, then emits a validated ``Netlist``."""
+
+    name: str
+    core: CoreArea | None = None
+    _cells: list[_CellRecord] = field(default_factory=list)
+    _nets: list[_NetRecord] = field(default_factory=list)
+    _cell_index: dict[str, int] = field(default_factory=dict)
+    _regions: list[PlacementRegion] = field(default_factory=list)
+
+    def add_cell(
+        self,
+        name: str,
+        width: float,
+        height: float,
+        kind: CellKind = CellKind.STANDARD,
+        movable: bool | None = None,
+        fixed_at: tuple[float, float] | None = None,
+    ) -> int:
+        """Register a cell and return its index.
+
+        ``fixed_at`` gives the **center** coordinates of a non-movable cell.
+        ``movable`` defaults to True except for terminals, and is forced
+        False whenever ``fixed_at`` is supplied.
+        """
+        if name in self._cell_index:
+            raise ValueError(f"duplicate cell name: {name!r}")
+        if movable is None:
+            movable = kind != CellKind.TERMINAL
+        if fixed_at is not None:
+            movable = False
+        if not movable and fixed_at is None:
+            fixed_at = (0.0, 0.0)
+        fx, fy = fixed_at if fixed_at is not None else (0.0, 0.0)
+        index = len(self._cells)
+        self._cells.append(
+            _CellRecord(name, float(width), float(height), kind, movable, fx, fy)
+        )
+        self._cell_index[name] = index
+        return index
+
+    def add_net(
+        self,
+        name: str,
+        pins: list[PinSpec],
+        weight: float = 1.0,
+        driver: int = 0,
+    ) -> int:
+        """Register a net given ``(cell, dx, dy)`` pin specs.
+
+        ``driver`` is the index within ``pins`` of the driving pin (used by
+        static timing analysis); it defaults to the first pin.
+        """
+        if len(pins) < 1:
+            raise ValueError(f"net {name!r} has no pins")
+        for cell, _, _ in pins:
+            if cell not in self._cell_index:
+                raise KeyError(f"net {name!r} references unknown cell {cell!r}")
+        if not 0 <= driver < len(pins):
+            raise ValueError(f"net {name!r}: driver index {driver} out of range")
+        index = len(self._nets)
+        self._nets.append(_NetRecord(name, list(pins), float(weight), driver))
+        return index
+
+    def add_region(self, name: str, rect: Rect, cells: list[str]) -> None:
+        """Add a hard region constraint over the named cells (Section S5)."""
+        indices = np.array([self._cell_index[c] for c in cells], dtype=np.int64)
+        self._regions.append(PlacementRegion(name, rect, indices))
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self._cell_index
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    def build(self) -> Netlist:
+        """Validate and freeze the accumulated data into a ``Netlist``."""
+        n = len(self._cells)
+        cell_names = [c.name for c in self._cells]
+        widths = np.array([c.width for c in self._cells], dtype=np.float64)
+        heights = np.array([c.height for c in self._cells], dtype=np.float64)
+        kinds = np.array([c.kind for c in self._cells], dtype=np.int8)
+        movable = np.array([c.movable for c in self._cells], dtype=bool)
+        fixed_x = np.array([c.fixed_x for c in self._cells], dtype=np.float64)
+        fixed_y = np.array([c.fixed_y for c in self._cells], dtype=np.float64)
+
+        net_names = [net.name for net in self._nets]
+        net_weights = np.array([net.weight for net in self._nets], dtype=np.float64)
+        degrees = np.array([len(net.pins) for net in self._nets], dtype=np.int64)
+        net_start = np.zeros(len(self._nets) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=net_start[1:])
+
+        total_pins = int(net_start[-1])
+        pin_cell = np.zeros(total_pins, dtype=np.int64)
+        pin_dx = np.zeros(total_pins, dtype=np.float64)
+        pin_dy = np.zeros(total_pins, dtype=np.float64)
+        pin_is_driver = np.zeros(total_pins, dtype=bool)
+        cursor = 0
+        for net in self._nets:
+            for j, (cell, dx, dy) in enumerate(net.pins):
+                pin_cell[cursor] = self._cell_index[cell]
+                pin_dx[cursor] = dx
+                pin_dy[cursor] = dy
+                pin_is_driver[cursor] = j == net.driver
+                cursor += 1
+
+        core = self.core
+        if core is None:
+            # Derive a square core sized for ~60% utilization of movable area.
+            movable_area = float((widths * heights)[movable].sum())
+            side = max(10.0, np.sqrt(movable_area / 0.6))
+            row_h = float(heights[movable].min()) if movable.any() else 1.0
+            core = CoreArea.uniform(Rect(0.0, 0.0, side, side), row_height=max(row_h, 1e-3))
+
+        return Netlist(
+            name=self.name,
+            cell_names=cell_names,
+            widths=widths,
+            heights=heights,
+            kinds=kinds,
+            movable=movable,
+            fixed_x=fixed_x,
+            fixed_y=fixed_y,
+            net_names=net_names,
+            net_start=net_start,
+            pin_cell=pin_cell,
+            pin_dx=pin_dx,
+            pin_dy=pin_dy,
+            net_weights=net_weights,
+            core=core,
+            regions=self._regions,
+            pin_is_driver=pin_is_driver,
+        )

@@ -1,0 +1,72 @@
+"""Cell kinds and lightweight per-cell views.
+
+The :class:`~repro.netlist.netlist.Netlist` stores all cell attributes in
+flat numpy arrays for speed; :class:`CellView` offers a friendly object
+facade over one index for debugging, examples and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .netlist import Netlist
+
+
+class CellKind(enum.IntEnum):
+    """Classification of placeable objects.
+
+    * ``STANDARD`` — row-aligned standard cell.
+    * ``MACRO`` — large block; may be movable (ISPD 2006) or fixed (2005).
+    * ``TERMINAL`` — fixed I/O pad or pre-placed blockage; never moves.
+    """
+
+    STANDARD = 0
+    MACRO = 1
+    TERMINAL = 2
+
+
+@dataclass(frozen=True)
+class CellView:
+    """Read-only view of a single cell inside a netlist."""
+
+    netlist: "Netlist"
+    index: int
+
+    @property
+    def name(self) -> str:
+        return self.netlist.cell_names[self.index]
+
+    @property
+    def width(self) -> float:
+        return float(self.netlist.widths[self.index])
+
+    @property
+    def height(self) -> float:
+        return float(self.netlist.heights[self.index])
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def kind(self) -> CellKind:
+        return CellKind(int(self.netlist.kinds[self.index]))
+
+    @property
+    def movable(self) -> bool:
+        return bool(self.netlist.movable[self.index])
+
+    @property
+    def nets(self) -> list[int]:
+        """Indices of nets incident to this cell."""
+        return self.netlist.nets_of_cell(self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        tag = "movable" if self.movable else "fixed"
+        return (
+            f"CellView({self.name!r}, {self.kind.name.lower()}, {tag}, "
+            f"{self.width:g}x{self.height:g})"
+        )

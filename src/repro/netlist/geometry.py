@@ -1,0 +1,97 @@
+"""Basic planar geometry used throughout the placer.
+
+All placement code works with axis-aligned rectangles.  ``Rect`` is a tiny
+immutable value type; heavier geometric work (density rasterization,
+spreading) is done on numpy arrays elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.xlo + self.xhi), 0.5 * (self.ylo + self.yhi))
+
+    def contains_point(self, x: float, y: float, tol: float = 0.0) -> bool:
+        """True when ``(x, y)`` lies inside the rectangle (within ``tol``)."""
+        return (
+            self.xlo - tol <= x <= self.xhi + tol
+            and self.ylo - tol <= y <= self.yhi + tol
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 0.0) -> bool:
+        """True when ``other`` lies fully inside this rectangle."""
+        return (
+            self.xlo - tol <= other.xlo
+            and other.xhi <= self.xhi + tol
+            and self.ylo - tol <= other.ylo
+            and other.yhi <= self.yhi + tol
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share interior area."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap region (0 when disjoint)."""
+        dx = min(self.xhi, other.xhi) - max(self.xlo, other.xlo)
+        dy = min(self.yhi, other.yhi) - max(self.ylo, other.ylo)
+        if dx <= 0.0 or dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def clamp_point(self, x: float, y: float) -> tuple[float, float]:
+        """Closest point of the rectangle to ``(x, y)`` (L1 == L2 projection)."""
+        return (min(max(x, self.xlo), self.xhi), min(max(y, self.ylo), self.yhi))
+
+    def shrunk(self, margin_x: float, margin_y: float | None = None) -> "Rect":
+        """Rectangle shrunk by a margin on every side (clipped at center)."""
+        if margin_y is None:
+            margin_y = margin_x
+        cx, cy = self.center
+        xlo = min(self.xlo + margin_x, cx)
+        xhi = max(self.xhi - margin_x, cx)
+        ylo = min(self.ylo + margin_y, cy)
+        yhi = max(self.yhi - margin_y, cy)
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def expanded(self, margin_x: float, margin_y: float | None = None) -> "Rect":
+        """Rectangle grown by a margin on every side."""
+        if margin_y is None:
+            margin_y = margin_x
+        return Rect(
+            self.xlo - margin_x, self.ylo - margin_y,
+            self.xhi + margin_x, self.yhi + margin_y,
+        )

@@ -1,0 +1,279 @@
+"""The central netlist data structure.
+
+A :class:`Netlist` is a hypergraph over cells with planar geometry:
+
+* per-cell arrays: ``widths``, ``heights``, ``kinds``, ``movable`` plus the
+  fixed positions of terminals/fixed macros,
+* per-net pin lists in CSR layout (``net_start``, ``pin_cell``, ``pin_dx``,
+  ``pin_dy``) where pin offsets are relative to the **cell center**,
+* net weights (timing/power-driven placement manipulates these),
+* the :class:`~repro.netlist.rows.CoreArea` rows the cells must land in,
+* optional hard region constraints (paper Section S5).
+
+All coordinates handled by the placer refer to **cell centers**; the
+Bookshelf reader/writer converts to/from the lower-left-corner convention
+of the ISPD files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cells import CellKind, CellView
+from .geometry import Rect
+from .rows import CoreArea
+
+
+@dataclass
+class PlacementRegion:
+    """A hard region constraint: ``cells`` must stay inside ``rect``."""
+
+    name: str
+    rect: Rect
+    cells: np.ndarray  # int indices of constrained cells
+
+    def __post_init__(self) -> None:
+        self.cells = np.asarray(self.cells, dtype=np.int64)
+
+
+@dataclass
+class Placement:
+    """Cell-center coordinates for every cell of a netlist."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape:
+            raise ValueError("x and y must have identical shapes")
+
+    def copy(self) -> "Placement":
+        return Placement(self.x.copy(), self.y.copy())
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+
+class Netlist:
+    """Immutable-structure placement netlist (geometry arrays are fixed).
+
+    Parameters mirror the attribute names; see the module docstring for the
+    storage conventions.  Use :class:`~repro.netlist.builder.NetlistBuilder`
+    to construct instances incrementally by name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cell_names: list[str],
+        widths: np.ndarray,
+        heights: np.ndarray,
+        kinds: np.ndarray,
+        movable: np.ndarray,
+        fixed_x: np.ndarray,
+        fixed_y: np.ndarray,
+        net_names: list[str],
+        net_start: np.ndarray,
+        pin_cell: np.ndarray,
+        pin_dx: np.ndarray,
+        pin_dy: np.ndarray,
+        net_weights: np.ndarray | None = None,
+        core: CoreArea | None = None,
+        regions: list[PlacementRegion] | None = None,
+        pin_is_driver: np.ndarray | None = None,
+    ) -> None:
+        self.name = name
+        self.cell_names = list(cell_names)
+        self.widths = np.asarray(widths, dtype=np.float64)
+        self.heights = np.asarray(heights, dtype=np.float64)
+        self.kinds = np.asarray(kinds, dtype=np.int8)
+        self.movable = np.asarray(movable, dtype=bool)
+        self.fixed_x = np.asarray(fixed_x, dtype=np.float64)
+        self.fixed_y = np.asarray(fixed_y, dtype=np.float64)
+        self.net_names = list(net_names)
+        self.net_start = np.asarray(net_start, dtype=np.int64)
+        self.pin_cell = np.asarray(pin_cell, dtype=np.int64)
+        self.pin_dx = np.asarray(pin_dx, dtype=np.float64)
+        self.pin_dy = np.asarray(pin_dy, dtype=np.float64)
+        if net_weights is None:
+            net_weights = np.ones(len(net_names), dtype=np.float64)
+        self.net_weights = np.asarray(net_weights, dtype=np.float64)
+        if core is None:
+            core = CoreArea.uniform(Rect(0.0, 0.0, 100.0, 100.0), row_height=1.0)
+        self.core = core
+        self.regions = list(regions or [])
+        if pin_is_driver is None:
+            # By convention the first pin of each net drives it; STA relies
+            # on this when the generator supplies no explicit directions.
+            pin_is_driver = np.zeros(self.pin_cell.shape[0], dtype=bool)
+            pin_is_driver[self.net_start[:-1]] = True
+        self.pin_is_driver = np.asarray(pin_is_driver, dtype=bool)
+
+        self._name_to_cell: dict[str, int] | None = None
+        self._name_to_net: dict[str, int] | None = None
+        self._cell_pins: tuple[np.ndarray, np.ndarray] | None = None
+        self.validate_structure()
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cell_names)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def num_pins(self) -> int:
+        return int(self.pin_cell.shape[0])
+
+    @property
+    def num_movable(self) -> int:
+        return int(self.movable.sum())
+
+    # ------------------------------------------------------------------
+    # masks and derived arrays
+    # ------------------------------------------------------------------
+    @property
+    def is_macro(self) -> np.ndarray:
+        return self.kinds == CellKind.MACRO
+
+    @property
+    def is_terminal(self) -> np.ndarray:
+        return self.kinds == CellKind.TERMINAL
+
+    @property
+    def movable_macros(self) -> np.ndarray:
+        return self.is_macro & self.movable
+
+    @property
+    def areas(self) -> np.ndarray:
+        return self.widths * self.heights
+
+    @property
+    def net_degrees(self) -> np.ndarray:
+        return np.diff(self.net_start)
+
+    def net_pins(self, net: int) -> slice:
+        """Slice into the pin arrays covering net ``net``."""
+        return slice(int(self.net_start[net]), int(self.net_start[net + 1]))
+
+    # ------------------------------------------------------------------
+    # name lookup and views
+    # ------------------------------------------------------------------
+    def cell_index(self, name: str) -> int:
+        if self._name_to_cell is None:
+            self._name_to_cell = {n: i for i, n in enumerate(self.cell_names)}
+        return self._name_to_cell[name]
+
+    def net_index(self, name: str) -> int:
+        if self._name_to_net is None:
+            self._name_to_net = {n: i for i, n in enumerate(self.net_names)}
+        return self._name_to_net[name]
+
+    def cell(self, key: int | str) -> CellView:
+        index = key if isinstance(key, int) else self.cell_index(key)
+        return CellView(self, index)
+
+    # ------------------------------------------------------------------
+    # cell -> nets adjacency (built lazily, cached)
+    # ------------------------------------------------------------------
+    def _build_cell_pins(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._cell_pins is None:
+            order = np.argsort(self.pin_cell, kind="stable")
+            counts = np.bincount(self.pin_cell, minlength=self.num_cells)
+            start = np.zeros(self.num_cells + 1, dtype=np.int64)
+            np.cumsum(counts, out=start[1:])
+            self._cell_pins = (start, order)
+        return self._cell_pins
+
+    def pin_net_ids(self) -> np.ndarray:
+        """Net index of every pin (aligned with ``pin_cell``)."""
+        ids = np.zeros(self.num_pins, dtype=np.int64)
+        ids[self.net_start[1:-1]] = 1
+        return np.cumsum(ids)
+
+    def nets_of_cell(self, cell: int) -> list[int]:
+        """Sorted unique net indices incident to ``cell``."""
+        start, order = self._build_cell_pins()
+        pins = order[start[cell]:start[cell + 1]]
+        nets = self.pin_net_ids()[pins]
+        return sorted(set(int(n) for n in nets))
+
+    # ------------------------------------------------------------------
+    # placements
+    # ------------------------------------------------------------------
+    def initial_placement(self, jitter: float = 0.0, seed: int = 0) -> Placement:
+        """All movables at the core center (plus optional jitter); fixed
+        cells at their fixed locations.
+
+        A tiny jitter avoids exactly-coincident points, which degrade the
+        Bound2Bound model (zero-length bounding boxes).
+        """
+        cx, cy = self.core.bounds.center
+        x = np.where(self.movable, cx, self.fixed_x)
+        y = np.where(self.movable, cy, self.fixed_y)
+        if jitter > 0.0:
+            rng = np.random.default_rng(seed)
+            x = x + np.where(self.movable, rng.uniform(-jitter, jitter, self.num_cells), 0.0)
+            y = y + np.where(self.movable, rng.uniform(-jitter, jitter, self.num_cells), 0.0)
+        return Placement(x, y)
+
+    def clamp_to_core(self, placement: Placement) -> Placement:
+        """Clamp movable cell centers so cells stay inside the core."""
+        b = self.core.bounds
+        half_w = 0.5 * self.widths
+        half_h = 0.5 * self.heights
+        xlo = np.minimum(b.xlo + half_w, b.center[0])
+        xhi = np.maximum(b.xhi - half_w, b.center[0])
+        ylo = np.minimum(b.ylo + half_h, b.center[1])
+        yhi = np.maximum(b.yhi - half_h, b.center[1])
+        x = np.where(self.movable, np.clip(placement.x, xlo, xhi), placement.x)
+        y = np.where(self.movable, np.clip(placement.y, ylo, yhi), placement.y)
+        return Placement(x, y)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate_structure(self) -> None:
+        """Raise ``ValueError`` on structurally inconsistent data."""
+        n = self.num_cells
+        for arr, label in (
+            (self.widths, "widths"), (self.heights, "heights"),
+            (self.kinds, "kinds"), (self.movable, "movable"),
+            (self.fixed_x, "fixed_x"), (self.fixed_y, "fixed_y"),
+        ):
+            if arr.shape != (n,):
+                raise ValueError(f"{label} has shape {arr.shape}, expected ({n},)")
+        if np.any(self.widths < 0) or np.any(self.heights < 0):
+            raise ValueError("negative cell dimensions")
+        m = self.num_nets
+        if self.net_start.shape != (m + 1,):
+            raise ValueError("net_start must have num_nets + 1 entries")
+        if self.net_start[0] != 0 or self.net_start[-1] != self.num_pins:
+            raise ValueError("net_start must span [0, num_pins]")
+        if np.any(np.diff(self.net_start) < 0):
+            raise ValueError("net_start must be non-decreasing")
+        if self.num_pins and (
+            self.pin_cell.min() < 0 or self.pin_cell.max() >= n
+        ):
+            raise ValueError("pin_cell index out of range")
+        if self.net_weights.shape != (m,):
+            raise ValueError("net_weights must have one entry per net")
+        if np.any(self.net_weights < 0):
+            raise ValueError("net weights must be non-negative")
+        if np.any(self.movable & (self.kinds == CellKind.TERMINAL)):
+            raise ValueError("terminals cannot be movable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Netlist({self.name!r}, cells={self.num_cells}, "
+            f"nets={self.num_nets}, pins={self.num_pins}, "
+            f"movable={self.num_movable})"
+        )

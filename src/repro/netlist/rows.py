@@ -1,0 +1,101 @@
+"""Placement rows and the core (placeable) area.
+
+ISPD Bookshelf ``.scl`` files describe the core as a stack of horizontal
+rows of sites.  ComPLx only needs row geometry for (a) the pseudo-net
+``epsilon`` (1.5x row height, Section 5 of the paper), (b) legalization and
+(c) density-grid sizing, so we keep a simple uniform-row model with
+optional per-row horizontal extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geometry import Rect
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row: a horizontal strip of placement sites."""
+
+    y: float            # bottom edge
+    height: float
+    x: float            # left edge of the first site
+    site_width: float
+    num_sites: int
+
+    @property
+    def x_end(self) -> float:
+        return self.x + self.site_width * self.num_sites
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(self.x, self.y, self.x_end, self.y + self.height)
+
+
+@dataclass
+class CoreArea:
+    """The placeable region of the die: a list of uniform rows.
+
+    ``rows`` are sorted bottom-to-top.  ``bounds`` is the bounding box of
+    all rows; global placement constrains cell centers to it.
+    """
+
+    rows: list[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValueError("CoreArea requires at least one row")
+        self.rows = sorted(self.rows, key=lambda r: r.y)
+        heights = {r.height for r in self.rows}
+        if len(heights) > 1:
+            raise ValueError(f"non-uniform row heights unsupported: {heights}")
+
+    @property
+    def row_height(self) -> float:
+        return self.rows[0].height
+
+    @property
+    def bounds(self) -> Rect:
+        xlo = min(r.x for r in self.rows)
+        xhi = max(r.x_end for r in self.rows)
+        ylo = self.rows[0].y
+        yhi = self.rows[-1].y + self.rows[-1].height
+        return Rect(xlo, ylo, xhi, yhi)
+
+    @property
+    def site_width(self) -> float:
+        return self.rows[0].site_width
+
+    def row_index_of(self, y_center: float) -> int:
+        """Index of the row whose vertical span is nearest to ``y_center``.
+
+        Assumes uniform contiguous rows; clamps out-of-core coordinates.
+        """
+        ylo = self.rows[0].y
+        idx = int((y_center - ylo) / self.row_height)
+        return min(max(idx, 0), len(self.rows) - 1)
+
+    @classmethod
+    def uniform(
+        cls,
+        bounds: Rect,
+        row_height: float,
+        site_width: float = 1.0,
+    ) -> "CoreArea":
+        """Build a core that tiles ``bounds`` with uniform rows."""
+        if row_height <= 0 or site_width <= 0:
+            raise ValueError("row_height and site_width must be positive")
+        num_rows = max(1, int(bounds.height / row_height))
+        num_sites = max(1, int(bounds.width / site_width))
+        rows = [
+            Row(
+                y=bounds.ylo + i * row_height,
+                height=row_height,
+                x=bounds.xlo,
+                site_width=site_width,
+                num_sites=num_sites,
+            )
+            for i in range(num_rows)
+        ]
+        return cls(rows=rows)

@@ -1,0 +1,161 @@
+"""Alternating-pass formulation of the feasibility projection (S2).
+
+Section S2 restructures look-ahead legalization as "alternating
+horizontal and vertical spreading passes ... over a slicing floorplan,
+which gets refined between the passes", to expose the convex structure:
+after sorting, spreading is a convex problem in the distances between
+neighboring coordinates, with per-window area lower bounds.
+
+This module implements that formulation directly:
+
+1. level 0: one *room* (the whole core); each level splits every room in
+   half (alternating cut direction), yielding a slicing floorplan whose
+   walls are fixed lines,
+2. a horizontal pass spreads the x coordinates of the cells in each room
+   with :func:`~repro.projection.spreading.spread_with_spacing` — the
+   exact convex minimum-displacement problem with pairwise spacing lower
+   bounds derived from cell widths and the density target,
+3. a vertical pass does the same for y,
+4. rooms are refined and the passes repeat until the room size reaches
+   the density-grid bin size.
+
+It is slower than the top-down bisection in :mod:`.lal` but is the
+formulation whose self-consistency the paper analyzes; both are exposed
+through :class:`~repro.projection.projector.FeasibilityProjection` via
+``method="alternating"`` and compared by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Rect
+from .grid import DensityGrid
+from .spreading import spread_with_spacing
+
+
+def _required_spacing(
+    widths: np.ndarray,
+    room_span_other_axis: float,
+    row_height: float,
+    gamma: float,
+) -> np.ndarray:
+    """Pairwise spacing lower bounds for a 1-D pass.
+
+    Cells in a room stack into ``room_span/row_height`` rows, so along
+    the spread axis each cell effectively claims
+    ``width / (gamma * rows)`` of room width; consecutive centers must
+    sit at least the mean of the two claims apart.  This is exactly the
+    per-window area constraint of S2 collapsed to adjacent pairs.
+    """
+    rows = max(room_span_other_axis / max(row_height, 1e-12), 1.0)
+    claims = widths / (gamma * rows)
+    return 0.5 * (claims[:-1] + claims[1:])
+
+
+def _spread_room_axis(
+    x: np.ndarray,
+    y: np.ndarray,
+    widths: np.ndarray,
+    heights: np.ndarray,
+    items: np.ndarray,
+    room: Rect,
+    axis: str,
+    row_height: float,
+    gamma: float,
+) -> None:
+    """One 1-D spreading pass inside one room (in place).
+
+    The per-cell claim along the spread axis divides its area among the
+    extent the cells *actually occupy* along the other axis (clamped to
+    the room): a fresh clump claims nearly its full width per row, so
+    early passes spread hard; as the alternating passes even out the
+    other axis the claims relax toward the idealized full-room model.
+    """
+    if items.size == 0:
+        return
+    coords = x if axis == "x" else y
+    other = y if axis == "x" else x
+    lo, hi = (room.xlo, room.xhi) if axis == "x" else (room.ylo, room.yhi)
+    room_span_other = room.height if axis == "x" else room.width
+    occupied = float(other[items].max() - other[items].min()) + row_height
+    span_other = min(max(occupied, row_height), room_span_other)
+
+    order = np.argsort(coords[items], kind="stable")
+    sorted_items = items[order]
+    if axis == "x":
+        spacing = _required_spacing(widths[sorted_items], span_other,
+                                    row_height, gamma)
+    else:
+        # Vertical pass: a cell's area claim per unit of room width.
+        claims = (widths[sorted_items] * heights[sorted_items]
+                  / (gamma * span_other))
+        spacing = 0.5 * (claims[:-1] + claims[1:])
+    coords[sorted_items] = spread_with_spacing(
+        np.sort(coords[items]), spacing, lo, hi
+    )
+
+
+def _split_room(room: Rect, horizontal: bool) -> tuple[Rect, Rect]:
+    if horizontal:
+        mid = 0.5 * (room.xlo + room.xhi)
+        return (Rect(room.xlo, room.ylo, mid, room.yhi),
+                Rect(mid, room.ylo, room.xhi, room.yhi))
+    mid = 0.5 * (room.ylo + room.yhi)
+    return (Rect(room.xlo, room.ylo, room.xhi, mid),
+            Rect(room.xlo, mid, room.xhi, room.yhi))
+
+
+def project_rectangles_alternating(
+    grid: DensityGrid,
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    h: np.ndarray,
+    gamma: float,
+    row_height: float | None = None,
+    max_levels: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Alternating-pass projection; drop-in for
+    :func:`~repro.projection.lal.project_rectangles`."""
+    new_x = np.array(x, dtype=np.float64)
+    new_y = np.array(y, dtype=np.float64)
+    if new_x.size == 0:
+        return new_x, new_y
+    if row_height is None:
+        row_height = float(h.min()) if h.size else 1.0
+    bounds = grid.bounds
+    if max_levels is None:
+        # Refine until rooms reach roughly the grid's bin size.
+        max_levels = max(
+            int(np.ceil(np.log2(max(grid.nx, 1)))),
+            int(np.ceil(np.log2(max(grid.ny, 1)))),
+            1,
+        )
+
+    rooms = [bounds]
+    for level in range(max_levels + 1):
+        # Alternate the pass order with the level so neither axis
+        # dominates; within a level both passes run.  The final level
+        # repeats the pass pair: the 1-D claims idealize the other
+        # axis's distribution, and extra alternations let the two axes
+        # reach a mutually consistent (even) density.
+        repeats = 3 if level == max_levels else 1
+        for _ in range(repeats):
+            for axis in ("x", "y") if level % 2 == 0 else ("y", "x"):
+                for room in rooms:
+                    inside = (
+                        (new_x >= room.xlo) & (new_x <= room.xhi)
+                        & (new_y >= room.ylo) & (new_y <= room.yhi)
+                    )
+                    _spread_room_axis(
+                        new_x, new_y, w, h, np.flatnonzero(inside), room,
+                        axis, row_height, gamma,
+                    )
+        if level < max_levels:
+            horizontal = level % 2 == 0
+            next_rooms = []
+            for room in rooms:
+                next_rooms.extend(_split_room(room, horizontal))
+            rooms = next_rooms
+    return new_x, new_y

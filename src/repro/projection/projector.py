@@ -1,0 +1,173 @@
+"""The complete feasibility projection ``P_C`` (paper Sections 3-5, S5).
+
+Composes the pieces of this package into the operator ComPLx iterates:
+
+    (x_deg, y_deg) = P_C(x, y)
+
+1. build the rectangle view (standard cells directly; movable macros as
+   sqrt(gamma)-scaled shreds),
+2. run look-ahead legalization on the rectangles (density constraints),
+3. interpolate macro positions from mean shred displacement,
+4. snap region-constrained cells into their regions,
+5. clamp everything into the core.
+
+``P_C`` returns its input when the input is already feasible — the
+property convergence of approximate projected subgradient methods
+requires (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from .grid import DensityGrid, default_grid_shape
+from .alternating import project_rectangles_alternating
+from .lal import ProjectionStats, project_rectangles
+from .regions import snap_to_regions
+from .shredding import ShreddedView, build_shredded_view, interpolate_macro_positions
+
+
+@dataclass
+class ProjectionResult:
+    """Feasible placement plus the diagnostics ComPLx consumes.
+
+    ``pi`` is the constraint-violation measure of Formula (3): the L1
+    distance between the input and its projection, summed over movable
+    cells.  ``per_cell_l1`` holds the per-cell distances used for the
+    criticality-weighted penalty (Formula 13).
+    """
+
+    placement: Placement
+    pi: float
+    per_cell_l1: np.ndarray
+    overflow_percent: float
+    stats: ProjectionStats = field(default_factory=ProjectionStats)
+    view: ShreddedView | None = None
+    projected_view_x: np.ndarray | None = None
+    projected_view_y: np.ndarray | None = None
+
+
+class FeasibilityProjection:
+    """Callable ``P_C`` bound to a netlist and a density target.
+
+    The grid resolution is supplied per call so the driving placer can
+    run the coarse-to-fine schedule (Section 6 shows coarsening speeds up
+    ``P_C`` without hurting quality).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        gamma: float = 1.0,
+        leaf_size: int = 3,
+        shred_rows: float = 2.0,
+        inflation: float = 1.0,
+        method: str = "topdown",
+    ) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("target density gamma must lie in (0, 1]")
+        if inflation < 1.0:
+            raise ValueError("inflation must be >= 1 (SimPLR-style hook)")
+        if method not in ("topdown", "alternating"):
+            raise ValueError(
+                f"unknown projection method {method!r}; "
+                "expected 'topdown' or 'alternating'"
+            )
+        self.netlist = netlist
+        self.gamma = gamma
+        self.leaf_size = leaf_size
+        self.shred_rows = shred_rows
+        # SimPLR hooks: temporarily inflate movable rectangles to enhance
+        # geometric separation (used by routability-driven variants).
+        # ``inflation`` is a uniform area factor; ``cell_inflation`` is an
+        # optional per-cell area factor (>= 1) indexed by cell, applied to
+        # standard cells and macro shreds alike.
+        self.inflation = inflation
+        # "topdown" = SimPL-style bisection (repro.projection.lal);
+        # "alternating" = the S2 alternating-1D-pass formulation.
+        self.method = method
+        self.cell_inflation: np.ndarray | None = None
+        self._grids: dict[tuple[int, int], DensityGrid] = {}
+
+    def grid(self, nx: int, ny: int) -> DensityGrid:
+        """Cached density grid of the requested resolution."""
+        key = (nx, ny)
+        if key not in self._grids:
+            self._grids[key] = DensityGrid(self.netlist, nx, ny)
+        return self._grids[key]
+
+    def default_shape(self) -> int:
+        return default_grid_shape(self.netlist.num_movable)
+
+    def __call__(
+        self,
+        placement: Placement,
+        nx: int | None = None,
+        ny: int | None = None,
+        keep_view: bool = False,
+    ) -> ProjectionResult:
+        """Project a placement onto the feasible set."""
+        if nx is None:
+            nx = self.default_shape()
+        if ny is None:
+            ny = nx
+        grid = self.grid(nx, ny)
+        netlist = self.netlist
+
+        view = build_shredded_view(
+            netlist, placement, self.gamma, shred_rows=self.shred_rows
+        )
+        stats = ProjectionStats()
+        w = view.w * self.inflation
+        h = view.h * self.inflation
+        if self.cell_inflation is not None:
+            if self.cell_inflation.shape != (netlist.num_cells,):
+                raise ValueError("cell_inflation needs one entry per cell")
+            # Area factor f -> each dimension scales by sqrt(f).
+            per_item = np.sqrt(np.maximum(self.cell_inflation[view.owner], 1.0))
+            w = w * per_item
+            h = h * per_item
+        if self.method == "alternating":
+            # S2's alternating 1-D passes spread globally with minimum
+            # displacement but are blind to obstacle capacity; the
+            # top-down pass afterwards resolves residual overfilled
+            # bins (and is a near-no-op once the input is feasible).
+            px, py = project_rectangles_alternating(
+                grid, view.x, view.y, w, h, self.gamma,
+                row_height=netlist.core.row_height,
+            )
+            px, py = project_rectangles(
+                grid, px, py, w, h, self.gamma,
+                leaf_size=self.leaf_size, stats=stats,
+            )
+        else:
+            px, py = project_rectangles(
+                grid, view.x, view.y, w, h, self.gamma,
+                leaf_size=self.leaf_size, stats=stats,
+            )
+        feasible = interpolate_macro_positions(netlist, placement, view, px, py)
+        feasible = snap_to_regions(netlist, feasible)
+        feasible = netlist.clamp_to_core(feasible)
+
+        per_cell = np.abs(feasible.x - placement.x) + np.abs(feasible.y - placement.y)
+        per_cell[~netlist.movable] = 0.0
+        usage = grid.usage(feasible)
+        result = ProjectionResult(
+            placement=feasible,
+            pi=float(per_cell.sum()),
+            per_cell_l1=per_cell,
+            overflow_percent=grid.overflow_percent(usage, self.gamma),
+            stats=stats,
+        )
+        if keep_view:
+            result.view = view
+            result.projected_view_x = px
+            result.projected_view_y = py
+        return result
+
+    def pi(self, placement: Placement, nx: int | None = None) -> float:
+        """Just the constraint-violation distance (Formula 3)."""
+        return self(placement, nx=nx).pi

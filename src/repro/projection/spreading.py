@@ -1,0 +1,159 @@
+"""One-dimensional spreading primitives for the feasibility projection.
+
+Paper Section S2 formalizes SimPL-style look-ahead legalization as a
+sequence of convex one-dimensional problems: after sorting, the distances
+between neighboring cells become the variables, subject to per-window
+area (density) lower bounds — a convex feasible set.  The primitives here
+realize that:
+
+* :func:`linear_scale` — the piecewise-linear coordinate stretch used by
+  top-down partitioning,
+* :func:`split_by_capacity` — area-median cell split matching sub-region
+  capacities,
+* :func:`spread_with_spacing` — minimum-displacement order-preserving
+  spreading with pairwise spacing lower bounds, solved exactly (in L2)
+  with pool-adjacent-violators (PAVA) after a change of variables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_scale(
+    coords: np.ndarray,
+    src_lo: float,
+    src_hi: float,
+    dst_lo: float,
+    dst_hi: float,
+) -> np.ndarray:
+    """Map coordinates affinely from ``[src_lo, src_hi]`` to the target.
+
+    Degenerate source intervals collapse to the target center.
+    """
+    if dst_hi < dst_lo:
+        raise ValueError("target interval is reversed")
+    span = src_hi - src_lo
+    if span <= 0:
+        return np.full_like(np.asarray(coords, dtype=np.float64),
+                            0.5 * (dst_lo + dst_hi))
+    t = (np.asarray(coords, dtype=np.float64) - src_lo) / span
+    return dst_lo + t * (dst_hi - dst_lo)
+
+
+def split_by_capacity(
+    areas_sorted: np.ndarray,
+    capacity_left: float,
+    capacity_right: float,
+) -> int:
+    """Index ``k`` splitting sorted cells so left-side area tracks capacity.
+
+    Cells ``[0, k)`` go left, ``[k, n)`` go right.  The split point is the
+    prefix whose area fraction best matches the left capacity fraction —
+    the "median should divide cell area evenly" rule of Section S2.
+    """
+    total_cap = capacity_left + capacity_right
+    total_area = float(areas_sorted.sum())
+    if total_cap <= 0 or total_area <= 0:
+        return len(areas_sorted) // 2
+    target = total_area * capacity_left / total_cap
+    prefix = np.concatenate([[0.0], np.cumsum(areas_sorted)])
+    k = int(np.argmin(np.abs(prefix - target)))
+    return min(max(k, 0), len(areas_sorted))
+
+
+def _isotonic_l2(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted L2 isotonic regression (non-decreasing) via PAVA."""
+    n = values.shape[0]
+    if weights is None:
+        weights = np.ones(n)
+    # Blocks represented as (mean, weight, count) merged bottom-up.
+    means: list[float] = []
+    wsum: list[float] = []
+    count: list[int] = []
+    for v, w in zip(values, weights):
+        means.append(float(v))
+        wsum.append(float(w))
+        count.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            m2, w2, c2 = means.pop(), wsum.pop(), count.pop()
+            m1, w1, c1 = means.pop(), wsum.pop(), count.pop()
+            w = w1 + w2
+            means.append((m1 * w1 + m2 * w2) / w)
+            wsum.append(w)
+            count.append(c1 + c2)
+    out = np.empty(n)
+    pos = 0
+    for m, c in zip(means, count):
+        out[pos:pos + c] = m
+        pos += c
+    return out
+
+
+def spread_with_spacing(
+    coords: np.ndarray,
+    spacing: np.ndarray,
+    lo: float,
+    hi: float,
+) -> np.ndarray:
+    """Minimum-displacement spread with neighbor spacing lower bounds.
+
+    Given coordinates already in non-decreasing *order* (values may
+    violate spacing), find new coordinates ``z`` minimizing
+    ``sum (z_i - coords_i)^2`` subject to
+
+        z_{i+1} - z_i >= spacing_i      and      lo <= z_i <= hi'
+
+    where ``hi'`` accounts for remaining cells.  Change of variables
+    ``u_i = z_i - prefix_i`` (``prefix_i = sum_{j<i} spacing_j``) turns the
+    gap constraints into monotonicity, solved exactly by PAVA, then the
+    box constraints are imposed by clamping (which preserves optimality
+    for this separable problem).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if n == 0:
+        return coords.copy()
+    spacing = np.asarray(spacing, dtype=np.float64)
+    if spacing.shape[0] != max(n - 1, 0):
+        raise ValueError("need one spacing value per adjacent pair")
+    if np.any(np.diff(coords) < -1e-9):
+        raise ValueError("coords must be sorted non-decreasingly")
+
+    prefix = np.concatenate([[0.0], np.cumsum(spacing)])
+    u = _isotonic_l2(coords - prefix)
+    z = u + prefix
+
+    # Enforce the window: clamp from the left then from the right.  The
+    # total span required is prefix[-1]; if it exceeds the window we scale
+    # the spacings down uniformly (the region is overfull; the caller's
+    # density targets guarantee this is rare).
+    span = prefix[-1]
+    window = hi - lo
+    if span > window and span > 0:
+        scale = window / span
+        prefix = prefix * scale
+        z = _isotonic_l2(coords - prefix) + prefix
+    z = np.maximum(z, lo + prefix - prefix[0])
+    z = np.minimum(z, hi - (prefix[-1] - prefix))
+    # A final monotone repair in case clamping broke a gap (degenerate
+    # windows only).
+    for i in range(1, n):
+        if z[i] - z[i - 1] < prefix[i] - prefix[i - 1] - 1e-12:
+            z[i] = z[i - 1] + (prefix[i] - prefix[i - 1])
+    return z
+
+
+def even_spread(coords: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Distribute sorted coordinates evenly across ``[lo, hi]``.
+
+    Used for leaf bins when displacement hardly matters (few cells in a
+    tiny window); preserves the input order.
+    """
+    n = np.asarray(coords).shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if n == 1:
+        return np.array([0.5 * (lo + hi)])
+    t = (np.arange(n) + 0.5) / n
+    return lo + t * (hi - lo)

@@ -1,0 +1,13 @@
+"""Routability extension: RUDY congestion + SimPLR-style inflation."""
+
+from .rudy import CongestionMap, cell_congestion, rudy_map
+from .simplr import RoutabilityDrivenPlacer, RoutabilityResult, routability_place
+
+__all__ = [
+    "CongestionMap",
+    "RoutabilityDrivenPlacer",
+    "RoutabilityResult",
+    "cell_congestion",
+    "routability_place",
+    "rudy_map",
+]

@@ -1,0 +1,13 @@
+"""Numerical solvers: linear (Jacobi-PCG) and nonlinear Conjugate Gradient."""
+
+from .cg import CGResult, jacobi_pcg, scipy_cg, solve_spd
+from .nonlinear_cg import NLCGResult, minimize_nlcg
+
+__all__ = [
+    "CGResult",
+    "NLCGResult",
+    "jacobi_pcg",
+    "minimize_nlcg",
+    "scipy_cg",
+    "solve_spd",
+]

@@ -1,0 +1,30 @@
+"""Static timing analysis and net-weighting (timing/power extensions)."""
+
+from .power import (
+    activity_criticality,
+    estimate_dynamic_wire_power,
+    power_weights,
+    propagate_activities,
+)
+from .netweight import (
+    criticality_vector,
+    nets_on_path,
+    path_length,
+    slack_based_weights,
+    weight_paths,
+)
+from .sta import TimingGraph, TimingResult
+
+__all__ = [
+    "TimingGraph",
+    "TimingResult",
+    "activity_criticality",
+    "criticality_vector",
+    "estimate_dynamic_wire_power",
+    "power_weights",
+    "propagate_activities",
+    "nets_on_path",
+    "path_length",
+    "slack_based_weights",
+    "weight_paths",
+]

@@ -1,0 +1,98 @@
+"""Net weighting for timing- and power-driven placement.
+
+Paper Section 5: "Extensions for timing- and power-driven placement
+traditionally rely on net weights computed from activity factors and
+timing slacks"; Section S6 demonstrates that raising the weights of nets
+along critical paths shrinks those paths with negligible total-HPWL
+cost.  This module provides:
+
+* slack-based net weights (a convergent Chan-Cong-Radke-style update:
+  multiplicative in normalized negative slack),
+* explicit path weighting (the Figure 5 experiment),
+* criticality vectors for the weighted penalty term (Formula 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.hpwl import per_net_hpwl
+from ..netlist import Netlist, Placement
+from .sta import TimingGraph, TimingResult
+
+
+def slack_based_weights(
+    netlist: Netlist,
+    timing: TimingResult,
+    graph: TimingGraph,
+    base: np.ndarray | None = None,
+    sensitivity: float = 2.0,
+) -> np.ndarray:
+    """Net weights ``w_e * (1 + sensitivity * crit_e)``.
+
+    ``crit_e`` is the normalized negative slack of the net's driver cell
+    (0 for non-critical nets).  Applying this between placement
+    iterations reproduces the standard convergent net-weighting loop [8].
+    """
+    if base is None:
+        base = netlist.net_weights
+    crit_cells = timing.cell_criticality()
+    driver_cells = netlist.pin_cell[graph.driver_pin]
+    crit = crit_cells[driver_cells]
+    return base * (1.0 + sensitivity * crit)
+
+
+def nets_on_path(netlist: Netlist, graph: TimingGraph,
+                 path_cells: list[int]) -> list[int]:
+    """Net indices connecting consecutive cells of a path."""
+    nets: list[int] = []
+    cell_set_pairs = list(zip(path_cells[:-1], path_cells[1:]))
+    for src, dst in cell_set_pairs:
+        for _, node, data in graph._graph.out_edges(src, data=True):
+            if node == dst:
+                nets.append(int(data["net"]))
+                break
+    return nets
+
+
+def weight_paths(
+    netlist: Netlist,
+    path_nets: list[list[int]],
+    factor: float,
+) -> np.ndarray:
+    """New weight vector with the given nets' weights multiplied.
+
+    This is the Section S6 protocol: "increased the weights of nets
+    comprising these paths" by factors such as 20 and 40.
+    """
+    if factor <= 0:
+        raise ValueError("weight factor must be positive")
+    weights = netlist.net_weights.copy()
+    for nets in path_nets:
+        for e in nets:
+            weights[e] = netlist.net_weights[e] * factor
+    return weights
+
+
+def path_length(netlist: Netlist, placement: Placement,
+                nets: list[int]) -> float:
+    """Total HPWL of the nets making up one path."""
+    spans = per_net_hpwl(netlist, placement)
+    return float(spans[list(nets)].sum())
+
+
+def criticality_vector(
+    netlist: Netlist,
+    timing: TimingResult,
+    delta: float = 0.5,
+    base: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell penalty multipliers for Formula 13.
+
+    Cells on violating paths get ``gamma_i = gamma_i * (1 + delta)``
+    (the paper's update rule); others keep their activity-factor base
+    (1.0 by default).
+    """
+    gamma = np.ones(netlist.num_cells) if base is None else base.copy()
+    gamma[timing.critical_cells] *= (1.0 + delta)
+    return gamma

@@ -1,0 +1,120 @@
+"""Power-driven placement support: switching activities and net weights.
+
+Paper Section 5: "Extensions for timing- and power-driven placement
+traditionally rely on net weights computed from activity factors and
+timing slacks ... Initially, gamma is populated with switching activity
+factors."  This module supplies the activity substrate:
+
+* switching-activity propagation through the timing graph: primary
+  inputs get seed activities; each driven cell's activity is a damped
+  combination of its fanin activities (a standard probabilistic
+  transition-density surrogate),
+* power-weighted net weights ``w_e * (1 + k * activity(driver))`` —
+  dynamic wire power is activity x capacitance x V^2 and wire
+  capacitance tracks length, so weighting high-activity nets shortens
+  exactly the wires that burn power,
+* the activity-seeded criticality vector for Formula 13.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist
+from .sta import TimingGraph
+
+
+def propagate_activities(
+    netlist: Netlist,
+    graph: TimingGraph,
+    input_activity: float = 0.2,
+    damping: float = 0.8,
+    seed: int = 0,
+    randomize_inputs: bool = True,
+) -> np.ndarray:
+    """Per-cell switching activity in (0, 1].
+
+    Sources (cells with no fanin) get ``input_activity`` (jittered when
+    ``randomize_inputs``); every other cell receives ``damping`` times
+    the mean activity of its fanins, propagated in topological order
+    over the SCC condensation (cycles share their component's value).
+    """
+    if not 0.0 < input_activity <= 1.0:
+        raise ValueError("input_activity must lie in (0, 1]")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n = netlist.num_cells
+    activity = np.zeros(n)
+    fanin_sum = np.zeros(n)
+    fanin_count = np.zeros(n, dtype=np.int64)
+
+    for comp_id in graph._order:
+        members = graph._cond.nodes[comp_id]["members"]
+        # Resolve this component's activity from accumulated fanins.
+        comp_sum = sum(fanin_sum[c] for c in members)
+        comp_count = sum(fanin_count[c] for c in members)
+        if comp_count == 0:
+            base = input_activity
+            if randomize_inputs:
+                base *= float(rng.uniform(0.5, 1.5))
+            value = min(base, 1.0)
+        else:
+            value = damping * comp_sum / comp_count
+        value = max(value, 1e-6)
+        for cell in members:
+            activity[cell] = value
+            for _, dst in graph._graph.out_edges(cell):
+                if graph._comp[dst] != comp_id:
+                    fanin_sum[dst] += value
+                    fanin_count[dst] += 1
+    return activity
+
+
+def power_weights(
+    netlist: Netlist,
+    graph: TimingGraph,
+    activity: np.ndarray,
+    sensitivity: float = 2.0,
+    base: np.ndarray | None = None,
+) -> np.ndarray:
+    """Net weights boosted by the driving cell's switching activity."""
+    if base is None:
+        base = netlist.net_weights
+    driver_cells = netlist.pin_cell[graph.driver_pin]
+    return base * (1.0 + sensitivity * activity[driver_cells])
+
+
+def activity_criticality(
+    netlist: Netlist,
+    activity: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Formula 13's initial gamma vector: activity-seeded multipliers.
+
+    High-activity cells get penalty multipliers above 1 so the
+    projection and detailed placement displace them less (displacing a
+    hot cell stretches its hot nets).
+    """
+    gamma = 1.0 + scale * np.clip(activity, 0.0, 1.0)
+    gamma[~netlist.movable] = 1.0
+    return gamma
+
+
+def estimate_dynamic_wire_power(
+    netlist: Netlist,
+    placement,
+    graph: TimingGraph,
+    activity: np.ndarray,
+    cap_per_unit: float = 1.0,
+) -> float:
+    """Relative dynamic wire power: sum activity(driver) * length(net).
+
+    Absolute units are arbitrary (voltage/frequency constants dropped);
+    the quantity is meant for before/after comparisons.
+    """
+    from ..models.hpwl import per_net_hpwl
+
+    lengths = per_net_hpwl(netlist, placement)
+    driver_cells = netlist.pin_cell[graph.driver_pin]
+    return float((activity[driver_cells] * lengths * cap_per_unit).sum())

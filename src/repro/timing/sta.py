@@ -1,0 +1,201 @@
+"""Static timing analysis over a placed netlist.
+
+The paper's timing-driven extension (Section 5, Formula 13; Section S6)
+only needs timing in a supporting role: find critical paths/cells and
+derive criticalities and net weights between placement iterations.  This
+module provides that substrate:
+
+* a timing graph with one node per cell; each net contributes edges from
+  its driver pin to every sink pin,
+* delay model: a fixed cell delay plus a wire delay proportional to the
+  Manhattan distance between driver and sink pins (a linear lumped-RC
+  surrogate; adequate because only the *relative* criticality matters),
+* arrival/required/slack by longest-path propagation.  Synthetic
+  netlists are not true logic DAGs, so cycles are tolerated by
+  propagating over the strongly-connected-component condensation
+  (every cell in an SCC shares its component's arrival/required times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+
+
+@dataclass
+class TimingResult:
+    """Arrival/required/slack per cell plus graph metadata."""
+
+    arrival: np.ndarray
+    required: np.ndarray
+    slack: np.ndarray
+    clock_period: float
+    critical_cells: np.ndarray       # cells with negative slack
+    max_arrival: float
+
+    def cell_criticality(self, floor: float = 0.0) -> np.ndarray:
+        """Normalized criticality in [floor, 1]: how negative the slack
+        is relative to the clock period."""
+        crit = np.clip(-self.slack / max(self.clock_period, 1e-12), 0.0, 1.0)
+        return np.maximum(crit, floor)
+
+
+class TimingGraph:
+    """Cell-level timing graph bound to a netlist (geometry-independent).
+
+    Construction is O(pins); edges are stored per net so delays can be
+    re-derived from any placement without rebuilding.
+    """
+
+    def __init__(self, netlist: Netlist, cell_delay: float = 1.0,
+                 wire_delay_per_unit: float = 0.1) -> None:
+        self.netlist = netlist
+        self.cell_delay = cell_delay
+        self.wire_delay_per_unit = wire_delay_per_unit
+
+        # Per net: driver pin index and sink pin indices.
+        self.driver_pin = np.zeros(netlist.num_nets, dtype=np.int64)
+        sinks: list[np.ndarray] = []
+        for e in range(netlist.num_nets):
+            span = netlist.net_pins(e)
+            pins = np.arange(span.start, span.stop)
+            drivers = pins[netlist.pin_is_driver[span]]
+            driver = int(drivers[0]) if drivers.size else int(pins[0])
+            self.driver_pin[e] = driver
+            sinks.append(pins[pins != driver])
+        self.sink_pins = sinks
+        self._order, self._comp = self._condensation_order()
+
+    def _condensation_order(self) -> tuple[list[int], np.ndarray]:
+        """Topological order of SCC components (Tarjan via networkx)."""
+        import networkx as nx
+
+        nl = self.netlist
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(nl.num_cells))
+        for e in range(nl.num_nets):
+            src = int(nl.pin_cell[self.driver_pin[e]])
+            for p in self.sink_pins[e]:
+                dst = int(nl.pin_cell[p])
+                if dst != src:
+                    graph.add_edge(src, dst, net=e)
+        comp = np.zeros(nl.num_cells, dtype=np.int64)
+        cond = nx.condensation(graph)
+        for comp_id, members in cond.nodes(data="members"):
+            for cell in members:
+                comp[cell] = comp_id
+        order = list(nx.topological_sort(cond))
+        self._cond = cond
+        self._graph = graph
+        return order, comp
+
+    def analyze(self, placement: Placement,
+                clock_period: float | None = None) -> TimingResult:
+        """Propagate arrivals/requireds; slack against ``clock_period``.
+
+        When ``clock_period`` is None it defaults to the worst arrival
+        time (zero worst slack), which makes slack a pure path-length
+        criticality measure — the mode the Figure 5 experiment uses.
+        """
+        nl = self.netlist
+        n = nl.num_cells
+        # Edge delays at this placement.
+        px = placement.x[nl.pin_cell] + nl.pin_dx
+        py = placement.y[nl.pin_cell] + nl.pin_dy
+
+        comp_arrival = {c: 0.0 for c in self._order}
+        cell_arrival = np.zeros(n)
+        # Forward pass over the condensation.
+        for comp_id in self._order:
+            base = comp_arrival[comp_id]
+            for cell in self._cond.nodes[comp_id]["members"]:
+                cell_arrival[cell] = max(cell_arrival[cell], base)
+            for cell in self._cond.nodes[comp_id]["members"]:
+                for _, dst, data in self._graph.out_edges(cell, data=True):
+                    e = data["net"]
+                    dp = self.driver_pin[e]
+                    sink_pin = self._pin_of(e, dst)
+                    dist = abs(px[dp] - px[sink_pin]) + abs(py[dp] - py[sink_pin])
+                    delay = self.cell_delay + self.wire_delay_per_unit * dist
+                    t = cell_arrival[cell] + delay
+                    dst_comp = self._comp[dst]
+                    if dst_comp == comp_id:
+                        continue  # intra-SCC edges carry no delay
+                    if t > comp_arrival[dst_comp]:
+                        comp_arrival[dst_comp] = t
+                        for member in self._cond.nodes[dst_comp]["members"]:
+                            cell_arrival[member] = max(cell_arrival[member], t)
+
+        max_arrival = float(cell_arrival.max()) if n else 0.0
+        if clock_period is None:
+            clock_period = max_arrival
+        # Backward pass: required times.
+        cell_required = np.full(n, clock_period, dtype=np.float64)
+        for comp_id in reversed(self._order):
+            for cell in self._cond.nodes[comp_id]["members"]:
+                for _, dst, data in self._graph.out_edges(cell, data=True):
+                    if self._comp[dst] == comp_id:
+                        continue
+                    e = data["net"]
+                    dp = self.driver_pin[e]
+                    sink_pin = self._pin_of(e, dst)
+                    dist = abs(px[dp] - px[sink_pin]) + abs(py[dp] - py[sink_pin])
+                    delay = self.cell_delay + self.wire_delay_per_unit * dist
+                    req = cell_required[dst] - delay
+                    if req < cell_required[cell]:
+                        cell_required[cell] = req
+
+        slack = cell_required - cell_arrival
+        return TimingResult(
+            arrival=cell_arrival,
+            required=cell_required,
+            slack=slack,
+            clock_period=float(clock_period),
+            critical_cells=np.flatnonzero(slack < -1e-9),
+            max_arrival=max_arrival,
+        )
+
+    def _pin_of(self, net: int, cell: int) -> int:
+        """A sink pin of ``net`` on ``cell`` (first match)."""
+        for p in self.sink_pins[net]:
+            if self.netlist.pin_cell[p] == cell:
+                return int(p)
+        return int(self.driver_pin[net])
+
+    def critical_path(self, placement: Placement) -> list[int]:
+        """Cells along the longest (worst-arrival) path."""
+        result = self.analyze(placement)
+        # Walk back from the worst endpoint along tightest predecessors.
+        end = int(np.argmax(result.arrival))
+        path = [end]
+        px = placement.x[self.netlist.pin_cell] + self.netlist.pin_dx
+        py = placement.y[self.netlist.pin_cell] + self.netlist.pin_dy
+        current = end
+        guard = 0
+        while guard < self.netlist.num_cells:
+            guard += 1
+            best_pred = None
+            best_gap = np.inf
+            for src, _, data in self._graph.in_edges(current, data=True):
+                if self._comp[src] == self._comp[current]:
+                    continue
+                e = data["net"]
+                dp = self.driver_pin[e]
+                sp = self._pin_of(e, current)
+                dist = abs(px[dp] - px[sp]) + abs(py[dp] - py[sp])
+                delay = self.cell_delay + self.wire_delay_per_unit * dist
+                gap = abs(
+                    result.arrival[current] - (result.arrival[src] + delay)
+                )
+                if gap < best_gap:
+                    best_gap = gap
+                    best_pred = src
+            if best_pred is None or best_gap > 1e-6:
+                break
+            path.append(int(best_pred))
+            current = int(best_pred)
+        path.reverse()
+        return path

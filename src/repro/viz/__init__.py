@@ -1,0 +1,12 @@
+"""Plot output: ASCII charts for terminals, SVG files for figures."""
+
+from .ascii import ascii_chart, ascii_scatter
+from .svg import line_chart_svg, placement_svg, scatter_svg
+
+__all__ = [
+    "ascii_chart",
+    "ascii_scatter",
+    "line_chart_svg",
+    "placement_svg",
+    "scatter_svg",
+]

@@ -1,0 +1,90 @@
+"""ASCII line charts for terminal-friendly figure reproduction.
+
+matplotlib is unavailable in the reproduction environment, so the
+figure experiments print their series as ASCII charts (and write SVG
+files via :mod:`repro.viz.svg` for anything richer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_chart(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Plot one or more equal-length series as an ASCII chart.
+
+    Each series gets a distinct marker; the y-axis is shared (optionally
+    log-scaled), the x-axis is the sample index.
+    """
+    markers = "*o+x#@%&"
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    if not arrays:
+        return "(no data)\n"
+    n = max(a.shape[0] for a in arrays.values())
+    if n == 0:
+        return "(no data)\n"
+
+    def transform(a: np.ndarray) -> np.ndarray:
+        return np.log10(np.maximum(a, 1e-300)) if logy else a
+
+    lo = min(float(transform(a).min()) for a in arrays.values() if a.size)
+    hi = max(float(transform(a).max()) for a in arrays.values() if a.size)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, a), marker in zip(arrays.items(), markers):
+        t = transform(a)
+        for i, v in enumerate(t):
+            col = int(i / max(n - 1, 1) * (width - 1))
+            row = int((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    y_lo = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    label_width = max(len(y_hi), len(y_lo)) + 1
+    for r, row_chars in enumerate(grid):
+        label = y_hi if r == 0 else (y_lo if r == height - 1 else "")
+        lines.append(label.rjust(label_width) + "|" + "".join(row_chars))
+    lines.append(" " * label_width + "+" + "-" * width)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(arrays.items(), markers)
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines) + "\n"
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    marker: str = "*",
+) -> str:
+    """Scatter plot of points (e.g. a placement's cell positions)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0:
+        return "(no points)\n"
+    xlo, xhi = float(x.min()), float(x.max())
+    ylo, yhi = float(y.min()), float(y.max())
+    xhi = xhi if xhi > xlo else xlo + 1.0
+    yhi = yhi if yhi > ylo else ylo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = ((x - xlo) / (xhi - xlo) * (width - 1)).astype(int)
+    rows = ((y - ylo) / (yhi - ylo) * (height - 1)).astype(int)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+    lines = ([title] if title else []) + [
+        "|" + "".join(row) for row in grid
+    ] + ["+" + "-" * width]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Minimal SVG output: line charts and placement plots.
+
+Hand-rolled (no matplotlib in the environment); enough to regenerate the
+paper's figures as vector files: convergence curves (Figure 1),
+shredded-macro placements (Figure 2), scalability scatter (Figure 3),
+region-constraint before/after (Figure 4) and path overlays (Figure 5).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+
+_PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"]
+
+
+def _svg_header(width: int, height: int) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f'<rect width="{width}" height="{height}" fill="white"/>\n'
+    )
+
+
+def line_chart_svg(
+    series: dict[str, np.ndarray],
+    path: str,
+    title: str = "",
+    width: int = 640,
+    height: int = 400,
+    logy: bool = False,
+    x_values: np.ndarray | None = None,
+) -> None:
+    """Write a multi-series line chart to an SVG file."""
+    margin = 50
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+
+    def ty(a: np.ndarray) -> np.ndarray:
+        return np.log10(np.maximum(a, 1e-300)) if logy else a
+
+    all_y = np.concatenate([ty(a) for a in arrays.values() if a.size])
+    ylo, yhi = float(all_y.min()), float(all_y.max())
+    if yhi <= ylo:
+        yhi = ylo + 1.0
+    n = max(a.shape[0] for a in arrays.values())
+    xs = np.asarray(x_values, dtype=np.float64) if x_values is not None \
+        else np.arange(n, dtype=np.float64)
+    xlo, xhi = float(xs.min()), float(xs.max())
+    if xhi <= xlo:
+        xhi = xlo + 1.0
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{title}</text>\n'
+        )
+    out.write(
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>\n'
+    )
+    for (name, a), color in zip(arrays.items(), _PALETTE):
+        t = ty(a)
+        pts = []
+        for i, v in enumerate(t):
+            px = margin + (xs[min(i, xs.shape[0] - 1)] - xlo) / (xhi - xlo) * plot_w
+            py = margin + plot_h - (v - ylo) / (yhi - ylo) * plot_h
+            pts.append(f"{px:.1f},{py:.1f}")
+        out.write(
+            f'<polyline points="{" ".join(pts)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>\n'
+        )
+    # Legend and axis extremes.
+    for i, (name, color) in enumerate(zip(arrays, _PALETTE)):
+        y = margin + 16 + 16 * i
+        out.write(
+            f'<line x1="{width - margin - 110}" y1="{y - 4}" '
+            f'x2="{width - margin - 90}" y2="{y - 4}" stroke="{color}" '
+            'stroke-width="2"/>\n'
+            f'<text x="{width - margin - 84}" y="{y}" font-family="sans-serif" '
+            f'font-size="12">{name}</text>\n'
+        )
+    lo_label = f"{10**ylo:.3g}" if logy else f"{ylo:.3g}"
+    hi_label = f"{10**yhi:.3g}" if logy else f"{yhi:.3g}"
+    out.write(
+        f'<text x="{margin - 4}" y="{margin + 4}" text-anchor="end" '
+        f'font-family="sans-serif" font-size="11">{hi_label}</text>\n'
+        f'<text x="{margin - 4}" y="{margin + plot_h}" text-anchor="end" '
+        f'font-family="sans-serif" font-size="11">{lo_label}</text>\n'
+    )
+    out.write("</svg>\n")
+    with open(path, "w") as handle:
+        handle.write(out.getvalue())
+
+
+def placement_svg(
+    netlist: Netlist,
+    placement: Placement,
+    path: str,
+    title: str = "",
+    width: int = 640,
+    highlight: np.ndarray | None = None,
+    extra_rects: list[tuple[float, float, float, float, str]] | None = None,
+) -> None:
+    """Write a placement plot: std cells as dots, macros as outlines.
+
+    ``highlight`` marks a subset of cells in red; ``extra_rects`` draws
+    extra rectangles (e.g. region constraints) as
+    ``(xlo, ylo, xhi, yhi, color)``.
+    """
+    bounds = netlist.core.bounds
+    scale = (width - 20) / max(bounds.width, 1e-9)
+    height = int(bounds.height * scale) + 40
+
+    def sx(x: float) -> float:
+        return 10 + (x - bounds.xlo) * scale
+
+    def sy(y: float) -> float:
+        return height - 20 - (y - bounds.ylo) * scale
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="14" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="12">{title}</text>\n'
+        )
+    out.write(
+        f'<rect x="{sx(bounds.xlo)}" y="{sy(bounds.yhi)}" '
+        f'width="{bounds.width * scale}" height="{bounds.height * scale}" '
+        'fill="none" stroke="#444"/>\n'
+    )
+    hi = set(int(i) for i in (highlight if highlight is not None else []))
+    for i in range(netlist.num_cells):
+        x, y = placement.x[i], placement.y[i]
+        if netlist.is_macro[i] or (not netlist.movable[i] and netlist.areas[i] > 0):
+            color = "#d62728" if netlist.movable[i] else "#999999"
+            out.write(
+                f'<rect x="{sx(x - 0.5 * netlist.widths[i]):.1f}" '
+                f'y="{sy(y + 0.5 * netlist.heights[i]):.1f}" '
+                f'width="{netlist.widths[i] * scale:.1f}" '
+                f'height="{netlist.heights[i] * scale:.1f}" '
+                f'fill="none" stroke="{color}"/>\n'
+            )
+        elif netlist.movable[i]:
+            color = "#d62728" if i in hi else "#1f77b4"
+            r = 2.0 if i in hi else 1.0
+            out.write(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="{r}" '
+                f'fill="{color}"/>\n'
+            )
+    for (xlo, ylo, xhi_, yhi_, color) in extra_rects or []:
+        out.write(
+            f'<rect x="{sx(xlo):.1f}" y="{sy(yhi_):.1f}" '
+            f'width="{(xhi_ - xlo) * scale:.1f}" '
+            f'height="{(yhi_ - ylo) * scale:.1f}" '
+            f'fill="none" stroke="{color}" stroke-width="2" '
+            'stroke-dasharray="6,3"/>\n'
+        )
+    out.write("</svg>\n")
+    with open(path, "w") as handle:
+        handle.write(out.getvalue())
+
+
+def scatter_svg(
+    x: np.ndarray,
+    y_series: dict[str, np.ndarray],
+    path: str,
+    title: str = "",
+    width: int = 640,
+    height: int = 400,
+    logx: bool = False,
+) -> None:
+    """Scatter chart with shared x values (Figure 3 style)."""
+    margin = 50
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    xs = np.asarray(x, dtype=np.float64)
+    if logx:
+        xs = np.log10(np.maximum(xs, 1e-300))
+    xlo, xhi = float(xs.min()), float(xs.max())
+    if xhi <= xlo:
+        xhi = xlo + 1.0
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{title}</text>\n'
+        )
+    out.write(
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>\n'
+    )
+    for (name, ys), color in zip(y_series.items(), _PALETTE):
+        ys = np.asarray(ys, dtype=np.float64)
+        ylo, yhi = float(ys.min()), float(ys.max())
+        if yhi <= ylo:
+            yhi = ylo + 1.0
+        for xv, yv in zip(xs, ys):
+            px = margin + (xv - xlo) / (xhi - xlo) * plot_w
+            py = margin + plot_h - (yv - ylo) / (yhi - ylo) * plot_h
+            out.write(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" fill="{color}" '
+                'fill-opacity="0.7"/>\n'
+            )
+    for i, (name, color) in enumerate(zip(y_series, _PALETTE)):
+        y = margin + 16 + 16 * i
+        out.write(
+            f'<circle cx="{width - margin - 100}" cy="{y - 4}" r="4" '
+            f'fill="{color}"/>\n'
+            f'<text x="{width - margin - 90}" y="{y}" font-family="sans-serif" '
+            f'font-size="12">{name}</text>\n'
+        )
+    out.write("</svg>\n")
+    with open(path, "w") as handle:
+        handle.write(out.getvalue())

@@ -1,0 +1,35 @@
+"""Synthetic workloads: generator, ISPD-style suites and scenarios."""
+
+from .scenarios import clustered_cells, region_scenario, weighted_paths_scenario
+from .suites import (
+    ISPD2005,
+    ISPD2006,
+    SuiteEntry,
+    load_suite,
+    suite_entry,
+    suite_names,
+)
+from .synthetic import (
+    DEGREE_CHOICES,
+    DEGREE_WEIGHTS,
+    SyntheticDesign,
+    SyntheticSpec,
+    generate,
+)
+
+__all__ = [
+    "DEGREE_CHOICES",
+    "clustered_cells",
+    "region_scenario",
+    "weighted_paths_scenario",
+    "DEGREE_WEIGHTS",
+    "ISPD2005",
+    "ISPD2006",
+    "SuiteEntry",
+    "SyntheticDesign",
+    "SyntheticSpec",
+    "generate",
+    "load_suite",
+    "suite_entry",
+    "suite_names",
+]

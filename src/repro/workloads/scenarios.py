@@ -1,0 +1,99 @@
+"""Scenario builders: derived workloads for the extension experiments.
+
+The Figure 4 (region constraints) and Figure 5 (timing-driven net
+weighting) experiments derive their scenarios from a placed design;
+these builders expose that logic as reusable API so users can set up the
+same studies on their own netlists.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..netlist import Netlist, Placement, PlacementRegion, Rect
+
+
+def clustered_cells(
+    netlist: Netlist,
+    placement: Placement,
+    count: int = 50,
+    seed: int = 0,
+) -> np.ndarray:
+    """A batch of movable standard cells near a random seed cell."""
+    rng = np.random.default_rng(seed)
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        raise ValueError("netlist has no movable standard cells")
+    anchor = std[rng.integers(0, std.size)]
+    d = (
+        np.abs(placement.x[std] - placement.x[anchor])
+        + np.abs(placement.y[std] - placement.y[anchor])
+    )
+    return std[np.argsort(d)[:min(count, std.size)]]
+
+
+def region_scenario(
+    netlist: Netlist,
+    placement: Placement,
+    count: int = 50,
+    offset_fraction: float = 0.15,
+    density_headroom: float = 4.0,
+    seed: int = 0,
+    name: str = "scenario_region",
+) -> tuple[Netlist, Rect, np.ndarray]:
+    """A hard-region scenario like Figure 4's.
+
+    Picks ``count`` clustered cells from the given placement and builds
+    a region rectangle offset ``offset_fraction`` of the core away from
+    their centroid, sized for ``density_headroom`` times their area.
+    Returns ``(netlist-with-region, region rect, constrained cells)``;
+    the input netlist is not mutated (a shallow copy carries the extra
+    region).
+    """
+    cells = clustered_cells(netlist, placement, count=count, seed=seed)
+    bounds = netlist.core.bounds
+    cx = float(placement.x[cells].mean())
+    cy = float(placement.y[cells].mean())
+    off_x = offset_fraction * bounds.width * (1 if cx < bounds.center[0] else -1)
+    off_y = offset_fraction * bounds.height * (1 if cy < bounds.center[1] else -1)
+    tx = float(np.clip(cx + off_x, bounds.xlo, bounds.xhi))
+    ty = float(np.clip(cy + off_y, bounds.ylo, bounds.yhi))
+    area = float(netlist.areas[cells].sum()) * density_headroom
+    half = max(0.5 * np.sqrt(area), 2.0 * netlist.core.row_height)
+    rect = Rect(
+        max(tx - half, bounds.xlo), max(ty - half, bounds.ylo),
+        min(tx + half, bounds.xhi), min(ty + half, bounds.yhi),
+    )
+    constrained = copy.copy(netlist)
+    constrained.regions = list(netlist.regions) + [
+        PlacementRegion(name, rect, cells)
+    ]
+    return constrained, rect, cells
+
+
+def weighted_paths_scenario(
+    netlist: Netlist,
+    placement: Placement,
+    factor: float,
+    num_paths: int = 3,
+    max_cells: int = 7,
+) -> tuple[Netlist, list[list[int]]]:
+    """A critical-path net-weighting scenario like Figure 5's.
+
+    Runs STA on the placement, extracts ``num_paths`` short critical
+    paths and returns a shallow netlist copy whose path nets are
+    weighted by ``factor``, plus the paths (as net-index lists).
+    """
+    from ..experiments.fig5 import find_critical_paths
+    from ..timing import TimingGraph, weight_paths
+
+    graph = TimingGraph(netlist)
+    paths = find_critical_paths(netlist, placement, graph,
+                                count=num_paths, max_cells=max_cells)
+    if not paths:
+        raise ValueError("no critical paths found; design too small")
+    weighted = copy.copy(netlist)
+    weighted.net_weights = weight_paths(netlist, paths, factor)
+    return weighted, paths

@@ -1,0 +1,100 @@
+"""Registry of ISPD-2005/2006-style synthetic benchmark suites.
+
+Sizes are the official contest module counts scaled by 1/100 so a pure
+Python placer finishes in seconds-to-minutes per design; `scale` rescales
+further.  The 2006 suites carry the official target densities (Table 2 of
+the paper) and movable macros; 2005 suites have fixed macros only and are
+placed at gamma = 1.
+
+The registry is what every table/figure experiment iterates over, so the
+mapping from paper benchmark to synthetic stand-in lives in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .synthetic import SyntheticDesign, SyntheticSpec, generate
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One benchmark in the registry."""
+
+    name: str
+    paper_name: str
+    num_cells: int           # 1/100 of the contest module count
+    num_fixed_macros: int
+    num_movable_macros: int
+    target_density: float
+    utilization: float
+    family: str              # "ispd2005" | "ispd2006"
+    seed: int
+
+
+ISPD2005 = [
+    SuiteEntry("adaptec1_s", "ADAPTEC1", 2110, 6, 0, 1.0, 0.65, "ispd2005", 101),
+    SuiteEntry("adaptec2_s", "ADAPTEC2", 2550, 8, 0, 1.0, 0.60, "ispd2005", 102),
+    SuiteEntry("adaptec3_s", "ADAPTEC3", 4520, 10, 0, 1.0, 0.55, "ispd2005", 103),
+    SuiteEntry("adaptec4_s", "ADAPTEC4", 4960, 10, 0, 1.0, 0.50, "ispd2005", 104),
+    SuiteEntry("bigblue1_s", "BIGBLUE1", 2780, 6, 0, 1.0, 0.60, "ispd2005", 105),
+    SuiteEntry("bigblue2_s", "BIGBLUE2", 5580, 12, 0, 1.0, 0.55, "ispd2005", 106),
+    SuiteEntry("bigblue3_s", "BIGBLUE3", 11000, 14, 0, 1.0, 0.55, "ispd2005", 107),
+    SuiteEntry("bigblue4_s", "BIGBLUE4", 21800, 16, 0, 1.0, 0.50, "ispd2005", 108),
+]
+
+ISPD2006 = [
+    SuiteEntry("adaptec5_s", "ADAPTEC5", 8430, 4, 8, 0.5, 0.45, "ispd2006", 201),
+    SuiteEntry("newblue1_s", "NEWBLUE1", 3300, 2, 6, 0.8, 0.60, "ispd2006", 202),
+    SuiteEntry("newblue2_s", "NEWBLUE2", 4410, 2, 8, 0.9, 0.60, "ispd2006", 203),
+    SuiteEntry("newblue3_s", "NEWBLUE3", 4940, 2, 6, 0.8, 0.55, "ispd2006", 204),
+    SuiteEntry("newblue4_s", "NEWBLUE4", 6460, 2, 8, 0.5, 0.45, "ispd2006", 205),
+    SuiteEntry("newblue5_s", "NEWBLUE5", 12300, 4, 10, 0.5, 0.45, "ispd2006", 206),
+    SuiteEntry("newblue6_s", "NEWBLUE6", 12500, 4, 10, 0.8, 0.55, "ispd2006", 207),
+    SuiteEntry("newblue7_s", "NEWBLUE7", 24500, 4, 12, 0.8, 0.55, "ispd2006", 208),
+]
+
+_REGISTRY = {entry.name: entry for entry in ISPD2005 + ISPD2006}
+
+
+def suite_names(family: str | None = None) -> list[str]:
+    """Names of all registered suites, optionally filtered by family."""
+    entries = ISPD2005 + ISPD2006
+    if family is not None:
+        entries = [e for e in entries if e.family == family]
+    return [e.name for e in entries]
+
+
+def suite_entry(name: str) -> SuiteEntry:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown suite {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def load_suite(name: str, scale: float = 1.0) -> SyntheticDesign:
+    """Generate the named synthetic benchmark (deterministic).
+
+    ``scale`` multiplies the cell count (e.g. 0.1 for quick tests);
+    macro counts shrink with the square root of the scale so mixed-size
+    behaviour survives downscaling.
+    """
+    entry = suite_entry(name)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    macro_scale = max(scale, 0.05) ** 0.5
+    spec = SyntheticSpec(
+        name=entry.name,
+        num_cells=max(int(entry.num_cells * scale), 50),
+        num_fixed_macros=max(int(round(entry.num_fixed_macros * macro_scale)),
+                             1 if entry.num_fixed_macros else 0),
+        num_movable_macros=max(int(round(entry.num_movable_macros * macro_scale)),
+                               1 if entry.num_movable_macros else 0),
+        target_density=entry.target_density,
+        utilization=entry.utilization,
+        num_pads=max(int(64 * macro_scale), 16),
+        seed=entry.seed,
+    )
+    return generate(spec)

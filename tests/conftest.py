@@ -1,0 +1,105 @@
+"""Shared fixtures: hand-built netlists and cached placement runs.
+
+Expensive artifacts (synthetic designs, full placement runs) are
+session-scoped so the suite stays fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ComPLxConfig, NetlistBuilder, Rect
+from repro.core import ComPLxPlacer
+from repro.netlist import CellKind, CoreArea
+from repro.workloads import SyntheticSpec, generate
+
+
+@pytest.fixture
+def tiny_builder() -> NetlistBuilder:
+    """Four movable cells, two pads, three nets on a 20x20 core."""
+    core = CoreArea.uniform(Rect(0, 0, 20, 20), row_height=1.0)
+    b = NetlistBuilder("tiny", core=core)
+    b.add_cell("a", width=2.0, height=1.0)
+    b.add_cell("b", width=3.0, height=1.0)
+    b.add_cell("c", width=1.0, height=1.0)
+    b.add_cell("d", width=2.0, height=1.0)
+    b.add_cell("p0", width=0.0, height=0.0, kind=CellKind.TERMINAL,
+               fixed_at=(0.0, 10.0))
+    b.add_cell("p1", width=0.0, height=0.0, kind=CellKind.TERMINAL,
+               fixed_at=(20.0, 10.0))
+    b.add_net("n0", [("p0", 0.0, 0.0), ("a", 0.0, 0.0), ("b", 0.5, 0.0)])
+    b.add_net("n1", [("b", -0.5, 0.0), ("c", 0.0, 0.0)])
+    b.add_net("n2", [("c", 0.0, 0.0), ("d", 0.0, 0.0), ("p1", 0.0, 0.0)])
+    return b
+
+
+@pytest.fixture
+def tiny_netlist(tiny_builder):
+    return tiny_builder.build()
+
+
+@pytest.fixture
+def mixed_builder() -> NetlistBuilder:
+    """A netlist with one movable macro, one fixed macro and std cells."""
+    core = CoreArea.uniform(Rect(0, 0, 40, 40), row_height=1.0)
+    b = NetlistBuilder("mixed", core=core)
+    b.add_cell("bigm", width=8.0, height=8.0, kind=CellKind.MACRO)
+    b.add_cell("obst", width=6.0, height=6.0, kind=CellKind.MACRO,
+               fixed_at=(30.0, 30.0))
+    for i in range(20):
+        b.add_cell(f"c{i}", width=2.0, height=1.0)
+    b.add_cell("p0", width=0.0, height=0.0, kind=CellKind.TERMINAL,
+               fixed_at=(0.0, 0.0))
+    for i in range(19):
+        b.add_net(f"n{i}", [(f"c{i}", 0.0, 0.0), (f"c{i+1}", 0.0, 0.0)])
+    b.add_net("nm", [("bigm", 3.0, 3.0), ("c0", 0.0, 0.0), ("p0", 0.0, 0.0)])
+    b.add_net("nf", [("obst", -2.0, 0.0), ("c10", 0.0, 0.0)])
+    return b
+
+
+@pytest.fixture
+def mixed_netlist(mixed_builder):
+    return mixed_builder.build()
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """A ~180-cell synthetic design with fixed macros (2005-style)."""
+    spec = SyntheticSpec(
+        name="unit_small", num_cells=180, num_pads=16,
+        num_fixed_macros=2, num_movable_macros=0, seed=42,
+    )
+    return generate(spec)
+
+
+@pytest.fixture(scope="session")
+def mixed_design():
+    """A ~150-cell synthetic design with movable macros (2006-style)."""
+    spec = SyntheticSpec(
+        name="unit_mixed", num_cells=150, num_pads=16,
+        num_fixed_macros=1, num_movable_macros=2,
+        target_density=0.8, seed=43,
+    )
+    return generate(spec)
+
+
+@pytest.fixture(scope="session")
+def placed_small(small_design):
+    """A completed ComPLx run on the small design (do not mutate)."""
+    placer = ComPLxPlacer(small_design.netlist, ComPLxConfig(seed=1))
+    return placer.place()
+
+
+@pytest.fixture(scope="session")
+def placed_mixed(mixed_design):
+    """A completed ComPLx run on the mixed-size design (do not mutate)."""
+    placer = ComPLxPlacer(
+        mixed_design.netlist, ComPLxConfig(gamma=0.8, seed=1)
+    )
+    return placer.place()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,92 @@
+"""Unit tests for the Abacus cluster mechanics (legalize.abacus)."""
+
+import numpy as np
+import pytest
+
+from repro.legalize.abacus import _Cluster, _insert
+
+
+class TestCluster:
+    def test_single_cell_optimal_position(self):
+        c = _Cluster()
+        c.add_cell(7, desired=10.0, weight=1.0, width=2.0)
+        assert c.optimal_x(0.0, 100.0) == pytest.approx(10.0)
+
+    def test_clamped_into_segment(self):
+        c = _Cluster()
+        c.add_cell(7, desired=-5.0, weight=1.0, width=2.0)
+        assert c.optimal_x(0.0, 100.0) == 0.0
+        c2 = _Cluster()
+        c2.add_cell(8, desired=150.0, weight=1.0, width=2.0)
+        assert c2.optimal_x(0.0, 100.0) == pytest.approx(98.0)
+
+    def test_merge_weighted_mean(self):
+        """Two single-cell clusters merge to the least-squares optimum."""
+        a = _Cluster()
+        a.add_cell(0, desired=10.0, weight=1.0, width=2.0)
+        b = _Cluster()
+        b.add_cell(1, desired=11.0, weight=1.0, width=2.0)
+        a.merge(b)
+        # optimum minimizes (x-10)^2 + (x+2-11)^2 -> x = 9.5
+        assert a.optimal_x(0.0, 100.0) == pytest.approx(9.5)
+        assert a.offsets == [0.0, 2.0]
+
+    def test_merge_respects_weights(self):
+        a = _Cluster()
+        a.add_cell(0, desired=0.0, weight=3.0, width=1.0)
+        b = _Cluster()
+        b.add_cell(1, desired=10.0, weight=1.0, width=1.0)
+        a.merge(b)
+        # minimize 3(x-0)^2 + (x+1-10)^2 -> x = 9/4
+        assert a.optimal_x(-100.0, 100.0) == pytest.approx(2.25)
+
+
+class TestInsert:
+    def test_insert_into_empty_segment(self):
+        out = _insert([], cell=5, desired=20.0, weight=1.0, width=4.0,
+                      lo=0.0, hi=100.0)
+        assert out is not None
+        clusters, x = out
+        assert len(clusters) == 1
+        assert x == pytest.approx(20.0)
+
+    def test_insert_non_overlapping_keeps_clusters(self):
+        clusters, _ = _insert([], 0, 10.0, 1.0, 2.0, 0.0, 100.0)
+        clusters, x = _insert(clusters, 1, 50.0, 1.0, 2.0, 0.0, 100.0)
+        assert len(clusters) == 2
+        assert x == pytest.approx(50.0)
+
+    def test_insert_overlapping_collapses(self):
+        clusters, _ = _insert([], 0, 10.0, 1.0, 4.0, 0.0, 100.0)
+        clusters, x = _insert(clusters, 1, 11.0, 1.0, 4.0, 0.0, 100.0)
+        assert len(clusters) == 1
+        # cells abut: cluster optimum splits the difference
+        assert clusters[0].cells == [0, 1]
+        assert x == pytest.approx(clusters[0].x + 4.0)
+
+    def test_insert_rejects_overfull_segment(self):
+        clusters, _ = _insert([], 0, 0.0, 1.0, 8.0, 0.0, 10.0)
+        assert _insert(clusters, 1, 5.0, 1.0, 4.0, 0.0, 10.0) is None
+
+    def test_trial_does_not_mutate(self):
+        clusters, _ = _insert([], 0, 10.0, 1.0, 4.0, 0.0, 100.0)
+        snapshot = [(c.x, list(c.cells)) for c in clusters]
+        _insert(clusters, 1, 11.0, 1.0, 4.0, 0.0, 100.0)
+        assert [(c.x, list(c.cells)) for c in clusters] == snapshot
+
+    def test_chain_collapse_positions_sorted(self):
+        """Inserting many cells wanting the same spot yields a packed,
+        ordered, in-bounds cluster."""
+        clusters: list = []
+        for i in range(10):
+            result = _insert(clusters, i, 50.0, 1.0, 3.0, 0.0, 100.0)
+            assert result is not None
+            clusters, _ = result
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        xs = [cluster.x + off for off in cluster.offsets]
+        assert xs == sorted(xs)
+        assert xs[0] >= 0.0
+        assert xs[-1] + 3.0 <= 100.0
+        # total width accounted
+        assert cluster.w == pytest.approx(30.0)

@@ -1,0 +1,91 @@
+"""Tests for the placement analysis/reporting module."""
+
+import numpy as np
+import pytest
+
+from repro import Placement
+from repro.analysis import (
+    analyze_placement,
+    density_stats,
+    displacement_stats,
+    net_length_stats,
+    _gini,
+)
+
+
+class TestNetLengthStats:
+    def test_basic(self, small_design, placed_small):
+        stats = net_length_stats(small_design.netlist, placed_small.upper)
+        assert stats.total > 0
+        assert stats.mean <= stats.p95 <= stats.max
+        assert 0.0 <= stats.zero_fraction <= 1.0
+
+    def test_zero_fraction_counts_collapsed_nets(self):
+        from repro import NetlistBuilder
+        b = NetlistBuilder("z")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)])
+        nl = b.build()
+        p = nl.initial_placement()  # both cells at the core center
+        stats = net_length_stats(nl, p)
+        assert stats.zero_fraction == 1.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert _gini(v) > 0.9
+
+    def test_empty(self):
+        assert _gini(np.zeros(0)) == 0.0
+        assert _gini(np.zeros(5)) == 0.0
+
+
+class TestDensityStats:
+    def test_spread_low_gini(self, small_design, placed_small):
+        stats = density_stats(small_design.netlist, placed_small.upper)
+        assert stats.max_utilization >= stats.mean_utilization
+        assert stats.overflow_percent < 10.0
+
+    def test_clump_high_overflow(self, small_design):
+        nl = small_design.netlist
+        clump = nl.initial_placement(jitter=0.5)
+        stats = density_stats(nl, clump)
+        assert stats.overflow_percent > 20.0
+        assert stats.gini > 0.5
+
+
+class TestDisplacement:
+    def test_identity_zero(self, small_design, placed_small):
+        d = displacement_stats(small_design.netlist, placed_small.upper,
+                               placed_small.upper)
+        assert d["total"] == 0.0
+
+    def test_shift_counted(self, small_design, placed_small):
+        nl = small_design.netlist
+        shifted = placed_small.upper.copy()
+        shifted.x[nl.movable] += 2.0
+        d = displacement_stats(nl, placed_small.upper, shifted)
+        assert d["mean"] == pytest.approx(2.0)
+        assert d["max"] == pytest.approx(2.0)
+
+
+class TestReport:
+    def test_full_report(self, small_design, placed_small):
+        report = analyze_placement(small_design.netlist, placed_small.upper)
+        text = report.render()
+        assert small_design.netlist.name in text
+        assert "HPWL" in text
+        assert "density" in text
+        # the global-placement upper bound overlaps cells: not legal yet
+        assert not report.legal
+
+    def test_legality_skippable(self, small_design, placed_small):
+        report = analyze_placement(small_design.netlist, placed_small.upper,
+                                   check_legality=False)
+        assert report.legality_summary == "not checked"

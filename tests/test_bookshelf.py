@@ -1,0 +1,154 @@
+"""Tests for the Bookshelf reader/writer (round-trip and parsing)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Placement
+from repro.models import hpwl
+from repro.netlist.bookshelf import (
+    BookshelfError,
+    _read_nodes,
+    read_aux,
+    write_aux,
+)
+from repro.workloads import SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate(SyntheticSpec(
+        name="bsf", num_cells=60, num_pads=8,
+        num_fixed_macros=1, num_movable_macros=1, seed=9,
+    ))
+
+
+@pytest.fixture
+def roundtrip(design, tmp_path):
+    nl = design.netlist
+    placement = nl.initial_placement(jitter=1.0, seed=5)
+    aux = write_aux(nl, placement, str(tmp_path))
+    reread, reread_placement = read_aux(aux)
+    return nl, placement, reread, reread_placement
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert reread.num_cells == nl.num_cells
+        assert reread.num_nets == nl.num_nets
+        assert reread.num_pins == nl.num_pins
+
+    def test_names_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert reread.cell_names == nl.cell_names
+        assert reread.net_names == nl.net_names
+
+    def test_geometry_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert np.allclose(reread.widths, nl.widths)
+        assert np.allclose(reread.heights, nl.heights)
+        assert np.array_equal(reread.kinds, nl.kinds)
+        assert np.array_equal(reread.movable, nl.movable)
+
+    def test_pins_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert np.array_equal(reread.pin_cell, nl.pin_cell)
+        assert np.allclose(reread.pin_dx, nl.pin_dx)
+        assert np.allclose(reread.pin_dy, nl.pin_dy)
+
+    def test_weights_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert np.allclose(reread.net_weights, nl.net_weights)
+
+    def test_placement_preserved(self, roundtrip):
+        nl, placement, reread, reread_placement = roundtrip
+        assert np.allclose(reread_placement.x, placement.x, atol=1e-4)
+        assert np.allclose(reread_placement.y, placement.y, atol=1e-4)
+        assert hpwl(reread, reread_placement) == pytest.approx(
+            hpwl(nl, placement), rel=1e-6
+        )
+
+    def test_rows_preserved(self, roundtrip):
+        nl, _, reread, _ = roundtrip
+        assert len(reread.core.rows) == len(nl.core.rows)
+        assert reread.core.row_height == pytest.approx(nl.core.row_height)
+
+    def test_file_set(self, design, tmp_path):
+        nl = design.netlist
+        aux = write_aux(nl, nl.initial_placement(), str(tmp_path),
+                        design="custom")
+        files = set(os.listdir(tmp_path))
+        for ext in (".aux", ".nodes", ".nets", ".wts", ".pl", ".scl"):
+            assert f"custom{ext}" in files
+        assert aux.endswith("custom.aux")
+
+
+class TestParsing:
+    def test_nodes_parser(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text(
+            "UCLA nodes 1.0\n"
+            "# a comment\n"
+            "NumNodes : 3\n"
+            "NumTerminals : 1\n"
+            "a 2 1\n"
+            "b 3 1\n"
+            "io 0 0 terminal\n"
+        )
+        nodes = _read_nodes(str(path))
+        assert len(nodes) == 3
+        assert nodes["io"].terminal
+        assert nodes["a"].width == 2.0
+
+    def test_nodes_count_mismatch(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("UCLA nodes 1.0\nNumNodes : 5\na 2 1\n")
+        with pytest.raises(BookshelfError, match="NumNodes"):
+            _read_nodes(str(path))
+
+    def test_nodes_missing_header(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("a 2 1\n")
+        with pytest.raises(BookshelfError, match="header"):
+            _read_nodes(str(path))
+
+    def test_duplicate_node(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("UCLA nodes 1.0\na 2 1\na 3 1\n")
+        with pytest.raises(BookshelfError, match="duplicate"):
+            _read_nodes(str(path))
+
+    def test_aux_missing_scl(self, tmp_path):
+        aux = tmp_path / "d.aux"
+        aux.write_text("RowBasedPlacement : d.nodes d.nets d.pl\n")
+        with pytest.raises(BookshelfError, match=".scl"):
+            read_aux(str(aux))
+
+    def test_fixed_flag_respected(self, design, tmp_path):
+        nl = design.netlist
+        aux = write_aux(nl, nl.initial_placement(), str(tmp_path))
+        reread, _ = read_aux(aux)
+        # The generator's fixed macro must come back fixed; the movable
+        # macro must come back movable.
+        for i in range(nl.num_cells):
+            assert reread.movable[i] == nl.movable[i], nl.cell_names[i]
+
+    def test_lowerleft_to_center_conversion(self, tmp_path):
+        """Bookshelf .pl stores lower-left corners; we use centers."""
+        for name, content in {
+            "d.nodes": "UCLA nodes 1.0\na 4 2\nb 2 2\n",
+            "d.nets": ("UCLA nets 1.0\nNetDegree : 2 n0\n"
+                       "  a I : 0 0\n  b I : 0 0\n"),
+            "d.pl": "UCLA pl 1.0\na 10 20 : N\nb 0 0 : N\n",
+            "d.scl": ("UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+                      "  Coordinate : 0\n  Height : 2\n  Sitewidth : 1\n"
+                      "  SubrowOrigin : 0 NumSites : 100\nEnd\n"),
+            "d.aux": "RowBasedPlacement : d.nodes d.nets d.wts d.pl d.scl",
+        }.items():
+            (tmp_path / name).write_text(content)
+        nl, placement = read_aux(str(tmp_path / "d.aux"))
+        i = nl.cell_index("a")
+        assert placement.x[i] == pytest.approx(12.0)  # 10 + 4/2
+        assert placement.y[i] == pytest.approx(21.0)  # 20 + 2/2

@@ -1,0 +1,46 @@
+"""Property-based Bookshelf round-trip over randomly generated designs."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.models import hpwl
+from repro.netlist.bookshelf import read_aux, write_aux
+from repro.workloads import SyntheticSpec, generate
+
+
+@st.composite
+def small_specs(draw):
+    return SyntheticSpec(
+        name="prop",
+        num_cells=draw(st.integers(10, 80)),
+        num_pads=draw(st.integers(4, 12)),
+        num_fixed_macros=draw(st.integers(0, 2)),
+        num_movable_macros=draw(st.integers(0, 2)),
+        nets_per_cell=draw(st.floats(0.8, 1.5)),
+        utilization=draw(st.floats(0.3, 0.8)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+@given(small_specs(), st.integers(0, 100))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_roundtrip_preserves_everything(tmp_path_factory, spec, pl_seed):
+    design = generate(spec)
+    nl = design.netlist
+    placement = nl.initial_placement(jitter=2.0, seed=pl_seed)
+    directory = tmp_path_factory.mktemp("bsf")
+
+    aux = write_aux(nl, placement, str(directory))
+    reread, reread_placement = read_aux(aux)
+
+    assert reread.num_cells == nl.num_cells
+    assert reread.num_nets == nl.num_nets
+    assert np.array_equal(reread.pin_cell, nl.pin_cell)
+    assert np.array_equal(reread.movable, nl.movable)
+    assert np.array_equal(reread.kinds, nl.kinds)
+    assert np.allclose(reread.widths, nl.widths)
+    assert np.allclose(reread_placement.x, placement.x, atol=1e-6)
+    assert abs(hpwl(reread, reread_placement) - hpwl(nl, placement)) \
+        <= 1e-5 * max(hpwl(nl, placement), 1.0)

@@ -1,0 +1,137 @@
+"""Unit tests for NetlistBuilder."""
+
+import numpy as np
+import pytest
+
+from repro import CellKind, NetlistBuilder, Rect
+from repro.netlist import CoreArea
+
+
+class TestAddCell:
+    def test_duplicate_name_rejected(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_cell("a", 2.0, 1.0)
+
+    def test_terminal_defaults_fixed(self):
+        b = NetlistBuilder("t")
+        b.add_cell("p", 0.0, 0.0, kind=CellKind.TERMINAL)
+        b.add_cell("q", 1.0, 1.0)
+        b.add_net("n", [("p", 0, 0), ("q", 0, 0)])
+        nl = b.build()
+        assert not nl.movable[0]
+        assert nl.movable[1]
+
+    def test_fixed_at_forces_immovable(self):
+        b = NetlistBuilder("t")
+        b.add_cell("m", 4.0, 4.0, kind=CellKind.MACRO, fixed_at=(3.0, 4.0))
+        b.add_cell("q", 1.0, 1.0)
+        b.add_net("n", [("m", 0, 0), ("q", 0, 0)])
+        nl = b.build()
+        assert not nl.movable[0]
+        assert nl.fixed_x[0] == 3.0
+        assert nl.fixed_y[0] == 4.0
+
+    def test_contains(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        assert "a" in b
+        assert "b" not in b
+
+    def test_returns_index(self):
+        b = NetlistBuilder("t")
+        assert b.add_cell("a", 1.0, 1.0) == 0
+        assert b.add_cell("b", 1.0, 1.0) == 1
+
+
+class TestAddNet:
+    def test_unknown_cell_rejected(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        with pytest.raises(KeyError, match="unknown cell"):
+            b.add_net("n", [("a", 0, 0), ("ghost", 0, 0)])
+
+    def test_empty_net_rejected(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(ValueError, match="no pins"):
+            b.add_net("n", [])
+
+    def test_driver_out_of_range(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        with pytest.raises(ValueError, match="driver"):
+            b.add_net("n", [("a", 0, 0)], driver=1)
+
+    def test_driver_recorded(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)], driver=1)
+        nl = b.build()
+        assert not nl.pin_is_driver[0]
+        assert nl.pin_is_driver[1]
+
+    def test_weight_recorded(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)], weight=3.5)
+        assert b.build().net_weights[0] == 3.5
+
+
+class TestBuild:
+    def test_pin_offsets_preserved(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 4.0, 2.0)
+        b.add_cell("b", 2.0, 2.0)
+        b.add_net("n", [("a", 1.5, -0.5), ("b", -0.5, 0.25)])
+        nl = b.build()
+        assert nl.pin_dx[0] == 1.5
+        assert nl.pin_dy[0] == -0.5
+        assert nl.pin_dx[1] == -0.5
+        assert nl.pin_dy[1] == 0.25
+
+    def test_default_core_derived(self):
+        b = NetlistBuilder("t")
+        for i in range(10):
+            b.add_cell(f"c{i}", 3.0, 1.0)
+        b.add_net("n", [("c0", 0, 0), ("c1", 0, 0)])
+        nl = b.build()
+        # core sized for ~60% utilization of 30 units of area
+        assert nl.core.bounds.area >= 30.0 / 0.6 * 0.9
+
+    def test_explicit_core_used(self):
+        core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=2.0)
+        b = NetlistBuilder("t", core=core)
+        b.add_cell("a", 1.0, 2.0)
+        b.add_cell("b", 1.0, 2.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)])
+        nl = b.build()
+        assert nl.core is core
+
+    def test_region_constraints(self):
+        core = CoreArea.uniform(Rect(0, 0, 50, 50), row_height=1.0)
+        b = NetlistBuilder("t", core=core)
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)])
+        b.add_region("r", Rect(10, 10, 20, 20), ["a"])
+        nl = b.build()
+        assert len(nl.regions) == 1
+        assert nl.regions[0].name == "r"
+        assert list(nl.regions[0].cells) == [0]
+
+    def test_counts(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)])
+        assert b.num_cells == 2
+        assert b.num_nets == 1
+
+    def test_csr_layout(self, tiny_netlist):
+        nl = tiny_netlist
+        assert nl.net_start[0] == 0
+        assert nl.net_start[-1] == nl.num_pins
+        assert np.all(np.diff(nl.net_start) >= 0)

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["warp-drive"])
+
+    def test_runs_one_experiment(self, tmp_path, capsys):
+        code = main(["fig1", "--scale", "0.03", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "PASS" in out or "FAIL" in out
+        assert (tmp_path / "fig1_convergence.svg").exists()
+
+    def test_scale_argument_parsed(self, tmp_path, capsys):
+        code = main(["fig3", "--scale", "0.02", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig3_scalability.csv").exists()
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "fig5", "s2", "all"):
+            assert name in out
+
+
+class TestPlacerCLI:
+    """The `python -m repro` placer front-end."""
+
+    def test_generate_place_analyze_pipeline(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        gen_dir = str(tmp_path / "gen")
+        code = cli_main(["generate", "newblue1_s", "--scale", "0.04",
+                         "--out", gen_dir])
+        assert code == 0
+        aux = f"{gen_dir}/newblue1_s.aux"
+
+        out_dir = str(tmp_path / "placed")
+        svg = str(tmp_path / "plot.svg")
+        code = cli_main(["place", aux, "--out", out_dir, "--gamma", "0.8",
+                         "--svg", svg, "--legalizer", "tetris"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "legal: True" in text
+        assert (tmp_path / "plot.svg").exists()
+
+        code = cli_main(["analyze", f"{out_dir}/newblue1_s_placed.aux",
+                         "--gamma", "0.8"])
+        assert code == 0
+        assert "Placement report" in capsys.readouterr().out
+
+    def test_place_skip_detailed(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        gen_dir = str(tmp_path / "gen")
+        cli_main(["generate", "adaptec1_s", "--scale", "0.03",
+                  "--out", gen_dir])
+        code = cli_main(["place", f"{gen_dir}/adaptec1_s.aux",
+                         "--out", str(tmp_path / "p"), "--skip-detailed"])
+        assert code == 0
+        assert "legal: True" in capsys.readouterr().out
+
+    def test_unknown_placer_rejected(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        gen_dir = str(tmp_path / "gen")
+        cli_main(["generate", "adaptec1_s", "--scale", "0.03",
+                  "--out", gen_dir])
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            cli_main(["place", f"{gen_dir}/adaptec1_s.aux", "--placer",
+                      "magic", "--out", str(tmp_path / "p")])

@@ -1,0 +1,115 @@
+"""Tests for the experiment drivers (fast, tiny-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, make_placer, run_flow
+from repro.experiments.fig1 import run_fig1, shape_checks
+from repro.experiments.fig3 import growth_slope
+from repro.experiments.fig4 import make_region, pick_clustered_cells
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"table1", "table2", "fig1", "fig2", "fig3", "fig4",
+                    "fig5", "s2", "s4", "ablations"}
+        assert set(EXPERIMENTS) == expected
+
+    @pytest.mark.parametrize("name", [
+        "complx", "complx_finest", "complx_lse", "simpl", "rql",
+        "fastplace", "nonlinear",
+    ])
+    def test_make_placer(self, small_design, name):
+        placer = make_placer(name, small_design.netlist, gamma=1.0)
+        assert placer is not None
+
+    def test_make_placer_unknown(self, small_design):
+        with pytest.raises(KeyError):
+            make_placer("magic", small_design.netlist, gamma=1.0)
+
+    def test_make_placer_dp_variant(self, small_design):
+        placer = make_placer("complx_dp", small_design.netlist, gamma=1.0)
+        assert placer.config.dp_each_iteration
+        assert placer.detailed_placer is not None
+
+
+class TestRunFlow:
+    def test_flow_produces_legal_metrics(self, small_design):
+        flow = run_flow(small_design.netlist, "complx", gamma=1.0)
+        assert flow.legal_hpwl > 0
+        assert flow.scaled_hpwl >= flow.legal_hpwl
+        assert flow.total_seconds > 0
+        assert flow.iterations >= 2
+        from repro import check_legal
+        assert check_legal(small_design.netlist, flow.legal_placement).legal
+
+
+class TestFig1:
+    def test_shape_checks_pass(self, tmp_path):
+        result = run_fig1(suite="adaptec1_s", scale=0.04,
+                          out_dir=str(tmp_path))
+        checks = shape_checks(result)
+        assert checks["weak_duality"]
+        assert checks["pi_decreases"]
+        assert (tmp_path / "fig1_history.csv").exists()
+        assert (tmp_path / "fig1_convergence.svg").exists()
+
+
+class TestFig3Helpers:
+    def test_growth_slope(self):
+        records = [
+            {"num_nets": 100, "value": 10.0},
+            {"num_nets": 1000, "value": 100.0},
+        ]
+        assert growth_slope(records, "value") == pytest.approx(1.0)
+        flat = [
+            {"num_nets": 100, "value": 5.0},
+            {"num_nets": 1000, "value": 5.0},
+        ]
+        assert growth_slope(flat, "value") == pytest.approx(0.0)
+
+
+class TestFig4Helpers:
+    def test_pick_clustered_cells(self, small_design, placed_small):
+        nl = small_design.netlist
+        cells = pick_clustered_cells(nl, placed_small.upper, count=20)
+        assert cells.shape == (20,)
+        assert nl.movable[cells].all()
+        # clustered: the batch's spread is well below the core size
+        spread = (placed_small.upper.x[cells].max()
+                  - placed_small.upper.x[cells].min())
+        assert spread < 0.8 * nl.core.bounds.width
+
+    def test_make_region_inside_core(self, small_design, placed_small):
+        nl = small_design.netlist
+        cells = pick_clustered_cells(nl, placed_small.upper, count=20)
+        rect = make_region(nl, placed_small.upper, cells)
+        assert nl.core.bounds.contains_rect(rect, tol=1e-9)
+        # big enough to hold the cells at reasonable density
+        assert rect.area > 2.0 * float(nl.areas[cells].sum())
+
+
+class TestTables:
+    def test_table1_tiny(self, tmp_path):
+        table, time_table, raw = run_table1(
+            scale=0.03, suites=["adaptec1_s"], placers=["complx", "simpl"],
+            out_dir=str(tmp_path),
+        )
+        assert table.column_geomean_ratio("complx") == pytest.approx(1.0)
+        assert table.column_geomean_ratio("simpl") > 0
+        assert len(raw) == 2
+        assert (tmp_path / "table1_hpwl.csv").exists()
+
+    def test_table2_tiny(self, tmp_path):
+        table, time_table, raw = run_table2(
+            scale=0.03, suites=["newblue1_s"], placers=["complx"],
+            out_dir=str(tmp_path),
+        )
+        assert len(raw) == 1
+        # scaled HPWL carries the overflow annotation
+        row = f"newblue1_s (0.8)"
+        cell = table.columns["complx"][row]
+        assert isinstance(cell, tuple)
+        assert (tmp_path / "table2_scaled_hpwl.csv").exists()

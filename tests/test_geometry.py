@@ -1,0 +1,108 @@
+"""Unit and property tests for repro.netlist.geometry.Rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.geometry import Rect
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    # Positive extents: `intersects` means "shares interior area", which
+    # is ill-defined for zero-area rectangles.
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h),
+        finite, finite, st.floats(1e-3, 1e6), st.floats(1e-3, 1e6),
+    )
+
+
+class TestBasics:
+    def test_dimensions(self):
+        r = Rect(1.0, 2.0, 4.0, 7.0)
+        assert r.width == 3.0
+        assert r.height == 5.0
+        assert r.area == 15.0
+        assert r.center == (2.5, 4.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_area_allowed(self):
+        r = Rect(1.0, 1.0, 1.0, 1.0)
+        assert r.area == 0.0
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(5, 5)
+        assert r.contains_point(0, 0)       # boundary inclusive
+        assert r.contains_point(10, 10)
+        assert not r.contains_point(10.01, 5)
+        assert r.contains_point(10.01, 5, tol=0.02)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        assert not a.intersects(Rect(10, 0, 20, 10))  # touching edges
+        assert not a.intersects(Rect(11, 0, 20, 10))
+
+    def test_intersection_area(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersection_area(Rect(5, 5, 15, 15)) == 25.0
+        assert a.intersection_area(Rect(20, 20, 30, 30)) == 0.0
+        assert a.intersection_area(a) == 100.0
+
+    def test_clamp_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp_point(-5, 5) == (0, 5)
+        assert r.clamp_point(5, 20) == (5, 10)
+        assert r.clamp_point(3, 4) == (3, 4)
+
+    def test_shrunk_and_expanded(self):
+        r = Rect(0, 0, 10, 10)
+        s = r.shrunk(2)
+        assert (s.xlo, s.ylo, s.xhi, s.yhi) == (2, 2, 8, 8)
+        e = r.expanded(1, 2)
+        assert (e.xlo, e.ylo, e.xhi, e.yhi) == (-1, -2, 11, 12)
+
+    def test_shrunk_collapses_to_center(self):
+        r = Rect(0, 0, 4, 4)
+        s = r.shrunk(10)
+        assert s.center == r.center
+        assert s.area == 0.0
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersection_area_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a)
+        )
+
+    @given(rects(), rects())
+    def test_intersects_iff_positive_area(self, a, b):
+        assert a.intersects(b) == (a.intersection_area(b) > 0)
+
+    @given(rects())
+    def test_self_intersection_is_area(self, r):
+        assert r.intersection_area(r) == pytest.approx(r.area)
+
+    @given(rects(), finite, finite)
+    def test_clamped_point_inside(self, r, x, y):
+        cx, cy = r.clamp_point(x, y)
+        assert r.contains_point(cx, cy, tol=1e-9)
+
+    @given(rects(), finite, finite)
+    def test_clamp_is_idempotent(self, r, x, y):
+        cx, cy = r.clamp_point(x, y)
+        assert r.clamp_point(cx, cy) == (cx, cy)

@@ -1,0 +1,117 @@
+"""Tests for the GORDIAN-like CoG-constrained baseline (Section S4)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import hpwl
+from repro.baselines import (
+    GordianPlacer,
+    gordian_place,
+    quadrisect_groups,
+    solve_cog_constrained,
+)
+
+
+class TestQuadrisection:
+    def test_level_one_four_groups(self, small_design, placed_small):
+        nl = small_design.netlist
+        groups, tx, ty = quadrisect_groups(nl, placed_small.upper, level=1)
+        movable_groups = groups[nl.movable]
+        assert set(np.unique(movable_groups)) <= {0, 1, 2, 3}
+        assert np.unique(movable_groups).size == 4
+        assert tx.shape == (4,)
+
+    def test_fixed_cells_unassigned(self, small_design, placed_small):
+        nl = small_design.netlist
+        groups, _, _ = quadrisect_groups(nl, placed_small.upper, level=1)
+        assert (groups[~nl.movable] == -1).all()
+
+    def test_area_balanced(self, small_design, placed_small):
+        nl = small_design.netlist
+        groups, _, _ = quadrisect_groups(nl, placed_small.upper, level=1)
+        areas = [
+            float(nl.areas[(groups == g) & nl.movable].sum())
+            for g in range(4)
+        ]
+        assert max(areas) < 2.0 * min(areas)
+
+    def test_targets_are_region_centers(self, small_design, placed_small):
+        nl = small_design.netlist
+        _, tx, ty = quadrisect_groups(nl, placed_small.upper, level=1)
+        bounds = nl.core.bounds
+        assert sorted(set(np.round(tx, 6))) == pytest.approx(
+            [bounds.xlo + 0.25 * bounds.width,
+             bounds.xlo + 0.75 * bounds.width]
+        )
+
+
+class TestConstrainedSolve:
+    def _spd(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        a = sp.random(n, n, density=0.4, random_state=int(rng.integers(2**31)))
+        m = (a @ a.T).tocsr()
+        return m + sp.eye(n) * (1.0 + m.diagonal().max())
+
+    def test_constraints_satisfied_exactly(self):
+        n = 24
+        matrix = self._spd(n)
+        rhs = np.random.default_rng(1).normal(size=n)
+        groups = np.arange(n) % 3
+        weights = np.random.default_rng(2).uniform(0.5, 2.0, n)
+        targets = np.array([10.0, -4.0, 7.0])
+        x = solve_cog_constrained(matrix, rhs, groups, weights, targets,
+                                  x0=np.zeros(n))
+        for g in range(3):
+            sel = groups == g
+            cog = float((x[sel] * weights[sel]).sum() / weights[sel].sum())
+            assert cog == pytest.approx(targets[g], abs=1e-8)
+
+    def test_optimal_within_manifold(self):
+        """Any feasible perturbation increases the quadratic cost."""
+        n = 12
+        matrix = self._spd(n, seed=3)
+        rhs = np.random.default_rng(3).normal(size=n)
+        groups = np.arange(n) % 2
+        weights = np.ones(n)
+        targets = np.array([1.0, -1.0])
+        x = solve_cog_constrained(matrix, rhs, groups, weights, targets,
+                                  x0=np.zeros(n), tol=1e-12, max_iter=2000)
+
+        def cost(v):
+            return float(v @ (matrix @ v) - 2 * rhs @ v)
+
+        rng = np.random.default_rng(4)
+        base = cost(x)
+        for _ in range(20):
+            d = rng.normal(size=n)
+            for g in range(2):
+                sel = groups == g
+                d[sel] -= d[sel].mean()
+            assert cost(x + 0.1 * d) > base - 1e-9
+
+
+class TestGordianPlacer:
+    def test_runs_and_spreads(self, small_design):
+        result = gordian_place(small_design.netlist)
+        assert result.iterations >= 2
+        first = result.history.records[0]
+        last = result.history.records[-1]
+        assert last.overflow_percent < first.overflow_percent + 1e-9
+        assert last.overflow_percent < 40.0
+
+    def test_complx_beats_gordian(self, small_design, placed_small):
+        """The S4 contrast: CoG-only spreading trails the feasibility-
+        projection approach on final interconnect."""
+        nl = small_design.netlist
+        gordian = gordian_place(nl)
+        assert hpwl(nl, placed_small.upper) < hpwl(nl, gordian.upper)
+
+    def test_level_auto_selection(self, small_design):
+        placer = GordianPlacer(small_design.netlist)
+        assert placer.max_level >= 2
+
+    def test_registered_in_experiments(self, small_design):
+        from repro.experiments import make_placer
+        placer = make_placer("gordian", small_design.netlist, gamma=1.0)
+        assert isinstance(placer, GordianPlacer)

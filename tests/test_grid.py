@@ -1,0 +1,178 @@
+"""Tests for the density grid: rasterization, capacity, overflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.netlist import CoreArea
+from repro.projection import BinRegion, DensityGrid, default_grid_shape
+
+
+def open_netlist(n_cells=4, core_side=16.0, width=2.0, height=1.0):
+    core = CoreArea.uniform(Rect(0, 0, core_side, core_side), row_height=1.0)
+    b = NetlistBuilder("grid", core=core)
+    for i in range(n_cells):
+        b.add_cell(f"c{i}", width, height)
+    b.add_net("n", [(f"c{i}", 0, 0) for i in range(n_cells)])
+    return b.build()
+
+
+class TestRasterization:
+    def test_total_area_conserved(self):
+        nl = open_netlist(n_cells=6)
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.linspace(2, 14, 6), np.linspace(2, 14, 6))
+        usage = grid.usage(p)
+        assert usage.sum() == pytest.approx(float(nl.areas.sum()))
+
+    def test_cell_in_one_bin(self):
+        nl = open_netlist(n_cells=1)
+        grid = DensityGrid(nl, 4, 4)  # bins are 4x4
+        p = Placement(np.array([2.0]), np.array([2.0]))
+        usage = grid.usage(p)
+        assert usage[0, 0] == pytest.approx(2.0)
+        assert usage.sum() == pytest.approx(2.0)
+
+    def test_cell_split_between_bins(self):
+        nl = open_netlist(n_cells=1)
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([4.0]), np.array([2.0]))  # straddles x=4
+        usage = grid.usage(p)
+        assert usage[0, 0] == pytest.approx(1.0)
+        assert usage[1, 0] == pytest.approx(1.0)
+
+    def test_macro_spanning_many_bins(self):
+        core = CoreArea.uniform(Rect(0, 0, 16, 16), row_height=1.0)
+        b = NetlistBuilder("m", core=core)
+        b.add_cell("m0", 12.0, 12.0)
+        b.add_cell("c0", 1.0, 1.0)
+        b.add_net("n", [("m0", 0, 0), ("c0", 0, 0)])
+        nl = b.build()
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([8.0, 2.0]), np.array([8.0, 2.0]))
+        usage = grid.usage(p)
+        assert usage.sum() == pytest.approx(145.0)
+        # center bins fully covered
+        assert usage[1, 1] == pytest.approx(16.0)
+
+    def test_out_of_core_clipped(self):
+        nl = open_netlist(n_cells=1)
+        grid = DensityGrid(nl, 4, 4)
+        # Cell rect [-1.5, 0.5] x [1.5, 2.5]: 0.5 x 1.0 lies inside.
+        p = Placement(np.array([-0.5]), np.array([2.0]))
+        usage = grid.usage(p)
+        assert usage.sum() == pytest.approx(0.5)
+
+    @given(st.lists(st.tuples(st.floats(1, 15), st.floats(1, 15)),
+                    min_size=5, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, pts):
+        nl = open_netlist(n_cells=5)
+        grid = DensityGrid(nl, 5, 3)
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        usage = grid.usage(p)
+        assert usage.sum() == pytest.approx(float(nl.areas.sum()), rel=1e-9)
+
+
+class TestCapacity:
+    def test_open_core_full_capacity(self):
+        nl = open_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        assert np.allclose(grid.capacity, 16.0)
+
+    def test_obstacle_reduces_capacity(self):
+        core = CoreArea.uniform(Rect(0, 0, 16, 16), row_height=1.0)
+        b = NetlistBuilder("o", core=core)
+        b.add_cell("c0", 1.0, 1.0)
+        b.add_cell("obst", 4.0, 4.0, fixed_at=(2.0, 2.0))  # fills bin (0,0)
+        b.add_net("n", [("c0", 0, 0), ("obst", 0, 0)])
+        nl = b.build()
+        grid = DensityGrid(nl, 4, 4)
+        assert grid.capacity[0, 0] == pytest.approx(0.0)
+        assert grid.capacity[1, 1] == pytest.approx(16.0)
+
+    def test_movable_macro_not_an_obstacle(self, mixed_netlist):
+        grid = DensityGrid(mixed_netlist, 4, 4)
+        # The fixed macro at (30,30) with size 6x6 eats capacity there;
+        # the movable macro must not.
+        total_cap = grid.capacity.sum()
+        expected = (
+            mixed_netlist.core.bounds.area
+            - 36.0  # only 'obst'
+        )
+        assert total_cap == pytest.approx(expected)
+
+
+class TestOverflow:
+    def test_no_overflow_when_spread(self):
+        nl = open_netlist(n_cells=4)
+        grid = DensityGrid(nl, 2, 2)
+        p = Placement(np.array([4.0, 12.0, 4.0, 12.0]),
+                      np.array([4.0, 4.0, 12.0, 12.0]))
+        usage = grid.usage(p)
+        assert grid.total_overflow(usage, gamma=1.0) == 0.0
+        assert grid.overflow_percent(usage, gamma=1.0) == 0.0
+
+    def test_clumped_overflows_at_low_gamma(self):
+        nl = open_netlist(n_cells=4, width=8.0, height=8.0)
+        grid = DensityGrid(nl, 2, 2)
+        p = Placement(np.full(4, 4.0), np.full(4, 4.0))  # all in bin (0,0)
+        usage = grid.usage(p)
+        # 4 * 64 = 256 usage in a 64-capacity bin
+        assert grid.total_overflow(usage, gamma=1.0) == pytest.approx(192.0)
+        assert grid.overflow_percent(usage, gamma=1.0) == pytest.approx(75.0)
+
+    def test_gamma_validation(self):
+        nl = open_netlist()
+        grid = DensityGrid(nl, 2, 2)
+        usage = grid.usage(nl.initial_placement())
+        for bad in (0.0, 1.5, -0.1):
+            with pytest.raises(ValueError):
+                grid.total_overflow(usage, gamma=bad)
+
+    def test_overfilled_mask(self):
+        nl = open_netlist(n_cells=4, width=8.0, height=8.0)
+        grid = DensityGrid(nl, 2, 2)
+        p = Placement(np.full(4, 4.0), np.full(4, 4.0))
+        mask = grid.overfilled_bins(grid.usage(p), gamma=1.0)
+        assert mask[0, 0]
+        assert mask.sum() == 1
+
+
+class TestGeometryHelpers:
+    def test_bin_of_clamps(self):
+        nl = open_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        assert grid.bin_of(-5.0, 2.0) == (0, 0)
+        assert grid.bin_of(100.0, 100.0) == (3, 3)
+        assert grid.bin_of(6.0, 10.0) == (1, 2)
+
+    def test_region_rect(self):
+        nl = open_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        rect = grid.region_rect(BinRegion(1, 1, 3, 2))
+        assert (rect.xlo, rect.ylo, rect.xhi, rect.yhi) == (4.0, 4.0, 12.0, 8.0)
+
+    def test_bin_region_ops(self):
+        a = BinRegion(0, 0, 2, 2)
+        b = BinRegion(1, 1, 3, 3)
+        c = BinRegion(2, 2, 3, 3)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        u = a.union(b)
+        assert (u.ix0, u.iy0, u.ix1, u.iy1) == (0, 0, 3, 3)
+        assert u.contains(a)
+        assert a.num_bins == 4
+
+    def test_invalid_grid(self):
+        nl = open_netlist()
+        with pytest.raises(ValueError):
+            DensityGrid(nl, 0, 4)
+
+    def test_default_shape(self):
+        assert default_grid_shape(16, cells_per_bin=4.0) == 2
+        assert default_grid_shape(400, cells_per_bin=4.0) == 10
+        assert default_grid_shape(0) == 2

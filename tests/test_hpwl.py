@@ -1,0 +1,151 @@
+"""Unit and property tests for the HPWL metrics (paper Formula 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.models import (
+    hpwl,
+    hpwl_by_axis,
+    net_bounding_boxes,
+    per_net_hpwl,
+    pin_positions,
+    weighted_hpwl,
+)
+from repro.netlist import CoreArea
+
+
+@pytest.fixture
+def two_net_netlist():
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("h", core=core)
+    for name in "abcd":
+        b.add_cell(name, 2.0, 1.0)
+    b.add_net("n0", [("a", 0, 0), ("b", 0, 0), ("c", 0, 0)])
+    b.add_net("n1", [("c", 1.0, 0.5), ("d", -1.0, 0.0)], weight=2.0)
+    return b.build()
+
+
+def place(nl, coords):
+    x = np.array([coords[n][0] for n in nl.cell_names], dtype=float)
+    y = np.array([coords[n][1] for n in nl.cell_names], dtype=float)
+    return Placement(x, y)
+
+
+class TestHandComputed:
+    def test_simple(self, two_net_netlist):
+        nl = two_net_netlist
+        p = place(nl, {"a": (0, 0), "b": (4, 3), "c": (2, 8), "d": (10, 8)})
+        # n0: x span 4, y span 8 -> 12
+        # n1 pins: c+(1,0.5)=(3,8.5), d+(-1,0)=(9,8): span 6 + 0.5 = 6.5
+        assert per_net_hpwl(nl, p)[0] == pytest.approx(12.0)
+        assert per_net_hpwl(nl, p)[1] == pytest.approx(6.5)
+        assert hpwl(nl, p) == pytest.approx(18.5)
+        assert weighted_hpwl(nl, p) == pytest.approx(12.0 + 2 * 6.5)
+
+    def test_by_axis(self, two_net_netlist):
+        nl = two_net_netlist
+        p = place(nl, {"a": (0, 0), "b": (4, 3), "c": (2, 8), "d": (10, 8)})
+        hx, hy = hpwl_by_axis(nl, p)
+        assert hx + hy == pytest.approx(hpwl(nl, p))
+        assert hx == pytest.approx(4.0 + 6.0)
+
+    def test_coincident_pins_zero(self, two_net_netlist):
+        nl = two_net_netlist
+        p = place(nl, {n: (5, 5) for n in "abcd"})
+        # n1 still has pin offsets, so only n0 collapses to zero
+        assert per_net_hpwl(nl, p)[0] == pytest.approx(0.0)
+        assert per_net_hpwl(nl, p)[1] == pytest.approx(2.5)
+
+    def test_bounding_boxes(self, two_net_netlist):
+        nl = two_net_netlist
+        p = place(nl, {"a": (0, 0), "b": (4, 3), "c": (2, 8), "d": (10, 8)})
+        xlo, xhi, ylo, yhi = net_bounding_boxes(nl, p)
+        assert xlo[0] == 0.0 and xhi[0] == 4.0
+        assert ylo[0] == 0.0 and yhi[0] == 8.0
+
+    def test_pin_positions(self, two_net_netlist):
+        nl = two_net_netlist
+        p = place(nl, {"a": (1, 2), "b": (0, 0), "c": (0, 0), "d": (0, 0)})
+        px, py = pin_positions(nl, p)
+        assert px[0] == 1.0 and py[0] == 2.0
+        # last pin: d with offset (-1, 0)
+        assert px[-1] == -1.0
+
+    def test_single_pin_net(self):
+        b = NetlistBuilder("s")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("b", 1.0, 1.0)
+        b.add_net("lonely", [("a", 0, 0)])
+        b.add_net("pair", [("a", 0, 0), ("b", 0, 0)])
+        nl = b.build()
+        p = Placement(np.array([3.0, 7.0]), np.array([1.0, 1.0]))
+        assert per_net_hpwl(nl, p)[0] == 0.0
+        assert per_net_hpwl(nl, p)[1] == pytest.approx(4.0)
+
+
+coords = st.lists(
+    st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+    min_size=4, max_size=4,
+)
+
+
+class TestProperties:
+    @given(coords)
+    @settings(max_examples=50)
+    def test_translation_invariance(self, pts):
+        nl = _fixture_netlist()
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        shifted = Placement(p.x + 17.5, p.y - 3.25)
+        assert hpwl(nl, shifted) == pytest.approx(hpwl(nl, p), abs=1e-5)
+
+    @given(coords, st.floats(0.1, 10.0))
+    @settings(max_examples=50)
+    def test_scaling_homogeneity(self, pts, scale):
+        nl = _fixture_netlist()
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        scaled = Placement(p.x * scale, p.y * scale)
+        assert hpwl(nl, scaled) == pytest.approx(
+            scale * hpwl(nl, p), rel=1e-9, abs=1e-6
+        )
+
+    @given(coords)
+    @settings(max_examples=50)
+    def test_nonnegative_and_weighted_dominates(self, pts):
+        nl = _fixture_netlist()
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        assert hpwl(nl, p) >= 0.0
+        # weights are (1, 2) so weighted >= unweighted
+        assert weighted_hpwl(nl, p) >= hpwl(nl, p) - 1e-9
+
+    @given(coords)
+    @settings(max_examples=50)
+    def test_matches_bruteforce(self, pts):
+        nl = _fixture_netlist()
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        px, py = pin_positions(nl, p)
+        expected = 0.0
+        for e in range(nl.num_nets):
+            span = nl.net_pins(e)
+            expected += (px[span].max() - px[span].min()
+                         + py[span].max() - py[span].min())
+        assert hpwl(nl, p) == pytest.approx(expected, abs=1e-9)
+
+
+def _fixture_netlist():
+    """Offset-free netlist: translation/scaling properties hold exactly
+    only when pin offsets are zero (offsets neither translate nor
+    scale with cell positions)."""
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("h", core=core)
+    for name in "abcd":
+        b.add_cell(name, 2.0, 1.0)
+    b.add_net("n0", [("a", 0, 0), ("b", 0, 0), ("c", 0, 0)])
+    b.add_net("n1", [("c", 0, 0), ("d", 0, 0)], weight=2.0)
+    return b.build()

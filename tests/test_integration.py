@@ -1,0 +1,123 @@
+"""End-to-end integration tests: the complete paper flow on synthetic
+designs, combining every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import ComPLxConfig, check_legal, hpwl
+from repro.core import ComPLxPlacer
+from repro.detailed import DetailedPlacer
+from repro.legalize import abacus_legalize, tetris_legalize
+from repro.metrics import scaled_hpwl
+from repro.netlist.bookshelf import read_aux, write_aux
+from repro.projection.regions import region_violation_distance
+from repro.timing import TimingGraph
+from repro.workloads import load_suite
+
+
+class TestFullFlow2005Style:
+    """Global place -> legalize -> detailed place on a 2005-style suite."""
+
+    @pytest.fixture(scope="class")
+    def flow(self):
+        design = load_suite("adaptec1_s", scale=0.05)
+        nl = design.netlist
+        result = ComPLxPlacer(nl, ComPLxConfig()).place()
+        dp = DetailedPlacer(nl, legalizer=tetris_legalize)
+        legal = dp.place(result.upper)
+        return design, result, legal
+
+    def test_final_placement_legal(self, flow):
+        design, _, legal = flow
+        report = check_legal(design.netlist, legal)
+        assert report.legal, report.summary()
+
+    def test_quality_chain(self, flow):
+        """lower bound <= global upper <= final legal <= 2x lower."""
+        design, result, legal = flow
+        nl = design.netlist
+        lb = hpwl(nl, result.lower)
+        ub = hpwl(nl, result.upper)
+        final = hpwl(nl, legal)
+        assert lb <= ub + 1e-6
+        assert final < 2.0 * lb
+
+    def test_beats_golden_shuffle(self, flow):
+        """Final quality is in the same league as the generator's hidden
+        golden layout (well within 2x)."""
+        from repro import Placement
+        design, _, legal = flow
+        nl = design.netlist
+        golden = Placement(design.golden_x, design.golden_y)
+        assert hpwl(nl, legal) < 2.0 * hpwl(nl, golden)
+
+    def test_bookshelf_roundtrip_of_result(self, flow, tmp_path):
+        design, _, legal = flow
+        nl = design.netlist
+        aux = write_aux(nl, legal, str(tmp_path))
+        reread, placement = read_aux(aux)
+        assert hpwl(reread, placement) == pytest.approx(
+            hpwl(nl, legal), rel=1e-6
+        )
+
+    def test_sta_runs_on_final(self, flow):
+        design, _, legal = flow
+        graph = TimingGraph(design.netlist)
+        timing = graph.analyze(legal)
+        assert timing.max_arrival > 0
+        assert np.isfinite(timing.slack).all()
+
+
+class TestFullFlow2006Style:
+    """Mixed-size flow with density target and movable macros."""
+
+    @pytest.fixture(scope="class")
+    def flow(self):
+        design = load_suite("newblue1_s", scale=0.06)
+        nl = design.netlist
+        gamma = 0.8
+        result = ComPLxPlacer(nl, ComPLxConfig(gamma=gamma)).place()
+        dp = DetailedPlacer(nl, legalizer=abacus_legalize)
+        legal = dp.place(result.upper)
+        return design, gamma, result, legal
+
+    def test_legal_including_macros(self, flow):
+        design, _, _, legal = flow
+        report = check_legal(design.netlist, legal)
+        assert report.legal, report.summary()
+
+    def test_contest_metric_reasonable(self, flow):
+        design, gamma, _, legal = flow
+        metric = scaled_hpwl(design.netlist, legal, gamma)
+        assert metric.overflow_percent < 25.0
+        assert metric.scaled < 1.3 * metric.hpwl
+
+    def test_macros_inside_core(self, flow):
+        design, _, _, legal = flow
+        nl = design.netlist
+        bounds = nl.core.bounds
+        for m in np.flatnonzero(nl.movable_macros):
+            assert bounds.contains_point(legal.x[m], legal.y[m])
+
+
+class TestRegionFlow:
+    def test_region_constraint_through_full_flow(self):
+        import copy
+        from repro.netlist import PlacementRegion, Rect
+
+        design = load_suite("adaptec1_s", scale=0.04)
+        nl = copy.copy(design.netlist)
+        cells = np.flatnonzero(nl.movable & ~nl.is_macro)[:15]
+        bounds = nl.core.bounds
+        rect = Rect(
+            bounds.xlo + 0.6 * bounds.width, bounds.ylo + 0.6 * bounds.height,
+            bounds.xhi - 1.0, bounds.yhi - 1.0,
+        )
+        nl.regions = [PlacementRegion("r", rect, cells)]
+
+        result = ComPLxPlacer(nl, ComPLxConfig()).place()
+        assert region_violation_distance(nl, result.upper) == pytest.approx(0.0)
+        # constrained cells truly live in the region
+        for c in cells:
+            assert rect.contains_point(result.upper.x[c],
+                                       result.upper.y[c], tol=1e-6)

@@ -1,0 +1,136 @@
+"""Tests for metrics (geomean, tables, scaled HPWL) and plot output."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.metrics import ComparisonTable, geomean, ratio_geomean, scaled_hpwl
+from repro.viz import (
+    ascii_chart,
+    ascii_scatter,
+    line_chart_svg,
+    placement_svg,
+    scatter_svg,
+)
+
+
+class TestAggregates:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, -1.0]) == 0.0  # non-positive ignored
+
+    def test_ratio_geomean(self):
+        assert ratio_geomean([2.0, 8.0], [1.0, 2.0]) == pytest.approx(
+            np.sqrt(2.0 * 4.0)
+        )
+        assert ratio_geomean([], []) == 0.0
+
+
+class TestComparisonTable:
+    def _table(self):
+        t = ComparisonTable("demo", reference_column="ours")
+        t.add("ours", "bench1", 100.0)
+        t.add("ours", "bench2", 200.0)
+        t.add("theirs", "bench1", 110.0)
+        t.add("theirs", "bench2", 220.0)
+        return t
+
+    def test_geomean_ratio(self):
+        t = self._table()
+        assert t.column_geomean_ratio("theirs") == pytest.approx(1.1)
+        assert t.column_geomean_ratio("ours") == pytest.approx(1.0)
+
+    def test_render_contains_rows_and_footer(self):
+        text = self._table().render()
+        assert "bench1" in text
+        assert "geomean" in text
+        assert "1.100x" in text
+
+    def test_annotations_rendered(self):
+        t = ComparisonTable("demo")
+        t.add("a", "b1", 5.0, annotation=3.14)
+        assert "(3.14)" in t.render()
+
+    def test_missing_cells(self):
+        t = self._table()
+        t.add("sparse", "bench1", 50.0)
+        text = t.render()
+        assert "-" in text  # bench2 missing for 'sparse'
+
+    def test_csv(self, tmp_path):
+        t = self._table()
+        path = str(tmp_path / "t.csv")
+        t.to_csv(path)
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "benchmark,ours,theirs"
+        assert lines[-1].startswith("geomean_ratio")
+
+
+class TestScaledHPWL:
+    def test_no_overflow_equals_hpwl(self, small_design, placed_small):
+        nl = small_design.netlist
+        metric = scaled_hpwl(nl, placed_small.upper, gamma=1.0)
+        assert metric.scaled == pytest.approx(
+            metric.hpwl * (1 + metric.overflow_percent / 100.0)
+        )
+        assert metric.overflow_percent < 10.0
+
+    def test_clump_penalized(self, small_design):
+        nl = small_design.netlist
+        clump = nl.initial_placement(jitter=0.5)
+        metric = scaled_hpwl(nl, clump, gamma=1.0)
+        assert metric.overflow_percent > 20.0
+        assert metric.scaled > metric.hpwl
+
+
+class TestAsciiPlots:
+    def test_chart_contains_markers_and_legend(self):
+        out = ascii_chart({"a": np.arange(10.0), "b": np.ones(10)},
+                          title="T")
+        assert "T" in out
+        assert "*=a" in out and "o=b" in out
+        assert "*" in out
+
+    def test_chart_logy(self):
+        out = ascii_chart({"a": np.array([1.0, 10.0, 100.0])}, logy=True)
+        assert "100" in out
+
+    def test_empty_chart(self):
+        assert "no data" in ascii_chart({})
+
+    def test_scatter(self):
+        out = ascii_scatter(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert "*" in out
+        assert "no points" in ascii_scatter(np.zeros(0), np.zeros(0))
+
+    def test_constant_series(self):
+        out = ascii_chart({"flat": np.full(5, 3.0)})
+        assert "*" in out
+
+
+class TestSVG:
+    def test_line_chart_valid_xml(self, tmp_path):
+        path = str(tmp_path / "c.svg")
+        line_chart_svg({"s": np.arange(5.0)}, path, title="x")
+        root = ET.parse(path).getroot()
+        assert root.tag.endswith("svg")
+        assert any(child.tag.endswith("polyline") for child in root.iter())
+
+    def test_placement_svg(self, small_design, placed_small, tmp_path):
+        path = str(tmp_path / "p.svg")
+        placement_svg(small_design.netlist, placed_small.upper, path,
+                      highlight=np.array([3, 4, 5]),
+                      extra_rects=[(1, 1, 5, 5, "#00ff00")])
+        root = ET.parse(path).getroot()
+        circles = [c for c in root.iter() if c.tag.endswith("circle")]
+        assert len(circles) >= small_design.netlist.num_movable - 5
+
+    def test_scatter_svg(self, tmp_path):
+        path = str(tmp_path / "s.svg")
+        scatter_svg(np.array([10.0, 100.0, 1000.0]),
+                    {"y": np.array([1.0, 2.0, 3.0])}, path, logx=True)
+        root = ET.parse(path).getroot()
+        assert any(c.tag.endswith("circle") for c in root.iter())

@@ -1,0 +1,122 @@
+"""Tests for the multilevel extension: clustering and the V-cycle."""
+
+import numpy as np
+import pytest
+
+from repro import Placement, hpwl
+from repro.multilevel import MultilevelPlacer, cluster_netlist, multilevel_place
+
+
+class TestClustering:
+    def test_reduces_movable_count(self, small_design):
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.clustered.num_movable < nl.num_movable
+        assert clustering.cluster_of.shape == (nl.num_cells,)
+
+    def test_target_respected_approximately(self, small_design):
+        nl = small_design.netlist
+        std = int((nl.movable & ~nl.is_macro).sum())
+        target = std // 3
+        clustering = cluster_netlist(nl, target_clusters=target)
+        clustered_std = int(
+            (clustering.clustered.movable & ~clustering.clustered.is_macro).sum()
+        )
+        # Area caps may block a few merges; allow slack.
+        assert clustered_std <= 2 * target
+
+    def test_area_conserved(self, small_design):
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.clustered.areas.sum() == pytest.approx(
+            nl.areas.sum(), rel=1e-9
+        )
+
+    def test_fixed_cells_stay_fixed_singletons(self, small_design):
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        cl = clustering.clustered
+        for i in np.flatnonzero(~nl.movable):
+            c = clustering.cluster_of[i]
+            assert not cl.movable[c]
+            assert cl.fixed_x[c] == nl.fixed_x[i]
+            # fixed cells are never merged with anything
+            assert (clustering.cluster_of == c).sum() == 1
+
+    def test_macros_not_clustered(self, mixed_design):
+        nl = mixed_design.netlist
+        clustering = cluster_netlist(nl)
+        for m in np.flatnonzero(nl.is_macro):
+            c = clustering.cluster_of[m]
+            assert (clustering.cluster_of == c).sum() == 1
+            assert clustering.clustered.is_macro[c]
+
+    def test_internal_nets_dropped(self, small_design):
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        cl = clustering.clustered
+        assert cl.num_nets <= nl.num_nets
+        # every surviving net spans >= 2 clusters
+        assert (cl.net_degrees >= 2).all()
+
+    def test_area_cap_respected(self, small_design):
+        nl = small_design.netlist
+        factor = 4.0
+        clustering = cluster_netlist(nl, target_clusters=1,
+                                     max_cluster_area_factor=factor)
+        std = nl.movable & ~nl.is_macro
+        cap = factor * float(nl.areas[std].mean())
+        cl = clustering.clustered
+        cl_std = cl.movable & ~cl.is_macro
+        # clusters formed by merging respect the cap (singletons of
+        # unusual size are allowed: they were never merged)
+        counts = np.bincount(clustering.cluster_of,
+                             minlength=cl.num_cells)
+        merged = cl_std & (counts > 1)
+        assert (cl.areas[merged] <= cap + 1e-9).all()
+
+    def test_projections_roundtrip(self, small_design):
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        p = nl.initial_placement(jitter=2.0, seed=1)
+        up = clustering.project_up(p)
+        assert len(up) == clustering.clustered.num_cells
+        down = clustering.project_down(up)
+        assert len(down) == nl.num_cells
+        # fixed cells land exactly on their fixed spots
+        fixed = ~nl.movable
+        assert np.allclose(down.x[fixed], nl.fixed_x[fixed])
+
+    def test_clustered_hpwl_tracks_original(self, small_design):
+        """HPWL of the clustered netlist at projected positions is a
+        lower-ish approximation of the original's."""
+        nl = small_design.netlist
+        clustering = cluster_netlist(nl)
+        p = nl.initial_placement(jitter=3.0, seed=2)
+        up = clustering.project_up(p)
+        coarse = hpwl(clustering.clustered, up)
+        fine = hpwl(nl, p)
+        assert 0 < coarse <= fine * 1.05
+
+
+class TestMultilevelPlacer:
+    def test_validation(self, small_design):
+        with pytest.raises(ValueError):
+            MultilevelPlacer(small_design.netlist, levels=0)
+
+    def test_place_produces_comparable_quality(self, small_design,
+                                               placed_small):
+        nl = small_design.netlist
+        ml = multilevel_place(nl, fine_iterations=25)
+        assert len(ml.levels) >= 2
+        flat = hpwl(nl, placed_small.upper)
+        multi = hpwl(nl, ml.upper)
+        assert multi < 1.5 * flat
+
+    def test_level_stats_recorded(self, small_design):
+        ml = multilevel_place(small_design.netlist, levels=2,
+                              fine_iterations=8)
+        cells = [lvl["cells"] for lvl in ml.levels]
+        # coarsest first, growing back to the original size
+        assert cells == sorted(cells)
+        assert cells[-1] == small_design.netlist.num_cells

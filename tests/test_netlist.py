@@ -1,0 +1,187 @@
+"""Unit tests for the Netlist data structure and CellView/rows."""
+
+import numpy as np
+import pytest
+
+from repro import CellKind, NetlistBuilder, Placement, Rect
+from repro.netlist import CoreArea, Row
+from repro.netlist.cells import CellView
+
+
+class TestCoreArea:
+    def test_uniform(self):
+        core = CoreArea.uniform(Rect(0, 0, 10, 6), row_height=2.0)
+        assert len(core.rows) == 3
+        assert core.row_height == 2.0
+        assert core.bounds.width == pytest.approx(10.0)
+        assert core.bounds.height == pytest.approx(6.0)
+
+    def test_row_geometry(self):
+        row = Row(y=2.0, height=1.0, x=1.0, site_width=0.5, num_sites=10)
+        assert row.x_end == pytest.approx(6.0)
+        assert row.rect.area == pytest.approx(5.0)
+
+    def test_rows_sorted(self):
+        rows = [
+            Row(y=2.0, height=1.0, x=0, site_width=1, num_sites=5),
+            Row(y=0.0, height=1.0, x=0, site_width=1, num_sites=5),
+        ]
+        core = CoreArea(rows=rows)
+        assert core.rows[0].y == 0.0
+
+    def test_nonuniform_heights_rejected(self):
+        rows = [
+            Row(y=0.0, height=1.0, x=0, site_width=1, num_sites=5),
+            Row(y=1.0, height=2.0, x=0, site_width=1, num_sites=5),
+        ]
+        with pytest.raises(ValueError):
+            CoreArea(rows=rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CoreArea(rows=[])
+
+    def test_row_index_of(self):
+        core = CoreArea.uniform(Rect(0, 0, 10, 10), row_height=1.0)
+        assert core.row_index_of(0.5) == 0
+        assert core.row_index_of(9.5) == 9
+        assert core.row_index_of(-3.0) == 0
+        assert core.row_index_of(30.0) == 9
+
+    def test_invalid_uniform_params(self):
+        with pytest.raises(ValueError):
+            CoreArea.uniform(Rect(0, 0, 10, 10), row_height=0.0)
+
+
+class TestNetlistStructure:
+    def test_sizes(self, tiny_netlist):
+        nl = tiny_netlist
+        assert nl.num_cells == 6
+        assert nl.num_nets == 3
+        assert nl.num_pins == 8
+        assert nl.num_movable == 4
+
+    def test_masks(self, tiny_netlist):
+        nl = tiny_netlist
+        assert nl.is_terminal.sum() == 2
+        assert not nl.is_macro.any()
+        assert nl.movable[:4].all()
+        assert not nl.movable[4:].any()
+
+    def test_net_degrees(self, tiny_netlist):
+        assert list(tiny_netlist.net_degrees) == [3, 2, 3]
+
+    def test_net_pins_slice(self, tiny_netlist):
+        span = tiny_netlist.net_pins(1)
+        assert span.stop - span.start == 2
+        cells = tiny_netlist.pin_cell[span]
+        names = [tiny_netlist.cell_names[c] for c in cells]
+        assert set(names) == {"b", "c"}
+
+    def test_name_lookup(self, tiny_netlist):
+        assert tiny_netlist.cell_index("c") == 2
+        assert tiny_netlist.net_index("n2") == 2
+        with pytest.raises(KeyError):
+            tiny_netlist.cell_index("nope")
+
+    def test_cell_view(self, tiny_netlist):
+        view = tiny_netlist.cell("b")
+        assert isinstance(view, CellView)
+        assert view.width == 3.0
+        assert view.kind == CellKind.STANDARD
+        assert view.movable
+        assert view.nets == [0, 1]
+        assert view.area == pytest.approx(3.0)
+
+    def test_nets_of_cell(self, tiny_netlist):
+        nl = tiny_netlist
+        assert nl.nets_of_cell(nl.cell_index("c")) == [1, 2]
+        assert nl.nets_of_cell(nl.cell_index("p0")) == [0]
+
+    def test_pin_net_ids(self, tiny_netlist):
+        ids = tiny_netlist.pin_net_ids()
+        assert list(ids) == [0, 0, 0, 1, 1, 2, 2, 2]
+
+    def test_areas(self, tiny_netlist):
+        assert tiny_netlist.areas[0] == pytest.approx(2.0)
+        assert tiny_netlist.areas[4] == 0.0
+
+    def test_default_driver_is_first_pin(self, tiny_netlist):
+        nl = tiny_netlist
+        for e in range(nl.num_nets):
+            span = nl.net_pins(e)
+            drivers = nl.pin_is_driver[span]
+            assert drivers[0]
+            assert drivers.sum() == 1
+
+
+class TestNetlistValidation:
+    def test_movable_terminal_rejected(self, tiny_builder):
+        nl = tiny_builder.build()
+        nl.movable = nl.movable.copy()
+        nl.movable[4] = True  # p0 is a terminal
+        with pytest.raises(ValueError, match="terminals"):
+            nl.validate_structure()
+
+    def test_negative_weights_rejected(self, tiny_builder):
+        nl = tiny_builder.build()
+        nl.net_weights = nl.net_weights.copy()
+        nl.net_weights[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            nl.validate_structure()
+
+    def test_bad_net_start_rejected(self, tiny_builder):
+        nl = tiny_builder.build()
+        nl.net_start = nl.net_start.copy()
+        nl.net_start[-1] += 1
+        with pytest.raises(ValueError):
+            nl.validate_structure()
+
+    def test_negative_dimensions_rejected(self, tiny_builder):
+        nl = tiny_builder.build()
+        nl.widths = nl.widths.copy()
+        nl.widths[0] = -1.0
+        with pytest.raises(ValueError, match="negative"):
+            nl.validate_structure()
+
+
+class TestPlacements:
+    def test_placement_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Placement(np.zeros(3), np.zeros(4))
+
+    def test_placement_copy_is_deep(self):
+        p = Placement(np.zeros(3), np.zeros(3))
+        q = p.copy()
+        q.x[0] = 5.0
+        assert p.x[0] == 0.0
+
+    def test_initial_placement_center(self, tiny_netlist):
+        p = tiny_netlist.initial_placement()
+        cx, cy = tiny_netlist.core.bounds.center
+        assert np.allclose(p.x[:4], cx)
+        assert np.allclose(p.y[:4], cy)
+        # fixed cells stay at their fixed positions
+        assert p.x[4] == 0.0 and p.y[4] == 10.0
+
+    def test_initial_placement_jitter_deterministic(self, tiny_netlist):
+        a = tiny_netlist.initial_placement(jitter=1.0, seed=3)
+        b = tiny_netlist.initial_placement(jitter=1.0, seed=3)
+        c = tiny_netlist.initial_placement(jitter=1.0, seed=4)
+        assert np.array_equal(a.x, b.x)
+        assert not np.array_equal(a.x, c.x)
+
+    def test_clamp_to_core(self, tiny_netlist):
+        nl = tiny_netlist
+        p = Placement(
+            np.array([-10.0, 30.0, 5.0, 5.0, 0.0, 20.0]),
+            np.array([5.0, 5.0, -10.0, 30.0, 10.0, 10.0]),
+        )
+        clamped = nl.clamp_to_core(p)
+        # movable cells pulled fully inside (accounting for half extents)
+        assert clamped.x[0] == pytest.approx(1.0)       # half of width 2
+        assert clamped.x[1] == pytest.approx(18.5)      # 20 - 1.5
+        assert clamped.y[2] == pytest.approx(0.5)
+        assert clamped.y[3] == pytest.approx(19.5)
+        # fixed cells untouched even if outside
+        assert clamped.x[5] == 20.0

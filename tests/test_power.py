@@ -1,0 +1,112 @@
+"""Tests for the power-driven placement support (activities & weights)."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.netlist import CoreArea
+from repro.timing import (
+    TimingGraph,
+    activity_criticality,
+    estimate_dynamic_wire_power,
+    power_weights,
+    propagate_activities,
+)
+
+
+def chain_netlist(n=5):
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("pw", core=core)
+    for i in range(n):
+        b.add_cell(f"c{i}", 1.0, 1.0)
+    for i in range(n - 1):
+        b.add_net(f"n{i}", [(f"c{i}", 0, 0), (f"c{i+1}", 0, 0)], driver=0)
+    return b.build()
+
+
+class TestActivityPropagation:
+    def test_sources_get_input_activity(self):
+        nl = chain_netlist()
+        graph = TimingGraph(nl)
+        act = propagate_activities(nl, graph, input_activity=0.3,
+                                   randomize_inputs=False)
+        assert act[0] == pytest.approx(0.3)
+
+    def test_damping_decays_along_chain(self):
+        nl = chain_netlist(5)
+        graph = TimingGraph(nl)
+        act = propagate_activities(nl, graph, input_activity=0.4,
+                                   damping=0.5, randomize_inputs=False)
+        # c1 = 0.5*0.4, c2 = 0.5^2*0.4, ...
+        for i in range(1, 5):
+            assert act[i] == pytest.approx(0.4 * 0.5**i, rel=1e-9)
+
+    def test_all_positive_and_bounded(self, small_design):
+        nl = small_design.netlist
+        graph = TimingGraph(nl)
+        act = propagate_activities(nl, graph)
+        assert (act > 0).all()
+        assert (act <= 1.0 + 1e-9).all()
+
+    def test_deterministic_given_seed(self, small_design):
+        nl = small_design.netlist
+        graph = TimingGraph(nl)
+        a = propagate_activities(nl, graph, seed=3)
+        b = propagate_activities(nl, graph, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        nl = chain_netlist()
+        graph = TimingGraph(nl)
+        with pytest.raises(ValueError):
+            propagate_activities(nl, graph, input_activity=0.0)
+        with pytest.raises(ValueError):
+            propagate_activities(nl, graph, damping=1.5)
+
+
+class TestPowerWeights:
+    def test_high_activity_boosts_weight(self):
+        nl = chain_netlist(3)
+        graph = TimingGraph(nl)
+        act = np.array([0.9, 0.1, 0.1])
+        weights = power_weights(nl, graph, act, sensitivity=2.0)
+        # net n0 driven by hot c0, net n1 by cool c1
+        assert weights[0] > weights[1]
+        assert weights[0] == pytest.approx(1.0 + 2.0 * 0.9)
+
+    def test_activity_criticality(self):
+        nl = chain_netlist(3)
+        act = np.array([1.0, 0.5, 0.0])
+        gamma = activity_criticality(nl, act, scale=1.0)
+        assert gamma[0] == pytest.approx(2.0)
+        assert gamma[1] == pytest.approx(1.5)
+        assert gamma[2] == pytest.approx(1.0)
+
+    def test_power_estimate_tracks_length(self):
+        nl = chain_netlist(3)
+        graph = TimingGraph(nl)
+        act = np.full(3, 0.5)
+        tight = Placement(np.array([0.0, 1.0, 2.0]), np.zeros(3))
+        loose = Placement(np.array([0.0, 10.0, 20.0]), np.zeros(3))
+        p_tight = estimate_dynamic_wire_power(nl, tight, graph, act)
+        p_loose = estimate_dynamic_wire_power(nl, loose, graph, act)
+        assert p_loose == pytest.approx(10.0 * p_tight)
+
+    def test_power_driven_placement_cuts_power(self, small_design):
+        """Weighting hot nets reduces estimated dynamic wire power."""
+        from repro.core import ComPLxConfig, ComPLxPlacer
+        import copy
+
+        nl = small_design.netlist
+        graph = TimingGraph(nl)
+        act = propagate_activities(nl, graph, seed=1)
+
+        base = ComPLxPlacer(nl, ComPLxConfig(seed=3)).place()
+        weighted_nl = copy.copy(nl)
+        weighted_nl.net_weights = power_weights(nl, graph, act,
+                                                sensitivity=4.0)
+        aware = ComPLxPlacer(weighted_nl, ComPLxConfig(seed=3)).place()
+
+        p_base = estimate_dynamic_wire_power(nl, base.upper, graph, act)
+        p_aware = estimate_dynamic_wire_power(nl, aware.upper, graph, act)
+        assert p_aware < 1.02 * p_base

@@ -1,0 +1,240 @@
+"""Tests for the quadratic interconnect models and system assembly.
+
+The load-bearing property (paper Section 5 via Kraftwerk2): at the
+linearization point, the Bound2Bound quadratic cost of a net equals its
+HPWL along each axis (as eps -> 0).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.models.hpwl import hpwl_by_axis, pin_positions
+from repro.models.quadratic import (
+    b2b_edges,
+    build_system,
+    clique_edges,
+    star_edges,
+)
+from repro.netlist import CoreArea
+
+
+def make_netlist(degrees, with_fixed=True, offsets=False, seed=0):
+    rng = np.random.default_rng(seed)
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("q", core=core)
+    count = 0
+    names = []
+    for d in degrees:
+        for _ in range(d):
+            name = f"c{count}"
+            if name not in b:
+                b.add_cell(name, 2.0, 1.0)
+            count += 1
+    total = count
+    names = [f"c{i}" for i in range(total)]
+    if with_fixed:
+        b.add_cell("f0", 0.0, 0.0, fixed_at=(0.0, 50.0))
+        b.add_cell("f1", 0.0, 0.0, fixed_at=(100.0, 50.0))
+    cursor = 0
+    for e, d in enumerate(degrees):
+        pins = []
+        for k in range(d):
+            off = (float(rng.uniform(-1, 1)), float(rng.uniform(-0.5, 0.5))) \
+                if offsets else (0.0, 0.0)
+            pins.append((names[cursor], *off))
+            cursor += 1
+        if with_fixed:
+            # Chain every net through c0 so the graph is one connected
+            # component with fixed pins (keeps systems strictly PD).
+            if e == 0:
+                pins.append(("f0", 0.0, 0.0))
+            elif e == len(degrees) - 1:
+                pins.append(("f1", 0.0, 0.0))
+            if e > 0:
+                pins.append(("c0", 0.0, 0.0))
+        b.add_net(f"n{e}", pins, weight=float(rng.uniform(0.5, 2.0)))
+    return b.build()
+
+
+def random_placement(nl, seed=0):
+    rng = np.random.default_rng(seed)
+    return Placement(rng.uniform(5, 95, nl.num_cells),
+                     rng.uniform(5, 95, nl.num_cells))
+
+
+def quadratic_cost_of_edges(nl, placement, edges, axis):
+    """Brute-force sum of w (p_a - p_b)^2 over pin-level edges."""
+    px, py = pin_positions(nl, placement)
+    coords = px if axis == "x" else py
+    a, b, w = edges
+    return float((w * (coords[a] - coords[b]) ** 2).sum())
+
+
+class TestEdgeDecompositions:
+    def test_clique_edge_count(self):
+        nl = make_netlist([2, 3, 5], with_fixed=False)
+        a, b, w = clique_edges(nl)
+        # C(2,2)+C(3,2)+C(5,2) = 1+3+10
+        assert a.shape[0] == 14
+
+    def test_star_scaled_clique(self):
+        nl = make_netlist([4], with_fixed=False)
+        _, _, wc = clique_edges(nl)
+        _, _, ws = star_edges(nl)
+        assert np.allclose(ws * 4, wc)
+
+    def test_b2b_edge_count(self):
+        nl = make_netlist([2, 3, 5], with_fixed=False)
+        p = random_placement(nl)
+        a, _, _ = b2b_edges(nl, p, "x", eps=1e-9)
+        # 2d-3 edges per net: 1 + 3 + 7
+        assert a.shape[0] == 11
+
+    def test_b2b_cost_equals_hpwl(self):
+        """The headline property: B2B quadratic cost == HPWL at the
+        linearization point (eps -> 0, unweighted)."""
+        nl = make_netlist([2, 3, 4, 7], with_fixed=False)
+        nl.net_weights = np.ones(nl.num_nets)
+        p = random_placement(nl, seed=3)
+        hx, hy = hpwl_by_axis(nl, p)
+        for axis, expected in (("x", hx), ("y", hy)):
+            edges = b2b_edges(nl, p, axis, eps=1e-12)
+            cost = quadratic_cost_of_edges(nl, p, edges, axis)
+            assert cost == pytest.approx(expected, rel=1e-6)
+
+    def test_b2b_degree_one_skipped(self):
+        nl = make_netlist([1, 2], with_fixed=False)
+        p = random_placement(nl)
+        a, _, _ = b2b_edges(nl, p, "x", eps=1.0)
+        assert a.shape[0] == 1  # only the 2-pin net
+
+    def test_b2b_invalid_axis(self):
+        nl = make_netlist([2], with_fixed=False)
+        with pytest.raises(ValueError):
+            b2b_edges(nl, random_placement(nl), "z", eps=1.0)
+
+    def test_b2b_invalid_eps(self):
+        nl = make_netlist([2], with_fixed=False)
+        with pytest.raises(ValueError):
+            b2b_edges(nl, random_placement(nl), "x", eps=0.0)
+
+
+class TestSystemAssembly:
+    @pytest.mark.parametrize("model", ["b2b", "clique", "star", "hybrid"])
+    def test_spd_and_solvable(self, model):
+        nl = make_netlist([2, 3, 4], with_fixed=True)
+        p = random_placement(nl)
+        system = build_system(nl, p, "x", model=model, eps=0.5)
+        assert system.size == nl.num_movable
+        dense = system.matrix.toarray()
+        assert np.allclose(dense, dense.T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0  # strictly PD thanks to fixed pins
+
+    def test_solution_matches_dense(self):
+        nl = make_netlist([2, 3, 4], with_fixed=True)
+        p = random_placement(nl)
+        system = build_system(nl, p, "x", model="b2b", eps=0.5)
+        x = np.linalg.solve(system.matrix.toarray(), system.rhs)
+        assert system.residual_norm(x) < 1e-9
+
+    def test_minimizer_beats_perturbations(self):
+        """Q x = b really minimizes the assembled quadratic cost."""
+        nl = make_netlist([3, 4], with_fixed=True, offsets=True)
+        p = random_placement(nl, seed=7)
+        system = build_system(nl, p, "x", model="clique")
+        x_opt = np.linalg.solve(system.matrix.toarray(), system.rhs)
+        base = system.cost(x_opt)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert system.cost(x_opt + rng.normal(0, 1, x_opt.shape)) > base
+
+    def test_minimizer_matches_bruteforce_gradient(self):
+        """The assembled system's optimum zeroes the true gradient of
+        sum w (pa - pb)^2 including offsets and fixed pins."""
+        nl = make_netlist([3, 3], with_fixed=True, offsets=True)
+        p = random_placement(nl, seed=11)
+        edges = clique_edges(nl)
+        system = build_system(nl, p, "x", model="clique")
+        x_opt = np.linalg.solve(system.matrix.toarray(), system.rhs)
+        trial = p.copy()
+        trial.x[system.cell_of_slot] = x_opt
+        # numerical gradient of the true pin-level cost
+        for slot, cell in enumerate(system.cell_of_slot):
+            h = 1e-5
+            up = trial.copy()
+            up.x[cell] += h
+            down = trial.copy()
+            down.x[cell] -= h
+            grad = (
+                quadratic_cost_of_edges(nl, up, edges, "x")
+                - quadratic_cost_of_edges(nl, down, edges, "x")
+            ) / (2 * h)
+            assert abs(grad) < 1e-4
+
+    def test_fixed_cells_attract(self):
+        """A single movable between two fixed pins lands between them."""
+        core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+        b = NetlistBuilder("f", core=core)
+        b.add_cell("m", 1.0, 1.0)
+        b.add_cell("l", 0.0, 0.0, fixed_at=(10.0, 50.0))
+        b.add_cell("r", 0.0, 0.0, fixed_at=(30.0, 50.0))
+        b.add_net("n0", [("m", 0, 0), ("l", 0, 0)])
+        b.add_net("n1", [("m", 0, 0), ("r", 0, 0)], weight=3.0)
+        nl = b.build()
+        p = nl.initial_placement()
+        system = build_system(nl, p, "x", model="clique")
+        x = np.linalg.solve(system.matrix.toarray(), system.rhs)
+        # weighted average: (1*10 + 3*30) / 4 = 25
+        assert x[0] == pytest.approx(25.0)
+
+    def test_anchor_pull(self):
+        nl = make_netlist([2], with_fixed=True)
+        p = random_placement(nl)
+        system = build_system(nl, p, "x", model="b2b", eps=0.5)
+        strong = 1e6
+        targets = np.full(system.size, 42.0)
+        system.add_anchors(np.full(system.size, strong), targets)
+        x = np.linalg.solve(system.matrix.toarray(), system.rhs)
+        assert np.allclose(x, 42.0, atol=1e-3)
+
+    def test_add_anchors_validation(self):
+        nl = make_netlist([2], with_fixed=True)
+        system = build_system(nl, random_placement(nl), "x")
+        with pytest.raises(ValueError):
+            system.add_anchors(np.full(system.size, -1.0),
+                               np.zeros(system.size))
+        with pytest.raises(ValueError):
+            system.add_anchors(np.zeros(system.size + 1),
+                               np.zeros(system.size + 1))
+
+    def test_single_anchor(self):
+        nl = make_netlist([2], with_fixed=True)
+        system = build_system(nl, random_placement(nl), "x")
+        before = system.matrix.diagonal().copy()
+        system.add_anchor(int(system.cell_of_slot[0]), 2.0, 10.0)
+        after = system.matrix.diagonal()
+        assert after[0] == pytest.approx(before[0] + 2.0)
+        fixed_cell = int(np.flatnonzero(~nl.movable)[0])
+        with pytest.raises(ValueError):
+            system.add_anchor(fixed_cell, 1.0, 0.0)
+
+    def test_unknown_model(self):
+        nl = make_netlist([2], with_fixed=True)
+        with pytest.raises(ValueError, match="net model"):
+            build_system(nl, random_placement(nl), "x", model="maglev")
+
+    def test_self_edges_dropped(self):
+        """Two pins of one net on the same cell contribute nothing."""
+        core = CoreArea.uniform(Rect(0, 0, 10, 10), row_height=1.0)
+        b = NetlistBuilder("s", core=core)
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("f", 0.0, 0.0, fixed_at=(5.0, 5.0))
+        b.add_net("n", [("a", -0.5, 0), ("a", 0.5, 0), ("f", 0, 0)])
+        nl = b.build()
+        system = build_system(nl, nl.initial_placement(), "x", model="clique")
+        assert sp.issparse(system.matrix)
+        assert system.matrix.shape == (1, 1)
+        assert system.matrix[0, 0] > 0  # the two a-f edges remain

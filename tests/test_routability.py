@@ -1,0 +1,129 @@
+"""Tests for the routability extension: RUDY and inflation-driven P_C."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.netlist import CoreArea
+from repro.projection import DensityGrid, FeasibilityProjection
+from repro.routability import (
+    RoutabilityDrivenPlacer,
+    cell_congestion,
+    routability_place,
+    rudy_map,
+)
+
+
+def cross_netlist():
+    """Two nets crossing in the center of a 20x20 core."""
+    core = CoreArea.uniform(Rect(0, 0, 20, 20), row_height=1.0)
+    b = NetlistBuilder("x", core=core)
+    for i, (x, y) in enumerate([(2, 10), (18, 10), (10, 2), (10, 18)]):
+        b.add_cell(f"p{i}", 0.0, 0.0, fixed_at=(float(x), float(y)))
+    b.add_cell("c", 1.0, 1.0)
+    b.add_net("h", [("p0", 0, 0), ("p1", 0, 0), ("c", 0, 0)])
+    b.add_net("v", [("p2", 0, 0), ("p3", 0, 0), ("c", 0, 0)])
+    return b.build()
+
+
+class TestRudy:
+    def test_demand_concentrates_on_bboxes(self):
+        nl = cross_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([2, 18, 10, 10, 10.0]),
+                      np.array([10, 10, 2, 18, 10.0]))
+        cmap = rudy_map(nl, p, grid, supply_per_area=1.0)
+        # center bins see both nets; corners see none
+        center = cmap.demand[1:3, 1:3].sum()
+        corner = cmap.demand[0, 0] + cmap.demand[3, 3]
+        assert center > corner
+
+    def test_total_demand_matches_formula(self):
+        nl = cross_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([2, 18, 10, 10, 10.0]),
+                      np.array([10, 10, 2, 18, 10.0]))
+        cmap = rudy_map(nl, p, grid, supply_per_area=1.0)
+        # each net's integrated demand = w_e * (w + h) * wire_width with
+        # the degenerate axis expanded to one wire width: (16 + 1) each.
+        expected = 17.0 + 17.0
+        assert cmap.demand.sum() == pytest.approx(expected, rel=1e-6)
+
+    def test_weighted_nets_demand_more(self):
+        nl = cross_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([2, 18, 10, 10, 10.0]),
+                      np.array([10, 10, 2, 18, 10.0]))
+        base = rudy_map(nl, p, grid, supply_per_area=1.0).demand.sum()
+        nl.net_weights = nl.net_weights * 3.0
+        heavy = rudy_map(nl, p, grid, supply_per_area=1.0).demand.sum()
+        assert heavy == pytest.approx(3.0 * base, rel=1e-9)
+
+    def test_default_supply_calibration(self, small_design, placed_small):
+        nl = small_design.netlist
+        grid = DensityGrid(nl, 6, 6)
+        cmap = rudy_map(nl, placed_small.upper, grid)
+        # calibrated so mean congestion ~0.5
+        assert cmap.congestion.mean() == pytest.approx(0.5, rel=1e-6)
+        assert cmap.max_congestion >= cmap.congestion.mean()
+
+    def test_cell_congestion_lookup(self):
+        nl = cross_netlist()
+        grid = DensityGrid(nl, 4, 4)
+        p = Placement(np.array([2, 18, 10, 10, 10.0]),
+                      np.array([10, 10, 2, 18, 10.0]))
+        cmap = rudy_map(nl, p, grid, supply_per_area=1.0)
+        values = cell_congestion(nl, p, cmap, grid)
+        assert values.shape == (nl.num_cells,)
+        # the center cell sits in a hotter bin than the left pad
+        assert values[4] >= values[0]
+
+
+class TestInflatedProjection:
+    def test_cell_inflation_shapes_enforced(self, small_design):
+        proj = FeasibilityProjection(small_design.netlist)
+        proj.cell_inflation = np.ones(3)
+        with pytest.raises(ValueError, match="cell_inflation"):
+            proj(small_design.netlist.initial_placement())
+
+    def test_inflation_spreads_cells_more(self, small_design):
+        nl = small_design.netlist
+        clump = nl.initial_placement(jitter=1.0)
+        plain = FeasibilityProjection(nl)
+        inflated = FeasibilityProjection(nl)
+        inflated.cell_inflation = np.full(nl.num_cells, 2.0)
+        a = plain(clump)
+        b = inflated(clump)
+        # inflated cells demand more area -> larger displacement
+        assert b.pi >= a.pi * 0.9
+        # and the *real* (uninflated) density ends lower or equal
+        grid = plain.grid(plain.default_shape(), plain.default_shape())
+        ua = grid.usage(a.placement)
+        ub = grid.usage(b.placement)
+        assert grid.total_overflow(ub, 1.0) <= \
+            grid.total_overflow(ua, 1.0) + 1e-6
+
+
+class TestRoutabilityDrivenPlacer:
+    def test_validation(self, small_design):
+        with pytest.raises(ValueError):
+            RoutabilityDrivenPlacer(small_design.netlist, max_rounds=0)
+        with pytest.raises(ValueError):
+            RoutabilityDrivenPlacer(small_design.netlist, max_inflation=0.5)
+
+    def test_rounds_recorded_and_congestion_bounded(self, small_design):
+        result = routability_place(
+            small_design.netlist, max_rounds=2,
+            congestion_threshold=0.0,  # force the inflation round to run
+        )
+        assert 1 <= len(result.rounds) <= 2
+        assert result.final_max_congestion > 0
+        for r in result.rounds:
+            assert 0.0 <= r["overflowed_fraction"] <= 1.0
+
+    def test_stops_early_when_uncongested(self, small_design):
+        result = routability_place(
+            small_design.netlist, max_rounds=3,
+            congestion_threshold=1e9,
+        )
+        assert len(result.rounds) == 1

@@ -1,0 +1,73 @@
+"""Tests for site-grid alignment in the legalizers."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, Rect, check_legal
+from repro.legalize import (
+    abacus_legalize,
+    snap_row_to_sites,
+    tetris_legalize,
+)
+from repro.netlist import CoreArea
+
+
+class TestSnapRow:
+    def test_snaps_down_when_free(self):
+        out = snap_row_to_sites([3.4], [2.0], 0.0, 10.0, origin=0.0,
+                                site_width=1.0)
+        assert out == [3.0]
+
+    def test_respects_predecessor(self):
+        out = snap_row_to_sites([0.2, 2.1], [2.0, 2.0], 0.0, 10.0,
+                                origin=0.0, site_width=1.0)
+        assert out[0] == 0.0
+        assert out[1] >= out[0] + 2.0
+        assert out[1] == pytest.approx(round(out[1]))
+
+    def test_tail_pulled_into_segment(self):
+        out = snap_row_to_sites([7.6, 9.3], [2.0, 2.0], 0.0, 12.0,
+                                origin=0.0, site_width=1.0)
+        assert out[-1] + 2.0 <= 12.0 + 1e-9
+        assert all(v == pytest.approx(round(v)) for v in out)
+
+    def test_fractional_origin(self):
+        out = snap_row_to_sites([5.7], [1.0], 0.5, 10.5, origin=0.5,
+                                site_width=1.0)
+        # sites at 0.5, 1.5, ... -> 5.7 snaps down to 5.5
+        assert out == [5.5]
+
+    def test_zero_site_width_noop(self):
+        out = snap_row_to_sites([3.3], [1.0], 0.0, 10.0, origin=0.0,
+                                site_width=0.0)
+        assert out == [3.3]
+
+
+@pytest.mark.parametrize("legalizer", [tetris_legalize, abacus_legalize])
+class TestSiteLegality:
+    def test_fully_site_legal(self, small_design, placed_small, legalizer):
+        nl = small_design.netlist
+        out = legalizer(nl, placed_small.upper)
+        report = check_legal(nl, out, check_sites=True)
+        assert report.legal, report.summary()
+
+    def test_snap_disabled(self, small_design, placed_small, legalizer):
+        nl = small_design.netlist
+        out = legalizer(nl, placed_small.upper, snap_sites=False)
+        # still row/overlap legal even without snapping
+        assert check_legal(nl, out).legal
+
+    def test_wide_site_grid(self, legalizer):
+        """site_width=2: snapped positions land on even coordinates."""
+        core = CoreArea.uniform(Rect(0, 0, 40, 8), row_height=1.0,
+                                site_width=2.0)
+        b = NetlistBuilder("w", core=core)
+        for i in range(8):
+            b.add_cell(f"c{i}", 4.0, 1.0)
+        b.add_net("n", [(f"c{i}", 0, 0) for i in range(8)])
+        nl = b.build()
+        rng = np.random.default_rng(0)
+        p = Placement(rng.uniform(2, 38, 8), rng.uniform(1, 7, 8))
+        out = legalizer(nl, p)
+        report = check_legal(nl, out, check_sites=True)
+        assert report.legal, report.summary()

@@ -1,0 +1,182 @@
+"""Tests for the smooth HPWL approximations (Section S1 models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.models import (
+    beta_regularized_wirelength,
+    default_gamma,
+    hpwl,
+    lse_wirelength,
+    pnorm_wirelength,
+)
+from repro.netlist import CoreArea
+
+
+def make_netlist():
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("s", core=core)
+    for i in range(5):
+        b.add_cell(f"c{i}", 2.0, 1.0)
+    b.add_cell("f", 0.0, 0.0, fixed_at=(50.0, 50.0))
+    b.add_net("n0", [("c0", 0, 0), ("c1", 0, 0), ("c2", 0, 0)])
+    b.add_net("n1", [("c2", 0, 0), ("c3", 0, 0)], weight=2.0)
+    b.add_net("n2", [("c3", 0, 0), ("c4", 0, 0), ("f", 0, 0)])
+    return b.build()
+
+
+def random_placement(nl, seed=0):
+    rng = np.random.default_rng(seed)
+    return Placement(rng.uniform(10, 90, nl.num_cells),
+                     rng.uniform(10, 90, nl.num_cells))
+
+
+def finite_diff(nl, placement, fn, cell, axis, h=1e-5):
+    up = placement.copy()
+    down = placement.copy()
+    coords = up.x if axis == "x" else up.y
+    coords[cell] += h
+    coords = down.x if axis == "x" else down.y
+    coords[cell] -= h
+    return (fn(nl, up).value - fn(nl, down).value) / (2 * h)
+
+
+class TestLSE:
+    def test_overestimates_hpwl(self):
+        nl = make_netlist()
+        p = random_placement(nl)
+        for gamma in (5.0, 1.0, 0.1):
+            # weighted HPWL here since net weights differ
+            result = lse_wirelength(nl, p, gamma)
+            assert result.value >= _whpwl(nl, p) - 1e-9
+
+    def test_converges_to_hpwl(self):
+        nl = make_netlist()
+        p = random_placement(nl)
+        exact = _whpwl(nl, p)
+        previous_err = np.inf
+        for gamma in (2.0, 0.5, 0.1, 0.02):
+            err = lse_wirelength(nl, p, gamma).value - exact
+            assert err < previous_err + 1e-12
+            previous_err = err
+        assert previous_err < 0.05 * exact
+
+    def test_gradient_matches_finite_difference(self):
+        nl = make_netlist()
+        p = random_placement(nl, seed=2)
+        result = lse_wirelength(nl, p, gamma=1.5)
+        fn = lambda n, q: lse_wirelength(n, q, gamma=1.5)
+        for cell in range(5):
+            assert result.grad_x[cell] == pytest.approx(
+                finite_diff(nl, p, fn, cell, "x"), abs=1e-4)
+            assert result.grad_y[cell] == pytest.approx(
+                finite_diff(nl, p, fn, cell, "y"), abs=1e-4)
+
+    def test_fixed_cells_zero_gradient(self):
+        nl = make_netlist()
+        result = lse_wirelength(nl, random_placement(nl), gamma=1.0)
+        fixed = nl.cell_index("f")
+        assert result.grad_x[fixed] == 0.0
+        assert result.grad_y[fixed] == 0.0
+
+    def test_numerical_stability_large_coords(self):
+        nl = make_netlist()
+        p = random_placement(nl)
+        p.x *= 1e6
+        p.y *= 1e6
+        result = lse_wirelength(nl, p, gamma=0.01)
+        assert np.isfinite(result.value)
+        assert np.isfinite(result.grad_x).all()
+
+    def test_invalid_gamma(self):
+        nl = make_netlist()
+        with pytest.raises(ValueError):
+            lse_wirelength(nl, random_placement(nl), gamma=0.0)
+
+    def test_default_gamma_scales_with_core(self):
+        nl = make_netlist()
+        assert default_gamma(nl, 0.01) == pytest.approx(1.0)
+
+
+class TestBetaRegularization:
+    def test_overestimates_and_converges(self):
+        nl = make_netlist()
+        p = random_placement(nl)
+        exact = _clique_l1(nl, p)
+        for beta in (10.0, 0.1, 1e-4):
+            value = beta_regularized_wirelength(nl, p, beta).value
+            assert value >= exact - 1e-9
+        assert beta_regularized_wirelength(nl, p, 1e-8).value == \
+            pytest.approx(exact, rel=1e-3)
+
+    def test_gradient_matches_finite_difference(self):
+        nl = make_netlist()
+        p = random_placement(nl, seed=4)
+        result = beta_regularized_wirelength(nl, p, beta=0.5)
+        fn = lambda n, q: beta_regularized_wirelength(n, q, beta=0.5)
+        for cell in (0, 2, 4):
+            assert result.grad_x[cell] == pytest.approx(
+                finite_diff(nl, p, fn, cell, "x"), abs=1e-4)
+
+    def test_invalid_beta(self):
+        nl = make_netlist()
+        with pytest.raises(ValueError):
+            beta_regularized_wirelength(nl, random_placement(nl), beta=0.0)
+
+
+class TestPNorm:
+    def test_approaches_hpwl_with_large_p(self):
+        nl = make_netlist()
+        p = random_placement(nl)
+        exact = _whpwl(nl, p)
+        v8 = pnorm_wirelength(nl, p, p=8.0).value
+        v32 = pnorm_wirelength(nl, p, p=32.0).value
+        assert v8 >= v32 >= exact - 1e-9
+        assert v32 == pytest.approx(exact, rel=0.1)
+
+    def test_gradient_matches_finite_difference(self):
+        nl = make_netlist()
+        p = random_placement(nl, seed=6)
+        result = pnorm_wirelength(nl, p, p=8.0)
+        fn = lambda n, q: pnorm_wirelength(n, q, p=8.0)
+        for cell in (1, 3):
+            assert result.grad_x[cell] == pytest.approx(
+                finite_diff(nl, p, fn, cell, "x"), abs=1e-3)
+
+    def test_invalid_p(self):
+        nl = make_netlist()
+        with pytest.raises(ValueError):
+            pnorm_wirelength(nl, random_placement(nl), p=0.5)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_lse_always_above_weighted_hpwl(seed):
+    nl = make_netlist()
+    p = random_placement(nl, seed=seed)
+    assert lse_wirelength(nl, p, gamma=0.5).value >= _whpwl(nl, p) - 1e-9
+
+
+def _whpwl(nl, p):
+    from repro.models import weighted_hpwl
+    return weighted_hpwl(nl, p)
+
+
+def _clique_l1(nl, p):
+    """Weighted clique L1 length (what beta-regularization smooths)."""
+    from repro.models.hpwl import pin_positions
+    px, py = pin_positions(nl, p)
+    total = 0.0
+    for e in range(nl.num_nets):
+        span = nl.net_pins(e)
+        d = span.stop - span.start
+        if d < 2:
+            continue
+        w = nl.net_weights[e] / (d - 1)
+        for i in range(span.start, span.stop):
+            for j in range(i + 1, span.stop):
+                total += w * (abs(px[i] - px[j]) + abs(py[i] - py[j]))
+    return total

@@ -1,0 +1,85 @@
+"""Stability of ComPLx to small netlist changes (paper Section S6).
+
+S6 notes as a side effect of the net-weighting experiment that ComPLx is
+stable under small netlist changes, "which is important in the context
+of physical synthesis [1]".  These tests quantify that: perturb a small
+fraction of the design and compare the warm-started re-placement against
+the original placement.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import ComPLxConfig
+from repro.analysis import displacement_stats
+from repro.core import ComPLxPlacer
+
+
+def _perturb_weights(netlist, fraction: float, factor: float, seed: int = 0):
+    """A copy of the netlist with a random few net weights scaled."""
+    rng = np.random.default_rng(seed)
+    out = copy.copy(netlist)
+    weights = netlist.net_weights.copy()
+    count = max(1, int(fraction * netlist.num_nets))
+    chosen = rng.choice(netlist.num_nets, size=count, replace=False)
+    weights[chosen] = weights[chosen] * factor
+    out.net_weights = weights
+    return out
+
+
+class TestStability:
+    def test_perturbation_adds_little_beyond_restart_churn(
+            self, small_design, placed_small):
+        """A small perturbation displaces barely more than an identical
+        unperturbed warm restart does (the fair stability measure: any
+        warm restart re-runs the projection and has inherent churn)."""
+        nl = small_design.netlist
+        reference = ComPLxPlacer(nl, ComPLxConfig(seed=1)).place(
+            initial=placed_small.lower
+        )
+        perturbed = _perturb_weights(nl, fraction=0.02, factor=3.0)
+        result = ComPLxPlacer(perturbed, ComPLxConfig(seed=1)).place(
+            initial=placed_small.lower
+        )
+        churn = displacement_stats(nl, placed_small.upper, reference.upper)
+        extra = displacement_stats(nl, reference.upper, result.upper)
+        assert extra["mean"] < 1.6 * max(churn["mean"], 1e-9)
+
+    def test_perturbation_scales_with_change(self, small_design,
+                                             placed_small):
+        """A larger perturbation should displace at least as much as a
+        tiny one (sanity for the stability metric itself)."""
+        nl = small_design.netlist
+        results = {}
+        for fraction in (0.01, 0.3):
+            perturbed = _perturb_weights(nl, fraction=fraction, factor=5.0,
+                                         seed=3)
+            placer = ComPLxPlacer(perturbed, ComPLxConfig(seed=1))
+            result = placer.place(initial=placed_small.lower)
+            moved = displacement_stats(nl, placed_small.upper, result.upper)
+            results[fraction] = moved["mean"]
+        assert results[0.3] > 0.3 * results[0.01]
+
+    def test_identical_rerun_is_deterministic(self, small_design,
+                                              placed_small):
+        """Zero perturbation + same seed -> identical placement."""
+        nl = small_design.netlist
+        placer = ComPLxPlacer(nl, ComPLxConfig(seed=1))
+        result = placer.place()
+        assert np.array_equal(result.upper.x, placed_small.upper.x)
+        assert np.array_equal(result.upper.y, placed_small.upper.y)
+
+    def test_hpwl_stays_close_after_perturbation(self, small_design,
+                                                 placed_small):
+        from repro.models import hpwl
+
+        nl = small_design.netlist
+        perturbed = _perturb_weights(nl, fraction=0.02, factor=3.0)
+        placer = ComPLxPlacer(perturbed, ComPLxConfig(seed=1))
+        result = placer.place(initial=placed_small.lower)
+        # evaluate with the ORIGINAL weights: quality preserved
+        before = hpwl(nl, placed_small.upper)
+        after = hpwl(nl, result.upper)
+        assert after < 1.2 * before

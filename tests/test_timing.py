@@ -1,0 +1,153 @@
+"""Tests for the STA substrate and net weighting (Formula 13 support)."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, Rect
+from repro.netlist import CoreArea
+from repro.timing import (
+    TimingGraph,
+    criticality_vector,
+    nets_on_path,
+    path_length,
+    slack_based_weights,
+    weight_paths,
+)
+
+
+def chain_netlist(n=4, spacing=10.0):
+    """A simple combinational chain c0 -> c1 -> ... -> c_{n-1}."""
+    core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+    b = NetlistBuilder("chain", core=core)
+    for i in range(n):
+        b.add_cell(f"c{i}", 1.0, 1.0)
+    for i in range(n - 1):
+        b.add_net(f"n{i}", [(f"c{i}", 0, 0), (f"c{i+1}", 0, 0)], driver=0)
+    return b.build()
+
+
+def chain_placement(nl, spacing=10.0):
+    n = nl.num_cells
+    return Placement(np.arange(n) * spacing + 5.0, np.full(n, 5.0))
+
+
+class TestSTA:
+    def test_chain_arrivals(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl, cell_delay=1.0, wire_delay_per_unit=0.1)
+        p = chain_placement(nl, spacing=10.0)
+        timing = graph.analyze(p)
+        # each stage: 1.0 + 0.1*10 = 2.0
+        assert timing.arrival[0] == 0.0
+        assert timing.arrival[1] == pytest.approx(2.0)
+        assert timing.arrival[3] == pytest.approx(6.0)
+        assert timing.max_arrival == pytest.approx(6.0)
+
+    def test_default_clock_zero_worst_slack(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl))
+        assert timing.slack.min() == pytest.approx(0.0, abs=1e-9)
+        assert timing.critical_cells.size == 0
+
+    def test_tight_clock_creates_critical_cells(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl), clock_period=3.0)
+        assert timing.critical_cells.size > 0
+        # the chain end misses a 3.0 clock by 3.0
+        assert timing.slack.min() == pytest.approx(-3.0)
+
+    def test_reconvergent_paths(self):
+        """Diamond: longest branch dominates the arrival at the sink."""
+        core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+        b = NetlistBuilder("d", core=core)
+        for name in ("src", "fast", "slow", "sink"):
+            b.add_cell(name, 1.0, 1.0)
+        b.add_net("a", [("src", 0, 0), ("fast", 0, 0), ("slow", 0, 0)])
+        b.add_net("b", [("fast", 0, 0), ("sink", 0, 0)], driver=0)
+        b.add_net("c", [("slow", 0, 0), ("sink", 0, 0)], driver=0)
+        nl = b.build()
+        p = Placement(np.array([0.0, 5.0, 50.0, 10.0]),
+                      np.zeros(4))
+        graph = TimingGraph(nl, cell_delay=1.0, wire_delay_per_unit=0.1)
+        timing = graph.analyze(p)
+        # via slow: (1 + 5.0) + (1 + 4.0) = 11.0; via fast: 2.5 + 1.5
+        assert timing.arrival[3] == pytest.approx(11.0)
+
+    def test_cycles_tolerated(self):
+        core = CoreArea.uniform(Rect(0, 0, 100, 100), row_height=1.0)
+        b = NetlistBuilder("loop", core=core)
+        for name in ("a", "b", "c"):
+            b.add_cell(name, 1.0, 1.0)
+        b.add_net("ab", [("a", 0, 0), ("b", 0, 0)], driver=0)
+        b.add_net("bc", [("b", 0, 0), ("c", 0, 0)], driver=0)
+        b.add_net("ca", [("c", 0, 0), ("a", 0, 0)], driver=0)
+        nl = b.build()
+        graph = TimingGraph(nl)
+        timing = graph.analyze(Placement(np.zeros(3), np.zeros(3)))
+        assert np.isfinite(timing.arrival).all()
+
+    def test_critical_path_walk(self):
+        nl = chain_netlist(5)
+        graph = TimingGraph(nl)
+        path = graph.critical_path(chain_placement(nl))
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_criticality_normalized(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl), clock_period=3.0)
+        crit = timing.cell_criticality()
+        assert crit.max() <= 1.0
+        assert crit.min() >= 0.0
+        assert crit[3] > 0.5
+
+
+class TestNetWeighting:
+    def test_slack_based_weights_boost_critical(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl), clock_period=3.0)
+        weights = slack_based_weights(nl, timing, graph)
+        assert (weights >= nl.net_weights - 1e-12).all()
+        assert weights.max() > 1.0
+
+    def test_no_criticality_no_change(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl))  # zero worst slack
+        weights = slack_based_weights(nl, timing, graph)
+        assert np.allclose(weights, nl.net_weights, atol=1e-6)
+
+    def test_nets_on_path(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        nets = nets_on_path(nl, graph, [0, 1, 2, 3])
+        assert nets == [0, 1, 2]
+
+    def test_weight_paths(self):
+        nl = chain_netlist(4)
+        weights = weight_paths(nl, [[0, 2]], factor=20.0)
+        assert weights[0] == 20.0
+        assert weights[1] == 1.0
+        assert weights[2] == 20.0
+        # original untouched
+        assert nl.net_weights[0] == 1.0
+        with pytest.raises(ValueError):
+            weight_paths(nl, [[0]], factor=0.0)
+
+    def test_path_length(self):
+        nl = chain_netlist(4)
+        p = chain_placement(nl, spacing=10.0)
+        assert path_length(nl, p, [0, 1]) == pytest.approx(20.0)
+
+    def test_criticality_vector(self):
+        nl = chain_netlist(4)
+        graph = TimingGraph(nl)
+        timing = graph.analyze(chain_placement(nl), clock_period=3.0)
+        gamma = criticality_vector(nl, timing, delta=0.5)
+        assert gamma.max() == pytest.approx(1.5)
+        # repeated application compounds (the paper's update rule)
+        gamma2 = criticality_vector(nl, timing, delta=0.5, base=gamma)
+        assert gamma2.max() == pytest.approx(2.25)

@@ -1,0 +1,132 @@
+"""Tests for legality checking and overlap detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NetlistBuilder, Placement, Rect, check_legal
+from repro.netlist import CoreArea
+from repro.netlist.validate import find_overlaps, total_overlap_area
+
+
+def grid_netlist(n=5, width=2.0):
+    core = CoreArea.uniform(Rect(0, 0, 40, 10), row_height=1.0)
+    b = NetlistBuilder("g", core=core)
+    for i in range(n):
+        b.add_cell(f"c{i}", width, 1.0)
+    b.add_net("n", [(f"c{i}", 0, 0) for i in range(n)])
+    return b.build()
+
+
+def legal_placement(nl):
+    """Cells side by side on row 0."""
+    n = nl.num_cells
+    x = np.array([1.0 + 2.0 * i for i in range(n)])
+    y = np.full(n, 0.5)
+    return Placement(x, y)
+
+
+class TestCheckLegal:
+    def test_legal(self):
+        nl = grid_netlist()
+        report = check_legal(nl, legal_placement(nl))
+        assert report.legal
+        assert "overlaps=0" in report.summary()
+
+    def test_overlap_detected(self):
+        nl = grid_netlist()
+        p = legal_placement(nl)
+        p.x[1] = p.x[0] + 0.5  # overlaps cell 0
+        report = check_legal(nl, p)
+        assert not report.legal
+        assert (0, 1) in report.overlaps
+
+    def test_out_of_core(self):
+        nl = grid_netlist()
+        p = legal_placement(nl)
+        p.x[0] = -5.0
+        report = check_legal(nl, p)
+        assert 0 in report.out_of_core
+
+    def test_off_row(self):
+        nl = grid_netlist()
+        p = legal_placement(nl)
+        p.y[2] = 0.73
+        report = check_legal(nl, p)
+        assert 2 in report.off_row
+
+    def test_site_alignment_optional(self):
+        nl = grid_netlist()
+        # Cells with 1-unit gaps so one can sit off-site without overlap.
+        p = Placement(np.array([1.0 + 3.0 * i for i in range(5)]),
+                      np.full(5, 0.5))
+        p.x[1] = 4.25  # off-site but on-row, no overlap
+        assert check_legal(nl, p).legal
+        report = check_legal(nl, p, check_sites=True)
+        assert 1 in report.off_site
+
+    def test_touching_cells_legal(self):
+        nl = grid_netlist(n=2)
+        p = Placement(np.array([1.0, 3.0]), np.array([0.5, 0.5]))
+        assert check_legal(nl, p).legal
+
+    def test_region_violation(self):
+        core = CoreArea.uniform(Rect(0, 0, 40, 10), row_height=1.0)
+        b = NetlistBuilder("r", core=core)
+        b.add_cell("a", 2.0, 1.0)
+        b.add_cell("b", 2.0, 1.0)
+        b.add_net("n", [("a", 0, 0), ("b", 0, 0)])
+        b.add_region("reg", Rect(20, 0, 30, 10), ["a"])
+        nl = b.build()
+        p = Placement(np.array([5.0, 10.0]), np.array([0.5, 0.5]))
+        report = check_legal(nl, p)
+        assert report.region_violations == [0]
+        p.x[0] = 25.0
+        assert check_legal(nl, p).legal
+
+    def test_fixed_cells_ignored(self):
+        core = CoreArea.uniform(Rect(0, 0, 20, 10), row_height=1.0)
+        b = NetlistBuilder("f", core=core)
+        b.add_cell("a", 2.0, 1.0)
+        # fixed macro placed far outside the core: taken as given
+        b.add_cell("m", 4.0, 4.0, fixed_at=(100.0, 100.0))
+        b.add_net("n", [("a", 0, 0), ("m", 0, 0)])
+        nl = b.build()
+        p = Placement(np.array([5.0, 100.0]), np.array([0.5, 100.0]))
+        assert check_legal(nl, p).legal
+
+
+class TestOverlaps:
+    def _brute_force(self, nl, p):
+        movable = np.flatnonzero(nl.movable & (nl.areas > 0))
+        out = set()
+        for ai in range(len(movable)):
+            for bi in range(ai + 1, len(movable)):
+                a, b = movable[ai], movable[bi]
+                dx = abs(p.x[a] - p.x[b])
+                dy = abs(p.y[a] - p.y[b])
+                if (dx < (nl.widths[a] + nl.widths[b]) / 2 - 1e-6
+                        and dy < (nl.heights[a] + nl.heights[b]) / 2 - 1e-6):
+                    out.add((min(a, b), max(a, b)))
+        return out
+
+    @given(st.lists(st.tuples(st.floats(0, 38), st.floats(0, 9)),
+                    min_size=6, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_sweep_matches_bruteforce(self, pts):
+        nl = grid_netlist(n=6)
+        p = Placement(np.array([c[0] for c in pts]),
+                      np.array([c[1] for c in pts]))
+        found = set(find_overlaps(nl, p, max_reported=1000))
+        assert found == self._brute_force(nl, p)
+
+    def test_total_overlap_area(self):
+        nl = grid_netlist(n=2)
+        # Two 2x1 cells overlapping by 1x0.5.
+        p = Placement(np.array([5.0, 6.0]), np.array([0.5, 1.0]))
+        assert total_overlap_area(nl, p) == pytest.approx(0.5)
+
+    def test_total_overlap_zero_when_legal(self):
+        nl = grid_netlist()
+        assert total_overlap_area(nl, legal_placement(nl)) == 0.0

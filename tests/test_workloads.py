@@ -1,0 +1,190 @@
+"""Tests for the synthetic workload generator and suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ISPD2005,
+    ISPD2006,
+    SyntheticSpec,
+    generate,
+    load_suite,
+    suite_entry,
+    suite_names,
+)
+
+
+class TestSpecValidation:
+    def test_too_few_cells(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_cells=1)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_cells=10, utilization=0.0)
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_cells=10, target_density=1.5)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return generate(SyntheticSpec(
+            name="gen", num_cells=120, num_pads=12,
+            num_fixed_macros=2, num_movable_macros=1, seed=7,
+        ))
+
+    def test_counts(self, design):
+        nl = design.netlist
+        assert nl.num_cells == 120 + 12 + 3
+        assert int(nl.is_terminal.sum()) == 12
+        assert int(nl.is_macro.sum()) == 3
+        assert int(nl.movable_macros.sum()) == 1
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(name="d", num_cells=60, seed=11)
+        a = generate(spec)
+        b = generate(spec)
+        assert a.netlist.cell_names == b.netlist.cell_names
+        assert np.array_equal(a.netlist.net_start, b.netlist.net_start)
+        assert np.array_equal(a.golden_x, b.golden_x)
+
+    def test_seed_changes_design(self):
+        a = generate(SyntheticSpec(name="d", num_cells=60, seed=1))
+        b = generate(SyntheticSpec(name="d", num_cells=60, seed=2))
+        assert not np.array_equal(a.golden_x, b.golden_x)
+
+    def test_pads_on_periphery(self, design):
+        nl = design.netlist
+        bounds = nl.core.bounds
+        pads = np.flatnonzero(nl.is_terminal)
+        for p in pads:
+            x, y = nl.fixed_x[p], nl.fixed_y[p]
+            on_edge = (
+                x in (bounds.xlo, bounds.xhi) or y in (bounds.ylo, bounds.yhi)
+            )
+            assert on_edge
+
+    def test_fixed_macros_inside_core(self, design):
+        nl = design.netlist
+        bounds = nl.core.bounds
+        fixed_macros = np.flatnonzero(nl.is_macro & ~nl.movable)
+        for m in fixed_macros:
+            assert bounds.contains_point(nl.fixed_x[m], nl.fixed_y[m])
+
+    def test_net_degrees_realistic(self, design):
+        degrees = design.netlist.net_degrees
+        assert degrees.min() >= 2
+        assert np.median(degrees) <= 4
+        assert degrees.max() <= 25
+
+    def test_most_cells_connected(self, design):
+        nl = design.netlist
+        connected = np.zeros(nl.num_cells, dtype=bool)
+        connected[np.unique(nl.pin_cell)] = True
+        std = nl.movable & ~nl.is_macro
+        assert connected[std].mean() > 0.95
+
+    def test_golden_placement_good(self, design):
+        """The hidden reference layout must have much lower HPWL than a
+        shuffled one — that is what makes the workload meaningful."""
+        from repro import Placement, hpwl
+        nl = design.netlist
+        golden = Placement(design.golden_x, design.golden_y)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(nl.num_cells)
+        shuffled = Placement(design.golden_x[perm], design.golden_y[perm])
+        assert hpwl(nl, golden) < 0.5 * hpwl(nl, shuffled)
+
+    def test_utilization_respected(self, design):
+        nl = design.netlist
+        movable_area = float(nl.areas[nl.movable].sum())
+        assert movable_area / nl.core.bounds.area < 0.85
+
+
+class TestSuiteRegistry:
+    def test_names(self):
+        assert len(suite_names()) == 16
+        assert len(suite_names("ispd2005")) == 8
+        assert len(suite_names("ispd2006")) == 8
+        assert "adaptec1_s" in suite_names("ispd2005")
+        assert "newblue7_s" in suite_names("ispd2006")
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            suite_entry("adaptec99")
+        with pytest.raises(ValueError):
+            load_suite("adaptec1_s", scale=0.0)
+
+    def test_families_have_expected_structure(self):
+        for entry in ISPD2005:
+            assert entry.num_movable_macros == 0
+            assert entry.target_density == 1.0
+        for entry in ISPD2006:
+            assert entry.num_movable_macros > 0
+            assert entry.target_density <= 0.9
+
+    def test_scaling(self):
+        small = load_suite("adaptec1_s", scale=0.05)
+        large = load_suite("adaptec1_s", scale=0.1)
+        assert large.netlist.num_cells > small.netlist.num_cells
+
+    def test_load_deterministic(self):
+        a = load_suite("newblue1_s", scale=0.05)
+        b = load_suite("newblue1_s", scale=0.05)
+        assert np.array_equal(a.netlist.pin_cell, b.netlist.pin_cell)
+
+    def test_mixed_suites_have_movable_macros(self):
+        design = load_suite("newblue1_s", scale=0.05)
+        assert int(design.netlist.movable_macros.sum()) >= 1
+
+
+class TestScenarios:
+    def test_region_scenario(self, small_design, placed_small):
+        from repro.workloads import region_scenario
+
+        nl = small_design.netlist
+        constrained, rect, cells = region_scenario(
+            nl, placed_small.upper, count=20
+        )
+        assert len(constrained.regions) == len(nl.regions) + 1
+        assert cells.shape == (20,)
+        assert nl.core.bounds.contains_rect(rect, tol=1e-9)
+        # original untouched
+        assert len(nl.regions) == 0 or nl.regions is not constrained.regions
+
+    def test_region_scenario_places_satisfiably(self, small_design,
+                                                placed_small):
+        from repro.core import ComPLxPlacer
+        from repro import ComPLxConfig
+        from repro.projection.regions import region_violation_distance
+        from repro.workloads import region_scenario
+
+        nl = small_design.netlist
+        constrained, rect, cells = region_scenario(
+            nl, placed_small.upper, count=15
+        )
+        result = ComPLxPlacer(constrained, ComPLxConfig(max_iterations=30)
+                              ).place()
+        assert region_violation_distance(constrained, result.upper) == 0.0
+
+    def test_weighted_paths_scenario(self, small_design, placed_small):
+        from repro.workloads import weighted_paths_scenario
+
+        nl = small_design.netlist
+        weighted, paths = weighted_paths_scenario(
+            nl, placed_small.upper, factor=20.0, num_paths=2
+        )
+        assert len(paths) >= 1
+        for nets in paths:
+            for e in nets:
+                assert weighted.net_weights[e] == pytest.approx(
+                    20.0 * nl.net_weights[e]
+                )
+        # untouched nets keep their weights
+        touched = {e for nets in paths for e in nets}
+        untouched = [e for e in range(nl.num_nets) if e not in touched][:5]
+        for e in untouched:
+            assert weighted.net_weights[e] == nl.net_weights[e]
