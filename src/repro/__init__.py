@@ -15,6 +15,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 table/figure reproductions.
 """
 
+import logging as _logging
+
+# Library convention: modules log through ``logging.getLogger(__name__)``
+# and stay silent unless the application configures handlers (e.g. the
+# CLI's ``--verbose``).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from .core import (
     ComPLxConfig,
     ComPLxPlacer,

@@ -160,7 +160,7 @@ class FastPlacePlacer:
 
         history = RunHistory()
         shifted = current
-        base_weight = 0.0
+        base_weight: float | None = None
         for k in range(1, self.max_iterations + 1):
             t0 = time.perf_counter()
             shifted = self._shift(current)
@@ -174,7 +174,7 @@ class FastPlacePlacer:
             overflow = self.grid.overflow_percent(usage, self.gamma)
             phi_lb = weighted_hpwl(nl, current)
             phi_ub = weighted_hpwl(nl, shifted)
-            if base_weight == 0.0:
+            if base_weight is None:
                 # Seed the ramp at the same relative magnitude ComPLx
                 # uses for lambda_1, expressed as an anchor weight.
                 base_weight = self.weight_ramp * phi_lb / (100.0 * max(pi, 1e-9))

@@ -17,6 +17,7 @@ new Bookshelf file set plus an optional SVG and quality report.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
@@ -48,6 +49,10 @@ def _add_place_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--svg", default=None,
                         help="also write a placement plot to this path")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="verify stage-boundary invariants while "
+                             "placing and certify the legalized result "
+                             "(slower; aborts on contract violations)")
 
 
 def cmd_place(args: argparse.Namespace) -> int:
@@ -55,7 +60,8 @@ def cmd_place(args: argparse.Namespace) -> int:
     netlist, initial = read_aux(args.aux)
     print(f"loaded {netlist}")
     placer = make_placer(args.placer, netlist, gamma=args.gamma,
-                         seed=args.seed)
+                         seed=args.seed,
+                         check_invariants=args.check_invariants)
 
     t0 = time.perf_counter()
     result = placer.place()
@@ -66,7 +72,8 @@ def cmd_place(args: argparse.Namespace) -> int:
     legalizer = LEGALIZERS[args.legalizer]
     t1 = time.perf_counter()
     if args.skip_detailed:
-        final = legalizer(netlist, result.upper)
+        final = legalizer(netlist, result.upper,
+                          check_invariants=args.check_invariants)
     else:
         dp = DetailedPlacer(netlist, legalizer=legalizer)
         final = dp.place(result.upper)
@@ -110,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="ComPLx placement flows over Bookshelf designs.",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="show library log messages "
+                             "(-v info, -vv debug)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     place_parser = sub.add_parser(
@@ -131,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
     analyze_parser.set_defaults(func=cmd_analyze)
 
     args = parser.parse_args(argv)
+    if args.verbose:
+        level = logging.INFO if args.verbose == 1 else logging.DEBUG
+        logging.basicConfig(
+            level=level,
+            format="%(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
+        logging.getLogger("repro").setLevel(level)
     return args.func(args)
 
 

@@ -11,6 +11,7 @@ from .config import (
 )
 from .convergence import SelfConsistencyMonitor, StoppingRule, l1_distance
 from .history import IterationRecord, RunHistory
+from .invariants import InvariantSuite, InvariantViolation, assert_legal
 from .lagrangian import (
     LambdaSchedule,
     duality_gap,
@@ -23,6 +24,8 @@ __all__ = [
     "ComPLxConfig",
     "ComPLxPlacer",
     "GlobalPlacementResult",
+    "InvariantSuite",
+    "InvariantViolation",
     "IterationRecord",
     "LambdaSchedule",
     "RunHistory",
@@ -31,6 +34,7 @@ __all__ = [
     "add_anchors_to_system",
     "anchor_penalty_value",
     "anchor_weights",
+    "assert_legal",
     "default_config",
     "dp_every_iteration_config",
     "duality_gap",

@@ -21,6 +21,12 @@ import numpy as np
 from ..netlist import Netlist, Placement
 from ..models.quadratic import QuadraticSystem
 
+__all__ = [
+    "add_anchors_to_system",
+    "anchor_penalty_value",
+    "anchor_weights",
+]
+
 
 def anchor_weights(
     current: np.ndarray,

@@ -22,6 +22,7 @@ iteration budget.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -39,7 +40,17 @@ from .anchors import add_anchors_to_system
 from .config import ComPLxConfig
 from .convergence import SelfConsistencyMonitor, StoppingRule
 from .history import IterationRecord, RunHistory
+from .invariants import InvariantSuite
 from .lagrangian import LambdaSchedule, macro_lambda_scale
+
+__all__ = [
+    "ComPLxPlacer",
+    "GlobalPlacementResult",
+    "IterationCallback",
+    "place",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Observer invoked after every iteration: (iteration, lower, upper).
 IterationCallback = Callable[[int, Placement, Placement], None]
@@ -95,7 +106,7 @@ class ComPLxPlacer:
         self.netlist = netlist
         self.config = config or ComPLxConfig()
         if criticality is None:
-            criticality = np.ones(netlist.num_cells)
+            criticality = np.ones(netlist.num_cells, dtype=np.float64)
         criticality = np.asarray(criticality, dtype=np.float64)
         if criticality.shape != (netlist.num_cells,):
             raise ValueError("criticality needs one entry per cell")
@@ -191,14 +202,14 @@ class ComPLxPlacer:
         diag = system.matrix.diagonal()
         max_diag = float(diag.max()) if diag.size else 0.0
         if max_diag <= 0:
-            weak = np.ones(system.size)
+            weak = np.ones(system.size, dtype=np.float64)
         else:
             bad = diag <= 1e-12 * max_diag
             if not bad.any():
                 return
             weak = np.where(bad, 1e-6 * max_diag, 0.0)
         center = self.netlist.core.bounds.center[0 if axis == "x" else 1]
-        system.add_anchors(weak, np.full(system.size, center))
+        system.add_anchors(weak, np.full(system.size, center, dtype=np.float64))
 
     def _solve_lse(
         self,
@@ -264,6 +275,12 @@ class ComPLxPlacer:
         start_time = time.perf_counter()
         netlist = self.netlist
         config = self.config
+        logger.info(
+            "placing %s: %d cells, %d nets, gamma=%.2f, model=%s%s",
+            netlist.name, netlist.num_cells, netlist.num_nets,
+            config.gamma, config.net_model,
+            ", invariants on" if config.check_invariants else "",
+        )
         bounds = netlist.core.bounds
         jitter = 0.005 * min(bounds.width, bounds.height)
         lower = (
@@ -271,11 +288,23 @@ class ComPLxPlacer:
             else netlist.initial_placement(jitter=jitter, seed=config.seed)
         )
 
+        checker = (
+            InvariantSuite(
+                netlist,
+                gamma=config.gamma,
+                density_slack_bins=config.invariant_density_slack_bins,
+                lambda_growth_cap=config.lambda_growth_cap,
+            )
+            if config.check_invariants else None
+        )
+
         # Initial unconstrained interconnect optimization (lambda_0 = 0):
         # a few re-linearized sweeps stabilize the B2B model.
         self._last_cg_iterations = 0
         for _ in range(max(config.init_sweeps, 1)):
             lower = self._primal_step(lower, anchor=None, lam=0.0)
+        if checker is not None:
+            checker.after_init(lower)
 
         schedule = LambdaSchedule(
             init_ratio=config.lambda_init_ratio,
@@ -297,11 +326,26 @@ class ComPLxPlacer:
             iter_start = time.perf_counter()
             self._last_cg_iterations = 0
             bins = self._grid_bins(k - 1)
-            projected = self.projection(lower, nx=bins, ny=bins)
+            projected = self.projection(
+                lower, nx=bins, ny=bins, keep_view=checker is not None,
+            )
             upper = projected.placement
             if config.dp_each_iteration and self.detailed_placer is not None:
                 upper = self.detailed_placer(upper)
             pi = projected.pi
+            if checker is not None:
+                view = None
+                if projected.view is not None:
+                    view = (
+                        projected.projected_view_x,
+                        projected.projected_view_y,
+                        projected.view.w,
+                        projected.view.h,
+                    )
+                checker.after_projection(
+                    k, projected.placement, pi,
+                    grid=self.projection.grid(bins, bins), view=view,
+                )
             monitor.observe(k, lower, upper, netlist.movable)
 
             phi_lb = self._phi(lower)
@@ -313,6 +357,12 @@ class ComPLxPlacer:
                 schedule.update(pi_prev, pi)
             pi_prev = pi
             lam = schedule.value
+            if checker is not None:
+                # The cap of Formula (12) only binds in the capped modes;
+                # SimPL's additive ramp may exceed 2x early on.
+                checker.after_lambda(
+                    k, lam, capped=config.lambda_mode in ("complx", "double"),
+                )
 
             history.append(
                 IterationRecord(
@@ -330,6 +380,12 @@ class ComPLxPlacer:
             )
             if callback is not None:
                 callback(k, lower, upper)
+            logger.debug(
+                "iter %d: bins=%d Phi_lb=%.4g Phi_ub=%.4g Pi=%.4g "
+                "lambda=%.4g ovf=%.1f%%",
+                k, bins, phi_lb, phi_ub, pi, lam,
+                projected.overflow_percent,
+            )
 
             stop, reason = stopping.should_stop(k, phi_lb, phi_ub, pi)
             if stop:
@@ -337,9 +393,15 @@ class ComPLxPlacer:
                 break
 
             lower = self._primal_step(lower, anchor=upper, lam=lam)
+            if checker is not None:
+                checker.after_primal(k, lower)
         else:
             history.stop_reason = "max_iterations"
 
+        logger.info(
+            "done in %d iterations (%s), final lambda=%.4g",
+            history.iterations, history.stop_reason, history.final_lambda,
+        )
         return GlobalPlacementResult(
             lower=lower,
             upper=upper,

@@ -10,6 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+__all__ = [
+    "ComPLxConfig",
+    "default_config",
+    "dp_every_iteration_config",
+    "finest_grid_config",
+    "simpl_config",
+]
+
 
 @dataclass
 class ComPLxConfig:
@@ -54,6 +62,17 @@ class ComPLxConfig:
     * ``per_macro_lambda`` — scale each macro's anchor weight by its area
       ratio to the average standard cell (Section 5).
     * ``shred_rows`` — macro shred size in row heights.
+
+    Correctness contracts
+    ---------------------
+    * ``check_invariants`` — verify the stage-boundary invariants of
+      :mod:`repro.core.invariants` after every projection, multiplier
+      and primal step (finite coordinates, core containment, lambda
+      monotonicity, Pi decay, near-feasible density of ``P_C``).  On in
+      the test suite, off by default so benchmarks pay nothing.
+    * ``invariant_density_slack_bins`` — how many bin areas a single bin
+      of the projected view may exceed its target capacity by before
+      the density contract fires.
     """
 
     # interconnect model
@@ -94,6 +113,10 @@ class ComPLxConfig:
     per_macro_lambda: bool = True
     dp_each_iteration: bool = False
 
+    # correctness contracts
+    check_invariants: bool = False
+    invariant_density_slack_bins: float = 1.0
+
     # reproducibility
     seed: int = 0
 
@@ -112,6 +135,8 @@ class ComPLxConfig:
             raise ValueError(
                 f"unknown projection method {self.projection_method!r}"
             )
+        if self.invariant_density_slack_bins <= 0:
+            raise ValueError("invariant_density_slack_bins must be positive")
 
     def with_overrides(self, **kwargs) -> "ComPLxConfig":
         """A copy with the given fields replaced."""

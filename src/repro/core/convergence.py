@@ -24,6 +24,12 @@ import numpy as np
 
 from ..netlist import Placement
 
+__all__ = [
+    "SelfConsistencyMonitor",
+    "StoppingRule",
+    "l1_distance",
+]
+
 
 def l1_distance(a: Placement, b: Placement, movable: np.ndarray) -> float:
     """L1 distance between two placements over movable cells."""

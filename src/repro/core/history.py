@@ -13,6 +13,11 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+__all__ = [
+    "IterationRecord",
+    "RunHistory",
+]
+
 
 @dataclass
 class IterationRecord:
@@ -52,7 +57,10 @@ class RunHistory:
 
     def series(self, name: str) -> np.ndarray:
         """Numpy array of one field across iterations (e.g. ``'pi'``)."""
-        return np.array([getattr(r, name) for r in self.records])
+        # Mixed int/float fields; numpy picks the natural dtype.
+        return np.array(  # statcheck: ignore[R3]
+            [getattr(r, name) for r in self.records]
+        )
 
     @property
     def final_lambda(self) -> float:

@@ -23,6 +23,14 @@ import numpy as np
 
 from ..netlist import Netlist
 
+__all__ = [
+    "LambdaSchedule",
+    "duality_gap",
+    "lagrangian_value",
+    "macro_lambda_scale",
+    "relative_gap",
+]
+
 
 @dataclass
 class LambdaSchedule:
@@ -105,7 +113,7 @@ def macro_lambda_scale(netlist: Netlist) -> np.ndarray:
     Macros get ``area(macro) / mean standard-cell area`` (at least 1) to
     stabilize them early; standard cells get 1.
     """
-    scale = np.ones(netlist.num_cells)
+    scale = np.ones(netlist.num_cells, dtype=np.float64)
     std = netlist.movable & ~netlist.is_macro
     avg_area = float(netlist.areas[std].mean()) if std.any() else 1.0
     macros = netlist.movable_macros

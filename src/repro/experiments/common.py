@@ -55,26 +55,31 @@ class FlowResult:
 
 
 def make_placer(name: str, netlist: Netlist, gamma: float,
-                seed: int = 0):
+                seed: int = 0, check_invariants: bool = False):
     """Instantiate a registered placer by name.
 
     Names: ``complx`` (default config), ``complx_finest``, ``complx_dp``
     (Table 1 variants), ``simpl``, ``rql``, ``fastplace``, ``nonlinear``,
     ``complx_lse`` (log-sum-exp instantiation).
+
+    ``check_invariants`` enables the stage-boundary contracts of
+    :mod:`repro.core.invariants` on the ComPLx variants (the baselines
+    do not run the ComPLx loop and ignore the flag).
     """
+    knobs = dict(gamma=gamma, seed=seed, check_invariants=check_invariants)
     if name == "complx":
-        return ComPLxPlacer(netlist, ComPLxConfig(gamma=gamma, seed=seed))
+        return ComPLxPlacer(netlist, ComPLxConfig(**knobs))
     if name == "complx_finest":
-        return ComPLxPlacer(netlist, finest_grid_config(gamma=gamma, seed=seed))
+        return ComPLxPlacer(netlist, finest_grid_config(**knobs))
     if name == "complx_dp":
         dp = DetailedPlacer(netlist, legalizer=tetris_legalize, max_rounds=1)
         return ComPLxPlacer(
-            netlist, dp_every_iteration_config(gamma=gamma, seed=seed),
+            netlist, dp_every_iteration_config(**knobs),
             detailed_placer=dp,
         )
     if name == "complx_lse":
         return ComPLxPlacer(
-            netlist, ComPLxConfig(gamma=gamma, seed=seed, net_model="lse"),
+            netlist, ComPLxConfig(net_model="lse", **knobs),
         )
     if name == "simpl":
         return SimPLPlacer(netlist, gamma=gamma, seed=seed)

@@ -10,13 +10,17 @@ order.  Displacement is typically much lower than Tetris.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.invariants import assert_legal
 from ..netlist import Netlist, Placement
 from .macros import legalize_macros, macro_obstacles
 from .rows import RowMap, snap_placement_to_sites
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -92,10 +96,13 @@ def abacus_legalize(
     placement: Placement,
     row_window: int = 4,
     snap_sites: bool = True,
+    check_invariants: bool = False,
 ) -> Placement:
     """Legalize movable cells: macros greedily, standard cells by Abacus.
 
     ``snap_sites`` aligns final x positions to the site grid.
+    ``check_invariants`` certifies the output with
+    :func:`repro.core.invariants.assert_legal` before returning.
     """
     out = legalize_macros(netlist, placement)
     rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
@@ -103,6 +110,8 @@ def abacus_legalize(
 
     std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
     if std.size == 0:
+        if check_invariants:
+            assert_legal(netlist, out, check_sites=snap_sites)
         return out
     order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
                            kind="stable")]
@@ -139,6 +148,7 @@ def abacus_legalize(
                         best = (cost, row, s, new_clusters, x)
             window *= 2
         if best is None:
+            logger.warning("abacus: no legal slot for cell %d", int(cell))
             continue
         _, row, s, new_clusters, _ = best
         clusters[row][s] = new_clusters
@@ -154,4 +164,12 @@ def abacus_legalize(
                     out.y[cell] = y
     if snap_sites:
         out = snap_placement_to_sites(netlist, out, rowmap)
+    logger.debug(
+        "abacus: legalized %d standard cells, mean |dx|+|dy| = %.3g",
+        std.size,
+        float(np.abs(out.x[std] - placement.x[std]).mean()
+              + np.abs(out.y[std] - placement.y[std]).mean()),
+    )
+    if check_invariants:
+        assert_legal(netlist, out, check_sites=snap_sites)
     return out

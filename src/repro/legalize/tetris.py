@@ -8,11 +8,16 @@ robust; Abacus (see :mod:`.abacus`) usually yields lower displacement.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
+from ..core.invariants import assert_legal
 from ..netlist import Netlist, Placement
 from .macros import legalize_macros, macro_obstacles
 from .rows import RowMap, snap_placement_to_sites
+
+logger = logging.getLogger(__name__)
 
 
 def tetris_legalize(
@@ -20,12 +25,15 @@ def tetris_legalize(
     placement: Placement,
     row_window: int = 6,
     snap_sites: bool = True,
+    check_invariants: bool = False,
 ) -> Placement:
     """Legalize all movable cells (macros first, then standard cells).
 
     ``row_window`` bounds how many rows above/below a cell's position are
     tried before the search widens (it expands automatically when no slot
     fits).  ``snap_sites`` aligns final x positions to the site grid.
+    ``check_invariants`` certifies the output with
+    :func:`repro.core.invariants.assert_legal` before returning.
     """
     out = legalize_macros(netlist, placement)
     rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
@@ -33,6 +41,8 @@ def tetris_legalize(
 
     std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
     if std.size == 0:
+        if check_invariants:
+            assert_legal(netlist, out, check_sites=snap_sites)
         return out
     order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
                            kind="stable")]
@@ -66,6 +76,7 @@ def tetris_legalize(
         if best is None:
             # Pathologically full layout: leave the cell; the caller can
             # check legality and react.
+            logger.warning("tetris: no legal slot for cell %d", int(cell))
             continue
         _, row, s, x = best
         frontiers[row][s] = x + w
@@ -73,4 +84,12 @@ def tetris_legalize(
         out.y[cell] = rowmap.row_center_y(row)
     if snap_sites:
         out = snap_placement_to_sites(netlist, out, rowmap)
+    logger.debug(
+        "tetris: legalized %d standard cells, mean |dx|+|dy| = %.3g",
+        std.size,
+        float(np.abs(out.x[std] - placement.x[std]).mean()
+              + np.abs(out.y[std] - placement.y[std]).mean()),
+    )
+    if check_invariants:
+        assert_legal(netlist, out, check_sites=snap_sites)
     return out

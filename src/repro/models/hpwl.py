@@ -26,7 +26,7 @@ def pin_positions(netlist: Netlist, placement: Placement) -> tuple[np.ndarray, n
 def _net_spans(netlist: Netlist, coords: np.ndarray) -> np.ndarray:
     """Per-net coordinate span ``max - min`` along one axis."""
     if netlist.num_nets == 0:
-        return np.zeros(0)
+        return np.zeros(0, dtype=np.float64)
     starts = netlist.net_start[:-1]
     hi = np.maximum.reduceat(coords, starts)
     lo = np.minimum.reduceat(coords, starts)

@@ -68,8 +68,8 @@ def lse_wirelength(
     w = netlist.net_weights
 
     value = 0.0
-    grad_x = np.zeros(netlist.num_cells)
-    grad_y = np.zeros(netlist.num_cells)
+    grad_x = np.zeros(netlist.num_cells, dtype=np.float64)
+    grad_y = np.zeros(netlist.num_cells, dtype=np.float64)
     for coords, grad in ((px, grad_x), (py, grad_y)):
         lse_max, soft_max = _stable_lse(coords, starts, degrees, gamma)
         lse_min, soft_min = _stable_lse(-coords, starts, degrees, gamma)

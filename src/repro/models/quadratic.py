@@ -109,17 +109,18 @@ def clique_edges(netlist: Netlist, scale_by_degree: bool = False) -> EdgeList:
         d = int(degrees[e])
         if d < 2:
             continue
-        pins = np.arange(netlist.net_start[e], netlist.net_start[e + 1])
+        pins = np.arange(netlist.net_start[e], netlist.net_start[e + 1],
+                         dtype=np.int64)
         ii, jj = np.triu_indices(d, k=1)
         weight = netlist.net_weights[e] / (d - 1)
         if scale_by_degree:
             weight /= d
         a_parts.append(pins[ii])
         b_parts.append(pins[jj])
-        w_parts.append(np.full(ii.shape[0], weight))
+        w_parts.append(np.full(ii.shape[0], weight, dtype=np.float64))
     if not a_parts:
         empty = np.zeros(0, dtype=np.int64)
-        return empty, empty.copy(), np.zeros(0)
+        return empty, empty.copy(), np.zeros(0, dtype=np.float64)
     return (
         np.concatenate(a_parts),
         np.concatenate(b_parts),
@@ -165,7 +166,7 @@ def b2b_edges(
     valid = degrees >= 2
     if not valid.any():
         empty = np.zeros(0, dtype=np.int64)
-        return empty, empty.copy(), np.zeros(0)
+        return empty, empty.copy(), np.zeros(0, dtype=np.float64)
 
     min_pin_of_net = order[np.minimum(starts, len(order) - 1)]
     max_pin_of_net = order[np.maximum(ends, 0)]
@@ -178,7 +179,7 @@ def b2b_edges(
         np.where(valid, netlist.net_weights / np.maximum(degrees - 1, 1), 0.0),
         degrees,
     )
-    pin_ids = np.arange(netlist.num_pins)
+    pin_ids = np.arange(netlist.num_pins, dtype=np.int64)
     valid_pin = np.repeat(valid, degrees)
 
     # Edge set 1: every pin except the min connects to the min boundary pin
@@ -226,7 +227,8 @@ def assemble_system(
 
     slot_of_cell = np.full(netlist.num_cells, -1, dtype=np.int64)
     cell_of_slot = np.flatnonzero(netlist.movable)
-    slot_of_cell[cell_of_slot] = np.arange(cell_of_slot.shape[0])
+    slot_of_cell[cell_of_slot] = np.arange(cell_of_slot.shape[0],
+                                           dtype=np.int64)
     n = cell_of_slot.shape[0]
 
     pin_a, pin_b, w = edges
@@ -242,7 +244,7 @@ def assemble_system(
     rows: list[np.ndarray] = []
     cols: list[np.ndarray] = []
     vals: list[np.ndarray] = []
-    rhs = np.zeros(n)
+    rhs = np.zeros(n, dtype=np.float64)
 
     # movable-movable: w (xa + da - xb - db)^2
     mm = mov_a & mov_b

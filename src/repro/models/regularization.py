@@ -32,8 +32,8 @@ def beta_regularized_wirelength(
     if beta <= 0:
         raise ValueError("beta must be positive")
     px, py = pin_positions(netlist, placement)
-    grad_x = np.zeros(netlist.num_cells)
-    grad_y = np.zeros(netlist.num_cells)
+    grad_x = np.zeros(netlist.num_cells, dtype=np.float64)
+    grad_y = np.zeros(netlist.num_cells, dtype=np.float64)
     value = 0.0
     degrees = netlist.net_degrees
     for e in range(netlist.num_nets):
@@ -75,8 +75,8 @@ def pnorm_wirelength(
     if p < 1:
         raise ValueError("p must be >= 1")
     px, py = pin_positions(netlist, placement)
-    grad_x = np.zeros(netlist.num_cells)
-    grad_y = np.zeros(netlist.num_cells)
+    grad_x = np.zeros(netlist.num_cells, dtype=np.float64)
+    grad_y = np.zeros(netlist.num_cells, dtype=np.float64)
     value = 0.0
     degrees = netlist.net_degrees
     for e in range(netlist.num_nets):

@@ -26,6 +26,12 @@ from .cells import CellKind
 from .netlist import Netlist, Placement
 from .rows import CoreArea, Row
 
+__all__ = [
+    "BookshelfError",
+    "read_aux",
+    "write_aux",
+]
+
 
 class BookshelfError(ValueError):
     """Raised on malformed Bookshelf input."""

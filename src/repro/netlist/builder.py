@@ -22,6 +22,11 @@ from .geometry import Rect
 from .netlist import Netlist, PlacementRegion
 from .rows import CoreArea
 
+__all__ = [
+    "NetlistBuilder",
+    "PinSpec",
+]
+
 #: A pin spec: (cell name, x offset from center, y offset from center).
 PinSpec = tuple[str, float, float]
 

@@ -11,6 +11,11 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+__all__ = [
+    "CellKind",
+    "CellView",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .netlist import Netlist
 

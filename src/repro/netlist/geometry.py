@@ -9,6 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "Rect",
+]
+
 
 @dataclass(frozen=True)
 class Rect:

@@ -25,6 +25,12 @@ from .cells import CellKind, CellView
 from .geometry import Rect
 from .rows import CoreArea
 
+__all__ = [
+    "Netlist",
+    "Placement",
+    "PlacementRegion",
+]
+
 
 @dataclass
 class PlacementRegion:

@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 
 from .geometry import Rect
 
+__all__ = [
+    "CoreArea",
+    "Row",
+]
+
 
 @dataclass(frozen=True)
 class Row:

@@ -15,6 +15,13 @@ import numpy as np
 
 from .netlist import Netlist, Placement
 
+__all__ = [
+    "LegalityReport",
+    "check_legal",
+    "find_overlaps",
+    "total_overlap_area",
+]
+
 
 @dataclass
 class LegalityReport:

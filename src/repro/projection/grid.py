@@ -107,7 +107,7 @@ class DensityGrid:
         h: np.ndarray,
     ) -> np.ndarray:
         """Exact area overlap of rectangles (centers x,y) with each bin."""
-        grid = np.zeros((self.nx, self.ny))
+        grid = np.zeros((self.nx, self.ny), dtype=np.float64)
         if x.shape[0] == 0:
             return grid
         xlo = np.clip(x - 0.5 * w, self.bounds.xlo, self.bounds.xhi)
@@ -145,8 +145,8 @@ class DensityGrid:
 
         # Slow path: big rectangles (macros); few in number.
         for i in np.flatnonzero(~small):
-            gx = np.arange(ix0[i], ix1[i] + 1)
-            gy = np.arange(iy0[i], iy1[i] + 1)
+            gx = np.arange(ix0[i], ix1[i] + 1, dtype=np.int64)
+            gy = np.arange(iy0[i], iy1[i] + 1, dtype=np.int64)
             bx0 = self.bounds.xlo + gx * self.bin_w
             by0 = self.bounds.ylo + gy * self.bin_h
             ox = np.minimum(xhi[i], bx0 + self.bin_w) - np.maximum(xlo[i], bx0)

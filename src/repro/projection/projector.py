@@ -18,6 +18,7 @@ requires (Section 4).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,8 @@ from .alternating import project_rectangles_alternating
 from .lal import ProjectionStats, project_rectangles
 from .regions import snap_to_regions
 from .shredding import ShreddedView, build_shredded_view, interpolate_macro_positions
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -161,6 +164,10 @@ class FeasibilityProjection:
             per_cell_l1=per_cell,
             overflow_percent=grid.overflow_percent(usage, self.gamma),
             stats=stats,
+        )
+        logger.debug(
+            "P_C on %dx%d grid: Pi=%.4g, overflow=%.1f%%",
+            nx, ny, result.pi, result.overflow_percent,
         )
         if keep_view:
             result.view = view

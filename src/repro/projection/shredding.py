@@ -82,22 +82,22 @@ def build_shredded_view(
         mh = netlist.heights[m]
         nsx, nsy = shred_counts(mw, mh, shred_size)
         # Shred centers tile the macro outline uniformly.
-        cx = placement.x[m] + (np.arange(nsx) + 0.5) / nsx * mw - 0.5 * mw
-        cy = placement.y[m] + (np.arange(nsy) + 0.5) / nsy * mh - 0.5 * mh
+        cx = placement.x[m] + (np.arange(nsx, dtype=np.float64) + 0.5) / nsx * mw - 0.5 * mw
+        cy = placement.y[m] + (np.arange(nsy, dtype=np.float64) + 0.5) / nsy * mh - 0.5 * mh
         gx, gy = np.meshgrid(cx, cy, indexing="ij")
         count = nsx * nsy
         xs.append(gx.ravel())
         ys.append(gy.ravel())
-        ws.append(np.full(count, mw / nsx * scale))
-        hs.append(np.full(count, mh / nsy * scale))
+        ws.append(np.full(count, mw / nsx * scale, dtype=np.float64))
+        hs.append(np.full(count, mh / nsy * scale, dtype=np.float64))
         owners.append(np.full(count, m, dtype=np.int64))
         shred_flags.append(np.ones(count, dtype=bool))
 
     return ShreddedView(
-        x=np.concatenate(xs) if xs else np.zeros(0),
-        y=np.concatenate(ys) if ys else np.zeros(0),
-        w=np.concatenate(ws) if ws else np.zeros(0),
-        h=np.concatenate(hs) if hs else np.zeros(0),
+        x=np.concatenate(xs) if xs else np.zeros(0, dtype=np.float64),
+        y=np.concatenate(ys) if ys else np.zeros(0, dtype=np.float64),
+        w=np.concatenate(ws) if ws else np.zeros(0, dtype=np.float64),
+        h=np.concatenate(hs) if hs else np.zeros(0, dtype=np.float64),
         owner=np.concatenate(owners).astype(np.int64) if owners else np.zeros(0, np.int64),
         is_shred=np.concatenate(shred_flags) if shred_flags else np.zeros(0, bool),
     )

@@ -66,7 +66,7 @@ def _isotonic_l2(values: np.ndarray, weights: np.ndarray | None = None) -> np.nd
     """Weighted L2 isotonic regression (non-decreasing) via PAVA."""
     n = values.shape[0]
     if weights is None:
-        weights = np.ones(n)
+        weights = np.ones(n, dtype=np.float64)
     # Blocks represented as (mean, weight, count) merged bottom-up.
     means: list[float] = []
     wsum: list[float] = []
@@ -82,7 +82,7 @@ def _isotonic_l2(values: np.ndarray, weights: np.ndarray | None = None) -> np.nd
             means.append((m1 * w1 + m2 * w2) / w)
             wsum.append(w)
             count.append(c1 + c2)
-    out = np.empty(n)
+    out = np.empty(n, dtype=np.float64)
     pos = 0
     for m, c in zip(means, count):
         out[pos:pos + c] = m
@@ -152,8 +152,8 @@ def even_spread(coords: np.ndarray, lo: float, hi: float) -> np.ndarray:
     """
     n = np.asarray(coords).shape[0]
     if n == 0:
-        return np.zeros(0)
+        return np.zeros(0, dtype=np.float64)
     if n == 1:
-        return np.array([0.5 * (lo + hi)])
-    t = (np.arange(n) + 0.5) / n
+        return np.array([0.5 * (lo + hi)], dtype=np.float64)
+    t = (np.arange(n, dtype=np.float64) + 0.5) / n
     return lo + t * (hi - lo)

@@ -43,7 +43,7 @@ def jacobi_pcg(
     """
     n = rhs.shape[0]
     if n == 0:
-        return CGResult(np.zeros(0), 0, 0.0, True)
+        return CGResult(np.zeros(0, dtype=np.float64), 0, 0.0, True)
     if max_iter is None:
         max_iter = max(10 * n, 100)
     diag = matrix.diagonal()
@@ -51,7 +51,7 @@ def jacobi_pcg(
         raise ValueError("matrix has non-positive diagonal; not SPD")
     inv_diag = 1.0 / diag
 
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
     r = rhs - matrix @ x
     b_norm = float(np.linalg.norm(rhs))
     threshold = tol * max(b_norm, 1e-300)
@@ -91,7 +91,7 @@ def scipy_cg(
     """scipy's CG with Jacobi preconditioning, same interface."""
     n = rhs.shape[0]
     if n == 0:
-        return CGResult(np.zeros(0), 0, 0.0, True)
+        return CGResult(np.zeros(0, dtype=np.float64), 0, 0.0, True)
     diag = matrix.diagonal()
     if np.any(diag <= 0):
         raise ValueError("matrix has non-positive diagonal; not SPD")

@@ -1,0 +1,33 @@
+"""Placement-domain static lint: AST rules + baseline + reporters.
+
+Run as ``python -m repro.statcheck src/``; see
+``docs/static_analysis.md`` for the rule catalogue and the baseline
+workflow.  The public API below is what the self-tests and CI use.
+"""
+
+from .baseline import Baseline, apply_baseline, fingerprint_findings
+from .engine import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    check_source,
+    run_paths,
+    select_rules,
+)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "check_source",
+    "fingerprint_findings",
+    "render_json",
+    "render_text",
+    "run_paths",
+    "select_rules",
+]

@@ -1,0 +1,292 @@
+"""Rule engine for the placement-domain static lint pass.
+
+The engine parses each Python file once into a :class:`ModuleContext`
+(AST + classification flags) and hands it to every enabled
+:class:`Rule`.  Rules are registered in a module-level registry via the
+:func:`register` decorator so ``python -m repro.statcheck --list-rules``
+and per-rule enable/disable work without hard-coded lists.
+
+Domain classification
+---------------------
+* **hot modules** — ``repro.core``, ``repro.solvers``,
+  ``repro.projection`` and ``repro.models``: the per-iteration path of
+  the placer, where Python-level loops over cells/nets and implicit
+  dtypes are performance bugs (rules R2, R3 fire only here),
+* **cli-like modules** — ``cli``/``__main__`` modules and everything
+  under ``repro.experiments`` / ``repro.viz``: user-facing entry points
+  whose stdout output is the product, so the no-print rule R5 exempts
+  them.
+
+Suppression
+-----------
+A finding can be silenced inline with ``# statcheck: ignore`` (all
+rules) or ``# statcheck: ignore[R2,R3]`` on the flagged line, or through
+the committed baseline file (see :mod:`repro.statcheck.baseline`).
+Rules with ``allow_baseline = False`` (R1, R5) can never be baselined —
+those findings must be fixed at the source.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "build_context",
+    "check_source",
+    "iter_python_files",
+    "register",
+    "run_paths",
+    "select_rules",
+]
+
+#: Subpackages whose modules are "hot": per-iteration placer math.
+HOT_PACKAGES = ("core", "solvers", "projection", "models")
+
+#: Packages whose stdout output is the product (R5-exempt).
+CLI_PACKAGES = ("experiments", "viz")
+
+#: Module basenames that are CLI entry points wherever they live.
+CLI_MODULES = ("cli", "__main__")
+
+_PRAGMA = re.compile(r"#\s*statcheck:\s*ignore(?:\[(?P<ids>[^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressable by rule + location."""
+
+    rule: str
+    path: str          # posix path as scanned (relative when possible)
+    line: int          # 1-based
+    col: int           # 0-based
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one Python module."""
+
+    path: str                        # posix path used in findings
+    module: str                      # dotted module path, e.g. repro.core.complx
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    is_hot: bool = False
+    is_cli_like: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        self._ignores = _parse_pragmas(self.lines)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def ignored(self, line: int, rule_id: str) -> bool:
+        ids = self._ignores.get(line)
+        if ids is None:
+            return False
+        return not ids or rule_id in ids
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule_id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _parse_pragmas(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number -> suppressed rule ids (empty set = all rules)."""
+    out: dict[int, set[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _PRAGMA.search(text)
+        if m is None:
+            continue
+        ids = m.group("ids")
+        if ids is None:
+            out[i] = set()
+        else:
+            out[i] = {part.strip() for part in ids.split(",") if part.strip()}
+    return out
+
+
+class Rule:
+    """Base class for all statcheck rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``allow_baseline = False`` marks a rule whose findings the baseline
+    mechanism must never suppress.
+    """
+
+    id: str = "R0"
+    name: str = "unnamed"
+    description: str = ""
+    allow_baseline: bool = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for finding in self.check(ctx):
+            if not ctx.ignored(finding.line, self.id):
+                yield finding
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    # Importing the rules module populates the registry lazily so the
+    # engine stays importable on its own.
+    from . import rules  # noqa: F401
+
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def select_rules(
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Registered rules filtered by explicit enable/disable id sets."""
+    rules = all_rules()
+    known = {r.id for r in rules}
+    for requested in list(enable or []) + list(disable or []):
+        if requested not in known:
+            raise ValueError(f"unknown rule id {requested!r}")
+    if enable:
+        wanted = set(enable)
+        rules = [r for r in rules if r.id in wanted]
+    if disable:
+        dropped = set(disable)
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+# ----------------------------------------------------------------------
+# module discovery and classification
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """All .py files under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def dotted_module(path: Path) -> str:
+    """Best-effort dotted module path (``repro.core.complx``)."""
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    elif "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    else:
+        parts = parts[-1:]
+    return ".".join(p for p in parts if p)
+
+
+def classify(module: str) -> tuple[bool, bool]:
+    """(is_hot, is_cli_like) for a dotted module path."""
+    parts = module.split(".")
+    tail = parts[1:] if parts and parts[0] == "repro" else parts
+    is_hot = bool(tail) and tail[0] in HOT_PACKAGES
+    is_cli_like = bool(tail) and (
+        tail[0] in CLI_PACKAGES or tail[-1] in CLI_MODULES
+    )
+    return is_hot, is_cli_like
+
+
+def build_context(path: Path, source: str | None = None) -> ModuleContext:
+    """Parse a file (or the given source) into a ModuleContext."""
+    if source is None:
+        source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    module = dotted_module(path)
+    is_hot, is_cli_like = classify(module)
+    return ModuleContext(
+        path=path.as_posix(),
+        module=module,
+        source=source,
+        tree=tree,
+        is_hot=is_hot,
+        is_cli_like=is_cli_like,
+    )
+
+
+def check_source(
+    source: str,
+    filename: str = "src/repro/module.py",
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint a source string as if it lived at ``filename``.
+
+    The virtual filename drives the hot/cli classification, which makes
+    this the natural entry point for rule self-tests.
+    """
+    ctx = build_context(Path(filename), source=source)
+    findings: list[Finding] = []
+    for rule in select_rules(enable=enable, disable=disable):
+        findings.extend(rule.run(ctx))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint files/directories.
+
+    Returns ``(findings, errors)`` where ``errors`` are human-readable
+    messages for files that could not be parsed (syntax errors do not
+    abort the whole run).
+    """
+    rules = select_rules(enable=enable, disable=disable)
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            ctx = build_context(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        for rule in rules:
+            findings.extend(rule.run(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, errors

@@ -1,0 +1,69 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Reporters build strings; only the CLI writes to stdout (rule R5 applies
+to this package too).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .engine import Finding, Rule
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    errors: Sequence[str] = (),
+    rules: Iterable[Rule] = (),
+) -> str:
+    """One line per finding plus a per-rule summary footer."""
+    lines = [f.render() for f in findings]
+    lines.extend(f"error: {e}" for e in errors)
+    by_rule = Counter(f.rule for f in findings)
+    if findings:
+        parts = ", ".join(f"{rid}={n}" for rid, n in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({parts})")
+    else:
+        lines.append("no findings")
+    if suppressed:
+        lines.append(f"{len(suppressed)} baselined finding(s) suppressed")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    errors: Sequence[str] = (),
+    rules: Iterable[Rule] = (),
+) -> str:
+    """Stable JSON document for tooling (CI annotations, dashboards)."""
+    doc = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "suppressed": len(suppressed),
+        "errors": list(errors),
+        "rules": [
+            {
+                "id": r.id,
+                "name": r.name,
+                "description": r.description,
+                "allow_baseline": r.allow_baseline,
+            }
+            for r in rules
+        ],
+        "summary": dict(sorted(Counter(f.rule for f in findings).items())),
+    }
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,404 @@
+"""The placement-domain rule set.
+
+===  ===============  ==========================================================
+id   name             flags
+===  ===============  ==========================================================
+R1   float-eq         ``==``/``!=`` on float coordinates (never baselinable)
+R2   hot-loop         Python-level loops over cells/nets in hot modules
+R3   implicit-dtype   numpy array constructors without ``dtype`` in hot modules
+R4   raw-mutation     in-place mutation of Netlist/Placement arrays outside
+                      whitelisted mutators or fresh local copies
+R5   no-print         ``print()`` in library code (CLI/experiments/viz exempt;
+                      never baselinable)
+R6   public-api       missing ``__all__`` / untyped public signatures in
+                      ``core/`` and ``netlist/``
+===  ===============  ==========================================================
+
+All rules are pure AST passes; none import the modules they check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import Finding, ModuleContext, Rule, register
+
+__all__ = [
+    "FloatEqualityRule",
+    "HotLoopRule",
+    "ImplicitDtypeRule",
+    "PublicApiRule",
+    "RawMutationRule",
+    "NoPrintRule",
+]
+
+#: Identifier vocabulary that marks an expression as a planar coordinate.
+COORD_NAMES = frozenset({
+    "x", "y", "xs", "ys", "cx", "cy",
+    "xlo", "xhi", "ylo", "yhi", "x0", "y0", "x1", "y1",
+    "lefts", "rights", "bottoms", "tops",
+    "fixed_x", "fixed_y", "pin_dx", "pin_dy",
+    "width", "widths", "height", "heights",
+    "row_height", "site_width",
+})
+
+
+def _is_coordinate_expr(node: ast.expr) -> bool:
+    """Name/attribute/subscript whose identifier is coordinate vocabulary."""
+    if isinstance(node, ast.Name):
+        return node.id in COORD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in COORD_NAMES
+    if isinstance(node, ast.Subscript):
+        return _is_coordinate_expr(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return _is_coordinate_expr(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """R1: exact ``==``/``!=`` comparison on float coordinates.
+
+    Coordinates are continuous quantities; after any arithmetic, exact
+    equality is a latent bug — use ``math.isclose`` or an explicit
+    tolerance.  Fires when an equality compares against a float literal,
+    or when both sides are coordinate-vocabulary expressions.  Findings
+    can not be baselined: fix them at the source.
+    """
+
+    id = "R1"
+    name = "float-eq"
+    description = "exact ==/!= comparison on float coordinates"
+    allow_baseline = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            # String/bool/None/int comparisons are discrete and fine.
+            if any(
+                isinstance(o, ast.Constant)
+                and isinstance(o.value, (str, bytes, bool, int, type(None)))
+                for o in operands
+            ):
+                continue
+            has_float_literal = any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            )
+            all_coords = all(_is_coordinate_expr(o) for o in operands)
+            if has_float_literal or all_coords:
+                yield ctx.finding(
+                    self.id, node,
+                    "exact float equality on a coordinate-valued expression; "
+                    "use math.isclose or a tolerance comparison",
+                )
+
+
+_CELL_ITER = re.compile(
+    r"\b(num_cells|num_nets|num_pins|num_movable|flatnonzero"
+    r"|cells|nets|pins|movable|macros)\b"
+)
+
+
+@register
+class HotLoopRule(Rule):
+    """R2: Python-level iteration over cells/nets inside hot modules.
+
+    The per-iteration path (``core/``, ``solvers/``, ``projection/``,
+    ``models/``) must stay vectorized; a ``for`` loop over cell or net
+    populations is O(n) interpreter overhead per placement iteration.
+    Deliberate scalar fallbacks (e.g. the macro slow path) belong in the
+    baseline or under an inline ignore with a justification.
+    """
+
+    id = "R2"
+    name = "hot-loop"
+    description = "Python loop over cells/nets in a hot module"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_hot:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.comprehension)):
+                iterable = node.iter
+            else:
+                continue
+            try:
+                text = ast.unparse(iterable)
+            except Exception:  # pragma: no cover - unparse is total on 3.10+
+                continue
+            if _CELL_ITER.search(text):
+                anchor = node if isinstance(node, ast.For) else iterable
+                yield ctx.finding(
+                    self.id, anchor,
+                    f"Python-level loop over cells/nets ({text!r}) in hot "
+                    "module; prefer a vectorized kernel",
+                )
+
+
+_ARRAY_CTORS = frozenset({"array", "zeros", "ones", "empty", "full", "arange"})
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+#: Positional index at which each constructor accepts dtype.
+_DTYPE_POSITION = {"array": 1, "zeros": 1, "ones": 1, "empty": 1, "full": 2}
+
+
+@register
+class ImplicitDtypeRule(Rule):
+    """R3: numpy constructors without an explicit ``dtype`` in hot modules.
+
+    Hot-path arrays must be deliberate float64 (or a deliberate integer
+    type) — an implicit dtype silently changes with the input and can
+    downgrade kernels to object/float32 math.
+    """
+
+    id = "R3"
+    name = "implicit-dtype"
+    description = "np.array/np.zeros/... without explicit dtype in hot module"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_hot:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _ARRAY_CTORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_ALIASES
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            dtype_pos = _DTYPE_POSITION.get(func.attr)
+            if dtype_pos is not None and len(node.args) > dtype_pos:
+                continue
+            yield ctx.finding(
+                self.id, node,
+                f"np.{func.attr}(...) without explicit dtype in hot module",
+            )
+
+
+#: Netlist/Placement array attributes whose mutation is guarded.
+_GUARDED_ATTRS = frozenset({
+    "x", "y", "net_weights", "widths", "heights", "fixed_x", "fixed_y",
+})
+
+#: Functions allowed to mutate guarded arrays anywhere.
+_MUTATOR_FUNCS = frozenset({
+    "copy", "__post_init__", "__init__",
+    "initial_placement", "clamp_to_core",
+})
+
+#: Method calls whose results are fresh, safely mutable objects.
+_FRESH_METHODS = frozenset({"copy", "clamp_to_core", "initial_placement"})
+
+
+def _fresh_locals(func: ast.AST) -> set[str]:
+    """Local names bound to objects the function owns.
+
+    A local is *fresh* when it is assigned from a copying method
+    (``p.copy()``, ``netlist.clamp_to_core(...)``), from any direct
+    function/constructor call (``Placement(...)``, ``legalize_macros(...)``
+    — factories return new objects by convention here), or as an alias
+    of another fresh local.  Mutating fresh locals in place is fine;
+    mutating parameters or attribute-reachable objects is not.
+    """
+    fresh: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_fresh = isinstance(value, ast.Call) and (
+            (isinstance(value.func, ast.Attribute)
+             and value.func.attr in _FRESH_METHODS)
+            or isinstance(value.func, ast.Name)
+        )
+        # Aliases of an already-fresh local stay fresh.
+        is_alias = isinstance(value, ast.Name) and value.id in fresh
+        if not (is_fresh or is_alias):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                fresh.add(target.id)
+    return fresh
+
+
+def _store_base(target: ast.expr, augmented: bool = False) -> ast.expr | None:
+    """For in-place element stores ``obj.x[...] = v`` (or augmented
+    ``obj.x += v``) on guarded attrs, return the ``obj`` expression.
+
+    Plain attribute rebinding (``obj.x = v``) is only an in-place
+    mutation when augmented; scalar ``.x`` attributes on unrelated
+    classes would otherwise flood the rule with false positives.
+    """
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    elif not augmented:
+        return None
+    if isinstance(target, ast.Attribute) and target.attr in _GUARDED_ATTRS:
+        return target.value
+    return None
+
+
+@register
+class RawMutationRule(Rule):
+    """R4: in-place mutation of Netlist/Placement arrays.
+
+    Placements flow through the placer as values; aliased in-place
+    writes to ``.x``/``.y`` (or to Netlist geometry arrays) corrupt
+    iterates that other stages still hold.  Mutations are allowed in the
+    ``netlist/`` package itself, inside whitelisted mutator methods, and
+    on locals that are provably fresh copies (``q = p.copy()``).
+    """
+
+    id = "R4"
+    name = "raw-mutation"
+    description = "in-place mutation of Netlist/Placement arrays"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module_tail = ctx.module.split(".")
+        if len(module_tail) > 1 and module_tail[1] == "netlist":
+            return
+        yield from self._check_scope(ctx, ctx.tree, fresh=set())
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ast.AST, fresh: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _MUTATOR_FUNCS:
+                    continue
+                yield from self._check_scope(
+                    ctx, node, fresh=fresh | _fresh_locals(node)
+                )
+                continue
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                augmented = isinstance(node, ast.AugAssign)
+                for target in targets:
+                    base = _store_base(target, augmented=augmented)
+                    if base is None:
+                        continue
+                    if isinstance(base, ast.Name) and base.id in fresh:
+                        continue
+                    yield ctx.finding(
+                        self.id, node,
+                        "in-place mutation of a Netlist/Placement array "
+                        "outside a whitelisted mutator; operate on a "
+                        ".copy() or go through a mutator method",
+                    )
+            yield from self._check_scope(ctx, node, fresh=fresh)
+
+
+@register
+class NoPrintRule(Rule):
+    """R5: ``print()`` in library code.
+
+    Library modules must report through ``logging`` so embedders control
+    verbosity; stdout belongs to the CLI, the experiment scripts and the
+    viz renderers (which are exempt).  Findings can not be baselined.
+    """
+
+    id = "R5"
+    name = "no-print"
+    description = "print() in library code (CLI/experiments/viz exempt)"
+    allow_baseline = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_cli_like:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self.id, node,
+                    "print() in library code; use a module-level "
+                    "logging logger",
+                )
+
+
+#: Packages whose modules must export __all__ and type their public API.
+_API_PACKAGES = ("core", "netlist")
+
+
+@register
+class PublicApiRule(Rule):
+    """R6: API hygiene in ``core/`` and ``netlist/``.
+
+    Every module must declare ``__all__`` and every public module-level
+    function must have a fully annotated signature — these packages are
+    the supported embedding surface, and refactoring them freely (the
+    point of this tooling) needs a machine-checkable API boundary.
+    """
+
+    id = "R6"
+    name = "public-api"
+    description = "missing __all__ / untyped public signature in core|netlist"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.module.split(".")
+        tail = parts[1:] if parts and parts[0] == "repro" else parts
+        if not tail or tail[0] not in _API_PACKAGES:
+            return
+        if not self._has_all(ctx.tree):
+            yield Finding(
+                rule=self.id, path=ctx.path, line=1, col=0,
+                message="module has no __all__ declaration",
+            )
+        for node in ast.iter_child_nodes(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if self._untyped(node):
+                yield ctx.finding(
+                    self.id, node,
+                    f"public function {node.name!r} has an incomplete "
+                    "type signature",
+                )
+
+    @staticmethod
+    def _has_all(tree: ast.Module) -> bool:
+        for node in ast.iter_child_nodes(tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return True
+        return False
+
+    @staticmethod
+    def _untyped(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        if node.returns is None:
+            return True
+        args = node.args
+        named = args.posonlyargs + args.args + args.kwonlyargs
+        for arg in named:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                return True
+        for vararg in (args.vararg, args.kwarg):
+            # *args/**kwargs may stay unannotated; they rarely carry
+            # domain data and annotating them adds noise.
+            del vararg
+        return False

@@ -87,7 +87,9 @@ def mixed_design():
 @pytest.fixture(scope="session")
 def placed_small(small_design):
     """A completed ComPLx run on the small design (do not mutate)."""
-    placer = ComPLxPlacer(small_design.netlist, ComPLxConfig(seed=1))
+    placer = ComPLxPlacer(
+        small_design.netlist, ComPLxConfig(seed=1, check_invariants=True)
+    )
     return placer.place()
 
 
@@ -95,7 +97,8 @@ def placed_small(small_design):
 def placed_mixed(mixed_design):
     """A completed ComPLx run on the mixed-size design (do not mutate)."""
     placer = ComPLxPlacer(
-        mixed_design.netlist, ComPLxConfig(gamma=0.8, seed=1)
+        mixed_design.netlist,
+        ComPLxConfig(gamma=0.8, seed=1, check_invariants=True),
     )
     return placer.place()
 

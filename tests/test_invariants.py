@@ -1,0 +1,226 @@
+"""Stage-boundary invariant contracts: unit checks, seeded violations,
+and the end-to-end integration run with ``check_invariants=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ComPLxConfig, NetlistBuilder, Placement, Rect
+from repro.core import ComPLxPlacer, InvariantSuite, InvariantViolation
+from repro.core.invariants import (
+    assert_legal,
+    check_finite,
+    check_inside_core,
+    check_lambda_step,
+    check_pi_value,
+)
+from repro.legalize import abacus_legalize, tetris_legalize
+from repro.netlist import CoreArea
+
+
+def small_netlist():
+    core = CoreArea.uniform(Rect(0, 0, 20, 10), row_height=1.0)
+    b = NetlistBuilder("inv", core=core)
+    for i in range(4):
+        b.add_cell(f"c{i}", 2.0, 1.0)
+    b.add_net("n", [(f"c{i}", 0, 0) for i in range(4)])
+    return b.build()
+
+
+def spread_placement(nl):
+    return Placement(np.array([3.0, 8.0, 13.0, 17.0]), np.full(4, 4.5))
+
+
+# ----------------------------------------------------------------------
+# unit checks
+# ----------------------------------------------------------------------
+class TestCheckers:
+    def test_finite_passes_and_fires(self):
+        nl = small_netlist()
+        p = spread_placement(nl)
+        check_finite(nl, p, "projection")  # no raise
+        p.x[2] = np.nan
+        with pytest.raises(InvariantViolation) as exc:
+            check_finite(nl, p, "projection", iteration=7)
+        err = exc.value
+        assert err.stage == "projection"
+        assert err.iteration == 7
+        assert err.cell_indices == [2]
+        assert "projection" in str(err)
+
+    def test_inside_core_fires_with_cell_index(self):
+        nl = small_netlist()
+        p = spread_placement(nl)
+        check_inside_core(nl, p, "primal")  # no raise
+        p.x[1] = 40.0
+        with pytest.raises(InvariantViolation) as exc:
+            check_inside_core(nl, p, "primal")
+        assert exc.value.cell_indices == [1]
+
+    def test_inside_core_ignores_fixed_cells(self):
+        core = CoreArea.uniform(Rect(0, 0, 20, 10), row_height=1.0)
+        b = NetlistBuilder("fx", core=core)
+        b.add_cell("a", 2.0, 1.0)
+        b.add_cell("pad", 0.0, 0.0, fixed_at=(100.0, 100.0))
+        b.add_net("n", [("a", 0, 0), ("pad", 0, 0)])
+        nl = b.build()
+        p = Placement(np.array([5.0, 100.0]), np.array([4.5, 100.0]))
+        check_inside_core(nl, p, "projection")  # no raise
+
+    def test_pi_value(self):
+        check_pi_value(3.5, "projection")
+        for bad in (np.nan, np.inf, -1.0):
+            with pytest.raises(InvariantViolation):
+                check_pi_value(bad, "projection")
+
+    def test_lambda_monotonicity(self):
+        check_lambda_step(1.0, 1.5, "lambda")  # no raise
+        with pytest.raises(InvariantViolation, match="decreased"):
+            check_lambda_step(1.0, 0.5, "lambda")
+
+    def test_lambda_growth_cap(self):
+        check_lambda_step(1.0, 2.0, "lambda", growth_cap=2.0)  # at the cap
+        with pytest.raises(InvariantViolation, match="cap"):
+            check_lambda_step(1.0, 2.5, "lambda", growth_cap=2.0)
+        # Uncapped modes (SimPL's additive ramp) may exceed 2x.
+        check_lambda_step(1.0, 2.5, "lambda", growth_cap=None)
+
+    def test_assert_legal(self):
+        nl = small_netlist()
+        legal = Placement(np.array([1.0, 3.0, 5.0, 7.0]), np.full(4, 0.5))
+        assert_legal(nl, legal)  # no raise
+        bad = Placement(np.array([1.0, 1.5, 5.0, 7.0]), np.full(4, 0.5))
+        with pytest.raises(InvariantViolation) as exc:
+            assert_legal(nl, bad)
+        assert exc.value.stage == "legalization"
+        assert set(exc.value.cell_indices) == {0, 1}
+
+
+class TestSuiteState:
+    def test_pi_decay_grace(self):
+        nl = small_netlist()
+        suite = InvariantSuite(nl)
+        suite.pi_decay_grace = 3
+        p = spread_placement(nl)
+        suite.after_projection(1, p, pi=10.0)
+        suite.after_projection(2, p, pi=10.0)
+        suite.after_projection(3, p, pi=10.0)  # inside the grace budget
+        with pytest.raises(InvariantViolation, match="not decayed"):
+            suite.after_projection(4, p, pi=10.0)
+
+    def test_pi_decay_satisfied_by_any_dip(self):
+        nl = small_netlist()
+        suite = InvariantSuite(nl)
+        suite.pi_decay_grace = 2
+        p = spread_placement(nl)
+        suite.after_projection(1, p, pi=10.0)
+        suite.after_projection(2, p, pi=8.0)   # decayed: contract holds
+        suite.after_projection(5, p, pi=12.0)  # later growth is fine
+
+    def test_lambda_state_tracked_across_calls(self):
+        nl = small_netlist()
+        suite = InvariantSuite(nl, lambda_growth_cap=2.0)
+        suite.after_lambda(1, 1.0)
+        suite.after_lambda(2, 1.8)
+        with pytest.raises(InvariantViolation):
+            suite.after_lambda(3, 5.0)  # > 2x growth in a capped mode
+
+
+# ----------------------------------------------------------------------
+# seeded violations through the real placer
+# ----------------------------------------------------------------------
+class _CorruptingProjection:
+    """Wraps FeasibilityProjection and corrupts one coordinate."""
+
+    def __init__(self, inner, corrupt):
+        self._inner = inner
+        self._corrupt = corrupt
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __call__(self, placement, **kwargs):
+        result = self._inner(placement, **kwargs)
+        self._corrupt(result.placement)
+        return result
+
+
+@pytest.fixture
+def seeded_placer(small_design):
+    def build(corrupt):
+        placer = ComPLxPlacer(
+            small_design.netlist,
+            ComPLxConfig(seed=1, check_invariants=True, max_iterations=5),
+        )
+        placer.projection = _CorruptingProjection(placer.projection, corrupt)
+        return placer
+    return build
+
+
+class TestSeededViolations:
+    def test_nan_in_projection_is_caught(self, seeded_placer):
+        def corrupt(placement):
+            placement.x[3] = np.nan
+
+        with pytest.raises(InvariantViolation) as exc:
+            seeded_placer(corrupt).place()
+        err = exc.value
+        assert err.stage == "projection"
+        assert err.iteration == 1
+        assert err.cell_indices == [3]
+        assert "non-finite" in str(err)
+
+    def test_escaped_cell_is_caught(self, seeded_placer, small_design):
+        bounds = small_design.netlist.core.bounds
+
+        def corrupt(placement):
+            placement.y[5] = bounds.yhi + 100.0
+
+        with pytest.raises(InvariantViolation) as exc:
+            seeded_placer(corrupt).place()
+        assert exc.value.stage == "projection"
+        assert exc.value.cell_indices == [5]
+
+    def test_clean_run_raises_nothing(self, small_design):
+        placer = ComPLxPlacer(
+            small_design.netlist,
+            ComPLxConfig(seed=1, check_invariants=True, max_iterations=5),
+        )
+        placer.place()  # no raise
+
+
+# ----------------------------------------------------------------------
+# integration: full runs with the contracts armed
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_full_run_with_invariants(self, placed_small):
+        # The conftest fixture runs with check_invariants=True; reaching
+        # here means every stage boundary of a full run passed.
+        assert placed_small.config.check_invariants
+        assert placed_small.iterations >= 1
+
+    def test_mixed_size_run_with_invariants(self, placed_mixed):
+        assert placed_mixed.config.check_invariants
+        assert np.isfinite(placed_mixed.upper.x).all()
+
+    def test_legalizers_certify_their_output(self, small_design, placed_small):
+        nl = small_design.netlist
+        for legalize in (tetris_legalize, abacus_legalize):
+            out = legalize(nl, placed_small.upper, check_invariants=True)
+            assert np.isfinite(out.x).all()
+
+    def test_legalizer_certification_catches_bad_input(self, small_design):
+        # An empty-movable netlist aside, certification runs check_legal
+        # on the output; a netlist that cannot be legalized must raise
+        # rather than silently return overlap.  Build an overfull core:
+        core = CoreArea.uniform(Rect(0, 0, 4, 2), row_height=1.0)
+        b = NetlistBuilder("full", core=core)
+        for i in range(6):  # 6 cells of 2x1 into an 8-area core
+            b.add_cell(f"c{i}", 2.0, 1.0)
+        b.add_net("n", [("c0", 0, 0), ("c1", 0, 0)])
+        nl = b.build()
+        p = Placement(np.full(6, 2.0), np.full(6, 1.0))
+        with pytest.raises(InvariantViolation):
+            tetris_legalize(nl, p, check_invariants=True)

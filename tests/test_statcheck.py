@@ -1,0 +1,406 @@
+"""Rule self-tests and engine/baseline/CLI tests for repro.statcheck.
+
+Every rule gets at least one positive fixture (the rule must fire) and
+one negative fixture (the rule must stay quiet); the engine tests cover
+classification, pragmas and enable/disable; the baseline tests cover
+fingerprint stability and the never-baselinable rules; the CLI tests
+pin the exit-code contract the CI gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.statcheck import check_source, run_paths
+from repro.statcheck.baseline import (
+    Baseline,
+    apply_baseline,
+    fingerprint_findings,
+)
+from repro.statcheck.cli import main as statcheck_main
+from repro.statcheck.engine import all_rules, classify, select_rules
+
+HOT = "src/repro/core/somemod.py"
+COLD = "src/repro/analysis/somemod.py"
+CLI = "src/repro/cli.py"
+API = "src/repro/netlist/somemod.py"
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# R1 float-eq
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    def test_fires_on_float_literal(self):
+        findings = check_source("flag = value == 0.5\n", filename=COLD)
+        assert rules_of(findings) == ["R1"]
+        assert findings[0].line == 1
+
+    def test_fires_on_coordinate_vocabulary(self):
+        src = "same = placement.x[i] == other.x[i]\n"
+        findings = check_source(src, filename=COLD, enable=["R1"])
+        assert len(findings) == 1
+
+    def test_quiet_on_int_and_string_compares(self):
+        src = "a = dx == 1\nb = mode == 'b2b'\nc = val is None\n"
+        assert check_source(src, filename=COLD, enable=["R1"]) == []
+
+    def test_quiet_on_non_coordinate_names(self):
+        assert check_source("ok = count == total\n",
+                            filename=COLD, enable=["R1"]) == []
+
+
+# ----------------------------------------------------------------------
+# R2 hot-loop
+# ----------------------------------------------------------------------
+class TestHotLoop:
+    def test_fires_on_for_loop_in_hot_module(self):
+        src = "for c in range(netlist.num_cells):\n    pass\n"
+        findings = check_source(src, filename=HOT, enable=["R2"])
+        assert len(findings) == 1
+        assert "num_cells" in findings[0].message
+
+    def test_fires_on_comprehension_over_nets(self):
+        src = "spans = [len(n) for n in nets]\n"
+        assert len(check_source(src, filename=HOT, enable=["R2"])) == 1
+
+    def test_quiet_outside_hot_modules(self):
+        src = "for c in range(netlist.num_cells):\n    pass\n"
+        assert check_source(src, filename=COLD, enable=["R2"]) == []
+
+    def test_quiet_on_unrelated_iterables(self):
+        src = "for axis in ('x', 'y'):\n    pass\n"
+        assert check_source(src, filename=HOT, enable=["R2"]) == []
+
+
+# ----------------------------------------------------------------------
+# R3 implicit-dtype
+# ----------------------------------------------------------------------
+class TestImplicitDtype:
+    def test_fires_without_dtype_in_hot_module(self):
+        findings = check_source("buf = np.zeros(n)\n",
+                                filename=HOT, enable=["R3"])
+        assert len(findings) == 1
+        assert "np.zeros" in findings[0].message
+
+    def test_quiet_with_dtype_keyword(self):
+        src = "buf = np.zeros(n, dtype=np.float64)\n"
+        assert check_source(src, filename=HOT, enable=["R3"]) == []
+
+    def test_quiet_with_positional_dtype(self):
+        src = "buf = np.full((2, 2), 0.0, np.float64)\n"
+        assert check_source(src, filename=HOT, enable=["R3"]) == []
+
+    def test_quiet_outside_hot_modules(self):
+        assert check_source("buf = np.zeros(n)\n",
+                            filename=COLD, enable=["R3"]) == []
+
+
+# ----------------------------------------------------------------------
+# R4 raw-mutation
+# ----------------------------------------------------------------------
+class TestRawMutation:
+    def test_fires_on_inplace_store_to_parameter(self):
+        src = (
+            "def shift(placement, dx):\n"
+            "    placement.x[:] = placement.x + dx\n"
+            "    return placement\n"
+        )
+        findings = check_source(src, filename=COLD, enable=["R4"])
+        assert len(findings) == 1
+
+    def test_fires_on_augmented_assignment(self):
+        src = (
+            "def bump(netlist):\n"
+            "    netlist.net_weights += 1.0\n"
+        )
+        assert len(check_source(src, filename=COLD, enable=["R4"])) == 1
+
+    def test_quiet_on_fresh_copy(self):
+        src = (
+            "def shift(placement, dx):\n"
+            "    out = placement.copy()\n"
+            "    out.x[:] = out.x + dx\n"
+            "    return out\n"
+        )
+        assert check_source(src, filename=COLD, enable=["R4"]) == []
+
+    def test_quiet_on_factory_result_and_alias(self):
+        src = (
+            "def build(netlist):\n"
+            "    p = make_placement(netlist)\n"
+            "    q = p\n"
+            "    q.y[0] = 1.0\n"
+            "    return q\n"
+        )
+        assert check_source(src, filename=COLD, enable=["R4"]) == []
+
+    def test_quiet_inside_netlist_package(self):
+        src = (
+            "def shift(placement, dx):\n"
+            "    placement.x[:] = placement.x + dx\n"
+        )
+        assert check_source(src, filename="src/repro/netlist/ops.py",
+                            enable=["R4"]) == []
+
+    def test_quiet_on_scalar_attribute_rebinding(self):
+        src = (
+            "def relabel(cluster):\n"
+            "    cluster.x = 4.0\n"
+        )
+        assert check_source(src, filename=COLD, enable=["R4"]) == []
+
+
+# ----------------------------------------------------------------------
+# R5 no-print
+# ----------------------------------------------------------------------
+class TestNoPrint:
+    def test_fires_in_library_code(self):
+        findings = check_source("print('hi')\n", filename=COLD, enable=["R5"])
+        assert len(findings) == 1
+        assert "logging" in findings[0].message
+
+    def test_quiet_in_cli_module(self):
+        assert check_source("print('hi')\n", filename=CLI,
+                            enable=["R5"]) == []
+
+    def test_quiet_in_experiments_package(self):
+        assert check_source("print('hi')\n",
+                            filename="src/repro/experiments/table1.py",
+                            enable=["R5"]) == []
+
+    def test_quiet_on_logging(self):
+        assert check_source("logger.info('hi')\n", filename=COLD,
+                            enable=["R5"]) == []
+
+
+# ----------------------------------------------------------------------
+# R6 public-api
+# ----------------------------------------------------------------------
+class TestPublicApi:
+    def test_fires_on_missing_all(self):
+        findings = check_source("def _private() -> None:\n    pass\n",
+                                filename=API, enable=["R6"])
+        assert len(findings) == 1
+        assert "__all__" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_fires_on_untyped_public_function(self):
+        src = "__all__ = ['f']\n\ndef f(x):\n    return x\n"
+        findings = check_source(src, filename=API, enable=["R6"])
+        assert len(findings) == 1
+        assert "'f'" in findings[0].message
+
+    def test_quiet_on_typed_module(self):
+        src = (
+            "__all__ = ['f']\n\n"
+            "def f(x: float) -> float:\n    return x\n\n"
+            "def _helper(y):\n    return y\n"
+        )
+        assert check_source(src, filename=API, enable=["R6"]) == []
+
+    def test_quiet_outside_api_packages(self):
+        assert check_source("def f(x):\n    return x\n",
+                            filename=COLD, enable=["R6"]) == []
+
+
+# ----------------------------------------------------------------------
+# engine: classification, pragmas, rule selection
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_classification(self):
+        assert classify("repro.core.complx") == (True, False)
+        assert classify("repro.experiments.table1") == (False, True)
+        assert classify("repro.cli") == (False, True)
+        assert classify("repro.analysis.report") == (False, False)
+
+    def test_inline_pragma_all_rules(self):
+        src = "flag = value == 0.5  # statcheck: ignore\n"
+        assert check_source(src, filename=COLD) == []
+
+    def test_inline_pragma_specific_rule(self):
+        src = "flag = value == 0.5  # statcheck: ignore[R1]\n"
+        assert check_source(src, filename=COLD) == []
+        # The pragma names a different rule: the finding stays.
+        src = "flag = value == 0.5  # statcheck: ignore[R2]\n"
+        assert rules_of(check_source(src, filename=COLD)) == ["R1"]
+
+    def test_registry_has_the_shipped_rules(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_select_rules_enable_disable(self):
+        assert [r.id for r in select_rules(enable=["R1", "R3"])] == ["R1", "R3"]
+        assert "R2" not in {r.id for r in select_rules(disable=["R2"])}
+        with pytest.raises(ValueError, match="unknown rule id"):
+            select_rules(enable=["R99"])
+
+    def test_disable_silences_rule(self):
+        src = "print('hi')\nflag = value == 0.5\n"
+        findings = check_source(src, filename=COLD, disable=["R5"])
+        assert rules_of(findings) == ["R1"]
+
+    def test_run_paths_reports_syntax_errors(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings, errors = run_paths([tmp_path])
+        assert len(errors) == 1
+        assert "bad.py" in errors[0]
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_fingerprints_are_stable_and_distinct(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("np.zeros(3)\nnp.zeros(3)\n")
+        findings = check_source(f.read_text(),
+                                filename="src/repro/core/mod.py",
+                                enable=["R3"])
+        findings = [fi.__class__(fi.rule, f.as_posix(), fi.line, fi.col,
+                                 fi.message) for fi in findings]
+        fps = [fp for _, fp in fingerprint_findings(findings)]
+        assert len(fps) == 2
+        # Same stripped line text -> distinguished by occurrence counter.
+        assert fps[0] != fps[1]
+        again = [fp for _, fp in fingerprint_findings(findings)]
+        assert fps == again
+
+    def test_baseline_suppresses_baselinable_findings(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("for c in range(netlist.num_cells):\n    pass\n")
+        ctx_findings = check_source(f.read_text(),
+                                    filename="src/repro/core/mod.py",
+                                    enable=["R2"])
+        findings = [fi.__class__(fi.rule, f.as_posix(), fi.line, fi.col,
+                                 fi.message) for fi in ctx_findings]
+        baseline = Baseline.from_findings(findings)
+        active, suppressed = apply_baseline(findings, baseline, all_rules())
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_r1_and_r5_are_never_baselined(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("flag = value == 0.5\nprint('hi')\n")
+        raw = check_source(f.read_text(),
+                           filename="src/repro/analysis/mod.py")
+        findings = [fi.__class__(fi.rule, f.as_posix(), fi.line, fi.col,
+                                 fi.message) for fi in raw]
+        assert rules_of(findings) == ["R1", "R5"]
+        baseline = Baseline.from_findings(findings)
+        active, suppressed = apply_baseline(findings, baseline, all_rules())
+        assert rules_of(active) == ["R1", "R5"]
+        assert suppressed == []
+
+    def test_baseline_dies_when_code_changes(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("buf = np.zeros(n)\n")
+        raw = check_source(f.read_text(), filename="src/repro/core/mod.py",
+                           enable=["R3"])
+        findings = [fi.__class__(fi.rule, f.as_posix(), fi.line, fi.col,
+                                 fi.message) for fi in raw]
+        baseline = Baseline.from_findings(findings)
+        # The flagged line changed: the stale fingerprint no longer
+        # matches and the finding comes back.
+        f.write_text("buf = np.zeros(m)\n")
+        active, suppressed = apply_baseline(findings, baseline, all_rules())
+        assert len(active) == 1
+        assert suppressed == []
+
+    def test_roundtrip_and_version_check(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([]).write(path)
+        assert len(Baseline.load(path)) == 0
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# CLI exit-code contract
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert statcheck_main(["clean.py"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text("print('hi')\n")
+        assert statcheck_main(["dirty.py"]) == 1
+        assert "[R5]" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        with pytest.raises(SystemExit) as exc:
+            statcheck_main(["clean.py", "--enable", "R99"])
+        assert exc.value.code == 2
+
+    def test_missing_path_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            statcheck_main(["nope.py"])
+        assert exc.value.code == 2
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "src" / "repro" / "core"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(
+            "for c in range(netlist.num_cells):\n    pass\n")
+        assert statcheck_main(["src", "--write-baseline"]) == 0
+        assert (tmp_path / "statcheck-baseline.json").exists()
+        capsys.readouterr()
+        # The default baseline is auto-loaded from the cwd.
+        assert statcheck_main(["src"]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        assert statcheck_main(["src", "--no-baseline"]) == 1
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text("print('hi')\n")
+        assert statcheck_main(["dirty.py", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["R5"] == 1
+        assert doc["findings"][0]["rule"] == "R5"
+
+    def test_list_rules(self, capsys):
+        assert statcheck_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rid in out
+        assert "[no baseline]" in out
+
+
+# ----------------------------------------------------------------------
+# the repo itself stays clean
+# ----------------------------------------------------------------------
+def test_repo_passes_statcheck(monkeypatch):
+    """The committed tree must lint clean modulo the committed baseline."""
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    monkeypatch.chdir(repo)
+    findings, errors = run_paths([repo / "src"])
+    assert errors == []
+    baseline = Baseline.load(repo / "statcheck-baseline.json")
+    # Paths in the committed baseline are repo-relative; rebase ours.
+    rebased = [
+        f.__class__(f.rule, pathlib.Path(f.path).relative_to(repo).as_posix(),
+                    f.line, f.col, f.message)
+        for f in findings
+    ]
+    active, _ = apply_baseline(rebased, baseline, all_rules())
+    assert active == [], "\n".join(f.render() for f in active)

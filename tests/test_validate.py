@@ -97,6 +97,73 @@ class TestCheckLegal:
         assert check_legal(nl, p).legal
 
 
+class TestReportContract:
+    """Edge cases of the LegalityReport contract the invariants rely on."""
+
+    def test_max_reported_truncates_out_of_core(self):
+        nl = grid_netlist(n=5)
+        p = legal_placement(nl)
+        p.x[:] = -50.0  # every cell far outside
+        report = check_legal(nl, p, max_reported=2)
+        assert len(report.out_of_core) == 2
+        assert not report.legal  # truncation must not hide illegality
+
+    def test_max_reported_truncates_off_row(self):
+        nl = grid_netlist(n=5)
+        p = legal_placement(nl)
+        p.y[:] = 0.73  # every cell between rows
+        report = check_legal(nl, p, max_reported=3)
+        assert len(report.off_row) == 3
+        assert not report.legal
+
+    def test_max_reported_truncates_overlaps(self):
+        nl = grid_netlist(n=5)
+        p = legal_placement(nl)
+        p.x[:] = 5.0  # all five stacked: C(5,2)=10 overlapping pairs
+        report = check_legal(nl, p, max_reported=4)
+        assert len(report.overlaps) == 4
+        assert not report.legal
+
+    def test_summary_counts_every_category(self):
+        nl = grid_netlist(n=3)
+        p = legal_placement(nl)
+        p.x[0] = -5.0          # out of core
+        p.y[1] = 1.4           # off row (but still inside the core)
+        p.x[2] = p.x[1] + 0.5  # overlap with cell 1
+        report = check_legal(nl, p)
+        s = report.summary()
+        assert "out_of_core=1" in s
+        assert "off_row=1" in s
+        assert "overlaps=1" in s
+        assert "region=0" in s
+
+    def test_each_category_alone_breaks_legal(self):
+        report_fields = ("out_of_core", "off_row", "off_site",
+                         "region_violations")
+        from repro.netlist.validate import LegalityReport
+
+        assert LegalityReport().legal
+        for name in report_fields:
+            report = LegalityReport(**{name: [0]})
+            assert not report.legal
+        assert not LegalityReport(overlaps=[(0, 1)]).legal
+
+    def test_check_sites_respects_site_width(self):
+        core = CoreArea.uniform(Rect(0, 0, 40, 10), row_height=1.0,
+                                site_width=2.0)
+        b = NetlistBuilder("s", core=core)
+        b.add_cell("a", 2.0, 1.0)
+        b.add_net("n", [("a", 0, 0)])
+        nl = b.build()
+        # Left edge at 4.0 = 2 sites: aligned.
+        assert check_legal(nl, Placement(np.array([5.0]), np.array([0.5])),
+                           check_sites=True).legal
+        # Left edge at 3.0 = 1.5 sites: off-site.
+        report = check_legal(nl, Placement(np.array([4.0]), np.array([0.5])),
+                             check_sites=True)
+        assert report.off_site == [0]
+
+
 class TestOverlaps:
     def _brute_force(self, nl, p):
         movable = np.flatnonzero(nl.movable & (nl.areas > 0))
