@@ -18,15 +18,18 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 import time
 
 from .analysis import analyze_placement
+from .core.config import ResilienceConfig
 from .detailed import DetailedPlacer
 from .experiments.common import make_placer
 from .legalize import abacus_legalize, tetris_legalize
 from .models import hpwl
-from .netlist.bookshelf import read_aux, write_aux
+from .netlist.bookshelf import BookshelfError, read_aux, write_aux
+from .resilience import CheckpointError, legalize_with_fallback
 from .viz import placement_svg
 from .workloads import load_suite, suite_names
 
@@ -52,30 +55,84 @@ def _add_place_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check-invariants", action="store_true",
                         help="verify stage-boundary invariants while "
                              "placing and certify the legalized result "
-                             "(slower; aborts on contract violations)")
+                             "(slower; under the supervisor violations "
+                             "become recoverable logged events)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="rollback/retry budget per faulted iteration")
+    parser.add_argument("--deadline-seconds", type=float, default=None,
+                        help="wall-clock budget for global placement; on "
+                             "expiry the best-so-far placement is kept")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="write a resumable checkpoint every N "
+                             "iterations (0 disables)")
+    parser.add_argument("--checkpoint-path", default=None,
+                        help="checkpoint file (default: "
+                             "<out>/<design>.ckpt.npz)")
+    parser.add_argument("--resume", default=None, metavar="CKPT",
+                        help="resume global placement from a checkpoint "
+                             "written by --checkpoint-every")
+
+
+def _legalizer_chain(preferred: str) -> list[tuple[str, object]]:
+    """Preferred legalizer first, tetris as the degraded fallback."""
+    chain = [(preferred, LEGALIZERS[preferred])]
+    if preferred != "tetris":
+        chain.append(("tetris", tetris_legalize))
+    return chain
 
 
 def cmd_place(args: argparse.Namespace) -> int:
     """Place a Bookshelf design end to end."""
     netlist, initial = read_aux(args.aux)
     print(f"loaded {netlist}")
+    checkpoint_path = args.checkpoint_path
+    if args.checkpoint_every > 0 and checkpoint_path is None:
+        checkpoint_path = os.path.join(args.out, f"{netlist.name}.ckpt.npz")
+        os.makedirs(args.out, exist_ok=True)
+    resilience = ResilienceConfig(
+        max_retries=args.max_retries,
+        deadline_seconds=args.deadline_seconds,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
     placer = make_placer(args.placer, netlist, gamma=args.gamma,
                          seed=args.seed,
-                         check_invariants=args.check_invariants)
+                         check_invariants=args.check_invariants,
+                         resilience=resilience)
+    if args.resume is not None and not hasattr(placer, "_run_iteration"):
+        print(f"error: placer {args.placer!r} does not support --resume",
+              file=sys.stderr)
+        return 2
 
     t0 = time.perf_counter()
-    result = placer.place()
+    if args.resume is not None:
+        result = placer.place(resume_from=args.resume)
+    else:
+        result = placer.place()
     gp_seconds = time.perf_counter() - t0
     print(f"global placement: {result.history.summary()} "
           f"[{gp_seconds:.1f}s]")
+    report = getattr(result, "extras", {}).get("resilience")
+    if report and report["events"]:
+        print(f"recovery: {report['summary']}")
 
-    legalizer = LEGALIZERS[args.legalizer]
+    chain = _legalizer_chain(args.legalizer)
     t1 = time.perf_counter()
     if args.skip_detailed:
-        final = legalizer(netlist, result.upper,
-                          check_invariants=args.check_invariants)
+        final, used = legalize_with_fallback(
+            netlist, result.upper, chain,
+            check_invariants=args.check_invariants,
+        )
+        if used != args.legalizer:
+            print(f"legalizer degraded: {args.legalizer} -> {used}")
     else:
-        dp = DetailedPlacer(netlist, legalizer=legalizer)
+        def chained_legalizer(nl, placement, check_invariants=False):
+            legal, _ = legalize_with_fallback(
+                nl, placement, chain, check_invariants=check_invariants,
+            )
+            return legal
+
+        dp = DetailedPlacer(netlist, legalizer=chained_legalizer)
         final = dp.place(result.upper)
     print(f"legalization+DP: HPWL {hpwl(netlist, final):.1f} "
           f"[{time.perf_counter() - t1:.1f}s]")
@@ -149,7 +206,11 @@ def main(argv: list[str] | None = None) -> int:
             stream=sys.stderr,
         )
         logging.getLogger("repro").setLevel(level)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (BookshelfError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -25,10 +25,11 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..faults import hooks as fault_hooks
 from ..models.hpwl import weighted_hpwl
 from ..models.logsumexp import lse_wirelength
 from ..models.quadratic import build_system
@@ -42,6 +43,10 @@ from .convergence import SelfConsistencyMonitor, StoppingRule
 from .history import IterationRecord, RunHistory
 from .invariants import InvariantSuite
 from .lagrangian import LambdaSchedule, macro_lambda_scale
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.checkpoint import Checkpoint
+    from ..resilience.supervisor import Supervisor
 
 __all__ = [
     "ComPLxPlacer",
@@ -75,6 +80,29 @@ class GlobalPlacementResult:
     @property
     def iterations(self) -> int:
         return self.history.iterations
+
+
+@dataclass
+class _LoopState:
+    """Mutable state of one global placement run.
+
+    Grouping the loop variables lets the Supervisor treat an iteration
+    as a transaction (snapshot, run, roll back on fault) and lets the
+    checkpoint module serialize/restore a run wholesale.
+    """
+
+    lower: Placement
+    upper: Placement
+    schedule: LambdaSchedule
+    stopping: StoppingRule
+    history: RunHistory
+    monitor: SelfConsistencyMonitor
+    checker: InvariantSuite | None = None
+    pi_prev: float | None = None
+    iteration: int = 0
+    #: Multiplicative damping applied to lambda on supervised retries;
+    #: exactly 1.0 on the fault-free path.
+    lam_scale: float = 1.0
 
 
 class ComPLxPlacer:
@@ -118,6 +146,12 @@ class ComPLxPlacer:
             raise ValueError(
                 "dp_each_iteration requires a detailed_placer callable"
             )
+
+        #: Attached by :meth:`place` when ``config.resilience`` is set.
+        self.supervisor: "Supervisor | None" = None
+        #: Per-run iteration observer; bound by :meth:`place`.
+        self.callback: IterationCallback | None = None
+        self._last_cg_iterations = 0
 
         self.projection = FeasibilityProjection(
             netlist,
@@ -177,10 +211,24 @@ class ComPLxPlacer:
             self._regularize(system, axis)
             coords = current.x if axis == "x" else current.y
             warm = coords[system.cell_of_slot]
-            solution = solve_spd(
-                system.matrix, system.rhs, x0=warm,
-                tol=self.config.cg_tol, max_iter=self.config.cg_max_iter,
-                backend=self.config.cg_backend,
+            if self.supervisor is not None:
+                # Stalled/non-SPD solves route through the bounded CG
+                # recovery policy (regularized retries, backend fallback).
+                solution = self.supervisor.solve_spd(
+                    system, warm, tol=self.config.cg_tol,
+                    max_iter=self.config.cg_max_iter,
+                    backend=self.config.cg_backend,
+                )
+            else:
+                solution = solve_spd(
+                    system.matrix, system.rhs, x0=warm,
+                    tol=self.config.cg_tol, max_iter=self.config.cg_max_iter,
+                    backend=self.config.cg_backend,
+                )
+            logger.debug(
+                "CG %s-axis: %d iterations, residual=%.3g, converged=%s",
+                axis, solution.iterations, solution.residual,
+                solution.converged,
             )
             self._last_cg_iterations += solution.iterations
             target = out.x if axis == "x" else out.y
@@ -266,26 +314,133 @@ class ComPLxPlacer:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _run_iteration(self, k: int, st: "_LoopState") -> bool:
+        """One full global placement iteration on the loop state.
+
+        Returns True when a stopping criterion fired.  The state is a
+        transaction: every placement is rebound (never mutated in
+        place), so a Supervisor can snapshot references before the call
+        and roll back on a fault.
+        """
+        netlist = self.netlist
+        config = self.config
+        iter_start = time.perf_counter()
+        self._last_cg_iterations = 0
+        bins = self._grid_bins(k - 1)
+        projected = self.projection(
+            st.lower, nx=bins, ny=bins, keep_view=st.checker is not None,
+        )
+        st.upper = projected.placement
+        if config.dp_each_iteration and self.detailed_placer is not None:
+            st.upper = self.detailed_placer(st.upper)
+        pi = projected.pi
+        if st.checker is not None:
+            view = None
+            if projected.view is not None:
+                view = (
+                    projected.projected_view_x,
+                    projected.projected_view_y,
+                    projected.view.w,
+                    projected.view.h,
+                )
+            st.checker.after_projection(
+                k, projected.placement, pi,
+                grid=self.projection.grid(bins, bins), view=view,
+            )
+        st.monitor.observe(k, st.lower, st.upper, netlist.movable)
+
+        phi_lb = self._phi(st.lower)
+        phi_ub = self._phi(st.upper)
+        if not st.schedule.initialized:
+            st.schedule.initialize(phi_lb, pi)
+            st.stopping.note_initial_pi(pi)
+        elif st.pi_prev is not None:
+            st.schedule.update(st.pi_prev, pi)
+        st.pi_prev = pi
+        # lam_scale is 1.0 outside a supervised retry, and `x * 1.0` is
+        # IEEE-exact, so the unsupervised trajectory is unchanged.
+        lam = st.schedule.value * st.lam_scale
+        if st.checker is not None:
+            # The cap of Formula (12) only binds in the capped modes;
+            # SimPL's additive ramp may exceed 2x early on.  The checker
+            # sees the undamped schedule value so a supervised damped
+            # retry does not read as a monotonicity break.
+            st.checker.after_lambda(
+                k, st.schedule.value,
+                capped=config.lambda_mode in ("complx", "double"),
+            )
+
+        st.history.append(
+            IterationRecord(
+                iteration=k,
+                lam=lam,
+                phi_lower=phi_lb,
+                phi_upper=phi_ub,
+                pi=pi,
+                lagrangian=phi_lb + lam * pi,
+                overflow_percent=projected.overflow_percent,
+                grid_bins=bins,
+                cg_iterations=self._last_cg_iterations,
+                runtime_seconds=time.perf_counter() - iter_start,
+            )
+        )
+        if self.callback is not None:
+            self.callback(k, st.lower, st.upper)
+        logger.debug(
+            "iter %d: bins=%d Phi_lb=%.4g Phi_ub=%.4g Pi=%.4g "
+            "lambda=%.4g ovf=%.1f%%",
+            k, bins, phi_lb, phi_ub, pi, lam,
+            projected.overflow_percent,
+        )
+
+        stop, reason = st.stopping.should_stop(k, phi_lb, phi_ub, pi)
+        if stop:
+            st.history.stop_reason = reason
+            st.iteration = k
+            return True
+
+        st.lower = self._primal_step(st.lower, anchor=st.upper, lam=lam)
+        st.lower = fault_hooks.corrupt_placement("primal.nan", st.lower)
+        if st.checker is not None:
+            # The invariant suite's finite-coordinate contract owns the
+            # NaN screen when armed; its violation classifies as
+            # 'invariant' rather than 'numerical'.
+            st.checker.after_primal(k, st.lower)
+        elif self.supervisor is not None:
+            self.supervisor.check_numeric(k, st.lower, "primal")
+        st.iteration = k
+        return False
+
     def place(
         self,
         initial: Placement | None = None,
         callback: IterationCallback | None = None,
+        resume_from: "str | Checkpoint | None" = None,
     ) -> GlobalPlacementResult:
-        """Run global placement to convergence."""
+        """Run global placement to convergence.
+
+        ``resume_from`` continues a previous run from a checkpoint file
+        (or loaded :class:`~repro.resilience.checkpoint.Checkpoint`); a
+        checkpoint whose config/netlist fingerprint does not match
+        raises :class:`~repro.resilience.checkpoint.CheckpointMismatchError`.
+        """
         start_time = time.perf_counter()
         netlist = self.netlist
         config = self.config
+        self.callback = callback
+        supervisor: "Supervisor | None" = None
+        if config.resilience is not None:
+            from ..resilience.supervisor import Supervisor
+
+            supervisor = Supervisor(self, config.resilience)
+            supervisor.start_clock()
+        self.supervisor = supervisor
         logger.info(
-            "placing %s: %d cells, %d nets, gamma=%.2f, model=%s%s",
+            "placing %s: %d cells, %d nets, gamma=%.2f, model=%s%s%s",
             netlist.name, netlist.num_cells, netlist.num_nets,
             config.gamma, config.net_model,
             ", invariants on" if config.check_invariants else "",
-        )
-        bounds = netlist.core.bounds
-        jitter = 0.005 * min(bounds.width, bounds.height)
-        lower = (
-            initial.copy() if initial is not None
-            else netlist.initial_placement(jitter=jitter, seed=config.seed)
+            ", supervised" if supervisor is not None else "",
         )
 
         checker = (
@@ -297,15 +452,6 @@ class ComPLxPlacer:
             )
             if config.check_invariants else None
         )
-
-        # Initial unconstrained interconnect optimization (lambda_0 = 0):
-        # a few re-linearized sweeps stabilize the B2B model.
-        self._last_cg_iterations = 0
-        for _ in range(max(config.init_sweeps, 1)):
-            lower = self._primal_step(lower, anchor=None, lam=0.0)
-        if checker is not None:
-            checker.after_init(lower)
-
         schedule = LambdaSchedule(
             init_ratio=config.lambda_init_ratio,
             growth_cap=config.lambda_growth_cap,
@@ -317,99 +463,114 @@ class ComPLxPlacer:
             pi_tol_fraction=config.pi_tol_fraction,
             max_iterations=config.max_iterations,
         )
-        history = RunHistory()
-        monitor = SelfConsistencyMonitor()
-        upper = lower.copy()
-        pi_prev: float | None = None
 
-        for k in range(1, config.max_iterations + 1):
-            iter_start = time.perf_counter()
-            self._last_cg_iterations = 0
-            bins = self._grid_bins(k - 1)
-            projected = self.projection(
-                lower, nx=bins, ny=bins, keep_view=checker is not None,
-            )
-            upper = projected.placement
-            if config.dp_each_iteration and self.detailed_placer is not None:
-                upper = self.detailed_placer(upper)
-            pi = projected.pi
-            if checker is not None:
-                view = None
-                if projected.view is not None:
-                    view = (
-                        projected.projected_view_x,
-                        projected.projected_view_y,
-                        projected.view.w,
-                        projected.view.h,
-                    )
-                checker.after_projection(
-                    k, projected.placement, pi,
-                    grid=self.projection.grid(bins, bins), view=view,
+        try:
+            if resume_from is not None:
+                state = self._resume_state(
+                    resume_from, checker, schedule, stopping,
                 )
-            monitor.observe(k, lower, upper, netlist.movable)
-
-            phi_lb = self._phi(lower)
-            phi_ub = self._phi(upper)
-            if not schedule.initialized:
-                schedule.initialize(phi_lb, pi)
-                stopping.note_initial_pi(pi)
-            elif pi_prev is not None:
-                schedule.update(pi_prev, pi)
-            pi_prev = pi
-            lam = schedule.value
-            if checker is not None:
-                # The cap of Formula (12) only binds in the capped modes;
-                # SimPL's additive ramp may exceed 2x early on.
-                checker.after_lambda(
-                    k, lam, capped=config.lambda_mode in ("complx", "double"),
+                start_k = state.iteration + 1
+                logger.info("resumed %s from checkpoint at iteration %d",
+                            netlist.name, state.iteration)
+            else:
+                bounds = netlist.core.bounds
+                jitter = 0.005 * min(bounds.width, bounds.height)
+                lower = (
+                    initial.copy() if initial is not None
+                    else netlist.initial_placement(jitter=jitter,
+                                                   seed=config.seed)
                 )
-
-            history.append(
-                IterationRecord(
-                    iteration=k,
-                    lam=lam,
-                    phi_lower=phi_lb,
-                    phi_upper=phi_ub,
-                    pi=pi,
-                    lagrangian=phi_lb + lam * pi,
-                    overflow_percent=projected.overflow_percent,
-                    grid_bins=bins,
-                    cg_iterations=self._last_cg_iterations,
-                    runtime_seconds=time.perf_counter() - iter_start,
+                # Initial unconstrained interconnect optimization
+                # (lambda_0 = 0): a few re-linearized sweeps stabilize
+                # the B2B model.
+                self._last_cg_iterations = 0
+                for _ in range(max(config.init_sweeps, 1)):
+                    lower = self._primal_step(lower, anchor=None, lam=0.0)
+                if checker is not None:
+                    checker.after_init(lower)
+                state = _LoopState(
+                    lower=lower, upper=lower.copy(), schedule=schedule,
+                    stopping=stopping, history=RunHistory(),
+                    monitor=SelfConsistencyMonitor(), checker=checker,
                 )
-            )
-            if callback is not None:
-                callback(k, lower, upper)
-            logger.debug(
-                "iter %d: bins=%d Phi_lb=%.4g Phi_ub=%.4g Pi=%.4g "
-                "lambda=%.4g ovf=%.1f%%",
-                k, bins, phi_lb, phi_ub, pi, lam,
-                projected.overflow_percent,
-            )
+                start_k = 1
 
-            stop, reason = stopping.should_stop(k, phi_lb, phi_ub, pi)
-            if stop:
-                history.stop_reason = reason
-                break
+            stop = False
+            for k in range(start_k, config.max_iterations + 1):
+                if supervisor is not None and supervisor.deadline_exceeded():
+                    supervisor.early_exit(state, "deadline")
+                    stop = True
+                    break
+                fault_hooks.maybe_raise("loop.kill")
+                if supervisor is None:
+                    stop = self._run_iteration(k, state)
+                else:
+                    stop = supervisor.run_iteration(k, state)
+                    supervisor.update_best(state)
+                    if not stop:
+                        supervisor.maybe_checkpoint(state)
+                if stop:
+                    break
+            if not stop and not state.history.stop_reason:
+                state.history.stop_reason = "max_iterations"
+        finally:
+            self.supervisor = None
+            self.callback = None
 
-            lower = self._primal_step(lower, anchor=upper, lam=lam)
-            if checker is not None:
-                checker.after_primal(k, lower)
-        else:
-            history.stop_reason = "max_iterations"
-
+        history = state.history
         logger.info(
             "done in %d iterations (%s), final lambda=%.4g",
             history.iterations, history.stop_reason, history.final_lambda,
         )
+        extras: dict = {}
+        if supervisor is not None:
+            extras["resilience"] = supervisor.report()
+            if supervisor.log.events:
+                logger.info("%s", supervisor.log.summary())
         return GlobalPlacementResult(
-            lower=lower,
-            upper=upper,
+            lower=state.lower,
+            upper=state.upper,
             history=history,
-            consistency=monitor,
+            consistency=state.monitor,
             config=config,
             runtime_seconds=time.perf_counter() - start_time,
+            extras=extras,
         )
+
+    def _resume_state(
+        self,
+        resume_from: "str | Checkpoint",
+        checker: InvariantSuite | None,
+        schedule: LambdaSchedule,
+        stopping: StoppingRule,
+    ) -> "_LoopState":
+        """Rebuild the loop state from a checkpoint, verifying identity."""
+        from ..resilience.checkpoint import (
+            CheckpointMismatchError,
+            config_fingerprint,
+            load_checkpoint,
+        )
+
+        ckpt = (
+            load_checkpoint(resume_from) if isinstance(resume_from, str)
+            else resume_from
+        )
+        expected = config_fingerprint(self.config, self.netlist)
+        if ckpt.fingerprint != expected:
+            raise CheckpointMismatchError(
+                "checkpoint was written by a different config/netlist "
+                f"(checkpoint {ckpt.fingerprint[:12]}..., "
+                f"current {expected[:12]}...); refusing to resume"
+            )
+        state = _LoopState(
+            lower=ckpt.lower, upper=ckpt.upper, schedule=schedule,
+            stopping=stopping, history=RunHistory(),
+            monitor=SelfConsistencyMonitor(), checker=checker,
+        )
+        ckpt.restore_into(state)
+        if self.supervisor is not None:
+            self.supervisor.resumed_from = ckpt.iteration
+        return state
 
 
 def place(netlist: Netlist, config: ComPLxConfig | None = None,

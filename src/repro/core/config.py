@@ -12,11 +12,66 @@ from dataclasses import dataclass, replace
 
 __all__ = [
     "ComPLxConfig",
+    "ResilienceConfig",
     "default_config",
     "dp_every_iteration_config",
     "finest_grid_config",
+    "resilient_config",
     "simpl_config",
 ]
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs of the resilience runtime (:mod:`repro.resilience`).
+
+    Attaching an instance to :attr:`ComPLxConfig.resilience` runs the
+    placer under a Supervisor that recovers from faults instead of
+    aborting.  The default ``None`` keeps the unsupervised loop and its
+    bit-identical trajectory.
+
+    * ``max_retries`` — rollback/damped-retry budget per iteration for
+      numerical faults and invariant violations.
+    * ``lambda_damping`` — multiplicative damping of the lambda step on
+      each retry of a faulted iteration.
+    * ``cg_retries`` — regularized cold-start retries of a stalled or
+      non-SPD CG solve before falling back to ``cg_fallback_backend``.
+    * ``deadline_seconds`` — wall-clock budget for global placement;
+      when exceeded the run exits gracefully with the best-so-far
+      feasible placement (``None`` disables).
+    * ``checkpoint_every`` / ``checkpoint_path`` — write a versioned
+      checkpoint of the full optimizer state every N completed
+      iterations (0 disables) to ``checkpoint_path`` (atomic rolling
+      file; resume with ``ComPLxPlacer.place(resume_from=...)``).
+    """
+
+    max_retries: int = 3
+    lambda_damping: float = 0.5
+    cg_retries: int = 2
+    cg_fallback_backend: str = "scipy"
+    deadline_seconds: float | None = None
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.lambda_damping <= 1.0:
+            raise ValueError("lambda_damping must lie in (0, 1]")
+        if self.cg_retries < 0:
+            raise ValueError("cg_retries must be >= 0")
+        if self.cg_fallback_backend not in ("own", "scipy"):
+            raise ValueError(
+                f"unknown CG fallback backend {self.cg_fallback_backend!r}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError(
+                "checkpoint_every > 0 requires a checkpoint_path"
+            )
 
 
 @dataclass
@@ -120,6 +175,9 @@ class ComPLxConfig:
     # reproducibility
     seed: int = 0
 
+    # resilience runtime (None = unsupervised, bit-identical legacy loop)
+    resilience: ResilienceConfig | None = None
+
     def __post_init__(self) -> None:
         if self.net_model not in ("b2b", "clique", "star", "hybrid", "lse"):
             raise ValueError(f"unknown net model {self.net_model!r}")
@@ -156,6 +214,17 @@ def finest_grid_config(**overrides) -> ComPLxConfig:
 def dp_every_iteration_config(**overrides) -> ComPLxConfig:
     """Table 1 "P_C += FastPlace-DP": detailed-place every projection."""
     return ComPLxConfig(dp_each_iteration=True, **overrides)
+
+
+def resilient_config(**overrides) -> ComPLxConfig:
+    """Default config with the resilience runtime attached.
+
+    Keyword arguments beginning with no ``resilience`` are ComPLx
+    overrides; pass ``resilience=ResilienceConfig(...)`` explicitly to
+    tune retry budgets, deadlines or checkpointing.
+    """
+    overrides.setdefault("resilience", ResilienceConfig())
+    return ComPLxConfig(**overrides)
 
 
 def simpl_config(**overrides) -> ComPLxConfig:

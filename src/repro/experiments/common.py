@@ -53,9 +53,19 @@ class FlowResult:
     def total_seconds(self) -> float:
         return self.gp_seconds + self.dp_seconds
 
+    @property
+    def recovery_events(self) -> list[dict]:
+        """Recovery actions taken during global placement (supervised
+        runs only; empty otherwise)."""
+        if self.global_result is None:
+            return []
+        report = self.global_result.extras.get("resilience")
+        return report["events"] if report else []
+
 
 def make_placer(name: str, netlist: Netlist, gamma: float,
-                seed: int = 0, check_invariants: bool = False):
+                seed: int = 0, check_invariants: bool = False,
+                resilience=None):
     """Instantiate a registered placer by name.
 
     Names: ``complx`` (default config), ``complx_finest``, ``complx_dp``
@@ -64,9 +74,14 @@ def make_placer(name: str, netlist: Netlist, gamma: float,
 
     ``check_invariants`` enables the stage-boundary contracts of
     :mod:`repro.core.invariants` on the ComPLx variants (the baselines
-    do not run the ComPLx loop and ignore the flag).
+    do not run the ComPLx loop and ignore the flag).  ``resilience`` is
+    an optional :class:`~repro.core.config.ResilienceConfig`; when set
+    the ComPLx variants run supervised (fault recovery, deadlines,
+    checkpointing) and invariant violations become recoverable logged
+    events instead of hard aborts.
     """
-    knobs = dict(gamma=gamma, seed=seed, check_invariants=check_invariants)
+    knobs = dict(gamma=gamma, seed=seed, check_invariants=check_invariants,
+                 resilience=resilience)
     if name == "complx":
         return ComPLxPlacer(netlist, ComPLxConfig(**knobs))
     if name == "complx_finest":
@@ -108,9 +123,11 @@ def run_flow(
     gamma: float = 1.0,
     seed: int = 0,
     dp_rounds: int = 2,
+    resilience=None,
 ) -> FlowResult:
     """Global placement + legalization + detailed placement + metrics."""
-    placer = make_placer(placer_name, netlist, gamma, seed)
+    placer = make_placer(placer_name, netlist, gamma, seed,
+                         resilience=resilience)
     t0 = time.perf_counter()
     result = placer.place()
     gp_seconds = time.perf_counter() - t0

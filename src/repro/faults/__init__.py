@@ -1,0 +1,44 @@
+"""Deterministic, seedable fault injection for the placement flow.
+
+The chaos suite (and any soak harness) drives the placer through its
+recovery policies by arming *injectors* at instrumented hook sites:
+
+>>> from repro import faults
+>>> with faults.injected("cg.stall@2"):
+...     result = placer.place()          # doctest: +SKIP
+
+Sites and semantics are listed in :data:`repro.faults.plan.KNOWN_SITES`.
+Set ``REPRO_FAULTS="site@ordinal,..."`` in the environment to arm a
+plan process-wide (parsed once at import).  Without an installed plan
+every hook is a no-op and the flow's trajectory is unchanged.
+"""
+
+from .hooks import corrupt_placement, fire, maybe_raise
+from .plan import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SimulatedCrash,
+    active_plan,
+    clear,
+    injected,
+    install,
+    parse_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "SimulatedCrash",
+    "active_plan",
+    "clear",
+    "corrupt_placement",
+    "fire",
+    "injected",
+    "install",
+    "maybe_raise",
+    "parse_plan",
+]

@@ -1,0 +1,67 @@
+"""Hot-path hook functions called from instrumented flow code.
+
+These are the only fault-framework symbols the placer core, the CG
+solver and the legalizers import.  Each hook is a no-op returning
+immediately when no plan is installed, so instrumented code pays one
+``None`` check per call site and the zero-fault trajectory is
+bit-identical to an uninstrumented build.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from .plan import FaultSpec, InjectedFault, SimulatedCrash, active_plan
+
+__all__ = [
+    "corrupt_placement",
+    "fire",
+    "maybe_raise",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Exception class raised per site by :func:`maybe_raise`.
+_RAISES = {
+    "loop.kill": SimulatedCrash,
+    "cg.non_spd": ValueError,
+    "legalize.abacus": InjectedFault,
+    "legalize.tetris": InjectedFault,
+}
+
+
+def fire(site: str) -> FaultSpec | None:
+    """Register a hit at ``site``; returns the armed spec, if any."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    spec = plan.hit(site)
+    if spec is not None:
+        logger.warning("fault injected at %s (hit %d)", site,
+                       plan._hits[site])
+    return spec
+
+
+def maybe_raise(site: str) -> None:
+    """Raise the site's exception class if an injector is armed."""
+    spec = fire(site)
+    if spec is not None:
+        raise _RAISES[site](f"injected fault at {site}")
+
+
+def corrupt_placement(site: str, placement):
+    """Poke a seeded NaN into one movable coordinate when armed.
+
+    Returns the placement unchanged (same object) when the site is not
+    armed; otherwise returns a corrupted copy, never mutating the input.
+    """
+    spec = fire(site)
+    if spec is None:
+        return placement
+    out = placement.copy()
+    rng = np.random.default_rng(spec.seed)
+    idx = int(rng.integers(len(out)))
+    out.x[idx] = np.nan
+    return out

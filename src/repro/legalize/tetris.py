@@ -13,6 +13,7 @@ import logging
 import numpy as np
 
 from ..core.invariants import assert_legal
+from ..faults import hooks as fault_hooks
 from ..netlist import Netlist, Placement
 from .macros import legalize_macros, macro_obstacles
 from .rows import RowMap, snap_placement_to_sites
@@ -35,6 +36,7 @@ def tetris_legalize(
     ``check_invariants`` certifies the output with
     :func:`repro.core.invariants.assert_legal` before returning.
     """
+    fault_hooks.maybe_raise("legalize.tetris")
     out = legalize_macros(netlist, placement)
     rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
                     site_align=snap_sites)

@@ -1,5 +1,6 @@
 """Netlist data model, Bookshelf I/O and legality checking."""
 
+from .bookshelf import BookshelfError, BookshelfParseError, read_aux, write_aux
 from .builder import NetlistBuilder
 from .cells import CellKind, CellView
 from .geometry import Rect
@@ -8,6 +9,8 @@ from .rows import CoreArea, Row
 from .validate import LegalityReport, check_legal, find_overlaps, total_overlap_area
 
 __all__ = [
+    "BookshelfError",
+    "BookshelfParseError",
     "CellKind",
     "CellView",
     "CoreArea",
@@ -20,5 +23,7 @@ __all__ = [
     "Row",
     "check_legal",
     "find_overlaps",
+    "read_aux",
     "total_overlap_area",
+    "write_aux",
 ]

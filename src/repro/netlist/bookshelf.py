@@ -28,6 +28,7 @@ from .rows import CoreArea, Row
 
 __all__ = [
     "BookshelfError",
+    "BookshelfParseError",
     "read_aux",
     "write_aux",
 ]
@@ -37,23 +38,47 @@ class BookshelfError(ValueError):
     """Raised on malformed Bookshelf input."""
 
 
-def _content_lines(path: str) -> list[str]:
-    """Lines with comments and blank lines stripped (keeps header line)."""
+class BookshelfParseError(BookshelfError):
+    """Malformed Bookshelf input, located to a file and line.
+
+    ``path`` and ``line`` (1-based, ``None`` for file-level problems)
+    are attributes so callers — the CLI in particular — can render a
+    compiler-style ``file:line: message`` diagnostic.
+    """
+
+    def __init__(self, path: str, message: str,
+                 line: int | None = None) -> None:
+        self.path = path
+        self.line = line
+        location = f"{path}:{line}" if line is not None else path
+        super().__init__(f"{location}: {message}")
+
+
+def _content_lines(path: str) -> list[tuple[int, str]]:
+    """``(1-based line number, text)`` pairs with comments and blank
+    lines stripped (keeps the header line)."""
     out = []
     with open(path) as handle:
-        for raw in handle:
+        for lineno, raw in enumerate(handle, start=1):
             line = raw.split("#", 1)[0].strip()
             if line:
-                out.append(line)
+                out.append((lineno, line))
     return out
 
 
-def _header_value(line: str, key: str) -> int:
+def _header_value(path: str, lineno: int, line: str, key: str) -> int:
     """Parse ``Key : value`` headers such as ``NumNodes : 42``."""
     left, _, right = line.partition(":")
     if left.strip() != key:
-        raise BookshelfError(f"expected {key!r} header, got {line!r}")
-    return int(right.strip())
+        raise BookshelfParseError(
+            path, f"expected {key!r} header, got {line!r}", line=lineno
+        )
+    try:
+        return int(right.strip())
+    except ValueError:
+        raise BookshelfParseError(
+            path, f"non-integer {key} value {right.strip()!r}", line=lineno
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -69,34 +94,43 @@ class _RawNode:
 
 def _read_nodes(path: str) -> dict[str, _RawNode]:
     lines = _content_lines(path)
-    if not lines or not lines[0].startswith("UCLA nodes"):
-        raise BookshelfError(f"{path}: missing 'UCLA nodes' header")
+    if not lines or not lines[0][1].startswith("UCLA nodes"):
+        raise BookshelfParseError(path, "missing 'UCLA nodes' header", line=1)
     nodes: dict[str, _RawNode] = {}
     num_nodes = num_terminals = None
-    for line in lines[1:]:
+    for lineno, line in lines[1:]:
         if line.startswith("NumNodes"):
-            num_nodes = _header_value(line, "NumNodes")
+            num_nodes = _header_value(path, lineno, line, "NumNodes")
             continue
         if line.startswith("NumTerminals"):
-            num_terminals = _header_value(line, "NumTerminals")
+            num_terminals = _header_value(path, lineno, line, "NumTerminals")
             continue
         parts = line.split()
         if len(parts) < 3:
-            raise BookshelfError(f"{path}: bad node line {line!r}")
-        name, width, height = parts[0], float(parts[1]), float(parts[2])
+            raise BookshelfParseError(
+                path, f"bad node line {line!r}", line=lineno
+            )
+        try:
+            name, width, height = parts[0], float(parts[1]), float(parts[2])
+        except ValueError:
+            raise BookshelfParseError(
+                path, f"non-numeric node dimensions in {line!r}", line=lineno
+            ) from None
         terminal = len(parts) > 3 and parts[3].lower().startswith("terminal")
         if name in nodes:
-            raise BookshelfError(f"{path}: duplicate node {name!r}")
+            raise BookshelfParseError(
+                path, f"duplicate node {name!r}", line=lineno
+            )
         nodes[name] = _RawNode(width, height, terminal)
     if num_nodes is not None and len(nodes) != num_nodes:
-        raise BookshelfError(
-            f"{path}: NumNodes={num_nodes} but {len(nodes)} nodes parsed"
+        raise BookshelfParseError(
+            path, f"NumNodes={num_nodes} but {len(nodes)} nodes parsed"
         )
     if num_terminals is not None:
         found = sum(1 for n in nodes.values() if n.terminal)
         if found != num_terminals:
-            raise BookshelfError(
-                f"{path}: NumTerminals={num_terminals} but {found} parsed"
+            raise BookshelfParseError(
+                path, f"NumTerminals={num_terminals} but {found} parsed"
             )
     return nodes
 
@@ -104,25 +138,39 @@ def _read_nodes(path: str) -> dict[str, _RawNode]:
 def _read_nets(path: str) -> list[tuple[str, list[tuple[str, str, float, float]]]]:
     """Returns ``[(net name, [(cell, direction, dx, dy), ...]), ...]``."""
     lines = _content_lines(path)
-    if not lines or not lines[0].startswith("UCLA nets"):
-        raise BookshelfError(f"{path}: missing 'UCLA nets' header")
+    if not lines or not lines[0][1].startswith("UCLA nets"):
+        raise BookshelfParseError(path, "missing 'UCLA nets' header", line=1)
     nets: list[tuple[str, list[tuple[str, str, float, float]]]] = []
     i = 1
     while i < len(lines):
-        line = lines[i]
+        lineno, line = lines[i]
         if line.startswith(("NumNets", "NumPins")):
             i += 1
             continue
         if not line.startswith("NetDegree"):
-            raise BookshelfError(f"{path}: expected NetDegree, got {line!r}")
+            raise BookshelfParseError(
+                path, f"expected NetDegree, got {line!r}", line=lineno
+            )
         _, _, rest = line.partition(":")
         parts = rest.split()
-        degree = int(parts[0])
+        try:
+            degree = int(parts[0])
+        except (IndexError, ValueError):
+            raise BookshelfParseError(
+                path, f"bad NetDegree line {line!r}", line=lineno
+            ) from None
         net_name = parts[1] if len(parts) > 1 else f"n{len(nets)}"
         pins: list[tuple[str, str, float, float]] = []
         i += 1
         for _ in range(degree):
-            pin_parts = lines[i].split()
+            if i >= len(lines):
+                raise BookshelfParseError(
+                    path,
+                    f"net {net_name!r} declares {degree} pins but the "
+                    "file ends early", line=lineno,
+                )
+            pin_lineno, pin_line = lines[i]
+            pin_parts = pin_line.split()
             cell = pin_parts[0]
             direction = pin_parts[1] if len(pin_parts) > 1 and pin_parts[1] != ":" else "B"
             dx = dy = 0.0
@@ -130,7 +178,13 @@ def _read_nets(path: str) -> list[tuple[str, list[tuple[str, str, float, float]]
                 colon = pin_parts.index(":")
                 coords = pin_parts[colon + 1:]
                 if len(coords) >= 2:
-                    dx, dy = float(coords[0]), float(coords[1])
+                    try:
+                        dx, dy = float(coords[0]), float(coords[1])
+                    except ValueError:
+                        raise BookshelfParseError(
+                            path, f"non-numeric pin offset in {pin_line!r}",
+                            line=pin_lineno,
+                        ) from None
             pins.append((cell, direction, dx, dy))
             i += 1
         nets.append((net_name, pins))
@@ -143,12 +197,17 @@ def _read_wts(path: str, net_names: list[str]) -> np.ndarray:
         return weights
     lines = _content_lines(path)
     index = {n: i for i, n in enumerate(net_names)}
-    for line in lines:
+    for lineno, line in lines:
         if line.startswith("UCLA"):
             continue
         parts = line.split()
         if len(parts) >= 2 and parts[0] in index:
-            weights[index[parts[0]]] = float(parts[1])
+            try:
+                weights[index[parts[0]]] = float(parts[1])
+            except ValueError:
+                raise BookshelfParseError(
+                    path, f"non-numeric net weight in {line!r}", line=lineno
+                ) from None
     return weights
 
 
@@ -156,13 +215,18 @@ def _read_pl(path: str) -> dict[str, tuple[float, float, bool]]:
     """Returns ``{cell: (x lower-left, y lower-left, fixed)}``."""
     lines = _content_lines(path)
     placements: dict[str, tuple[float, float, bool]] = {}
-    for line in lines:
+    for lineno, line in lines:
         if line.startswith("UCLA"):
             continue
         parts = line.split()
         if len(parts) < 3:
             continue
-        name, x, y = parts[0], float(parts[1]), float(parts[2])
+        try:
+            name, x, y = parts[0], float(parts[1]), float(parts[2])
+        except ValueError:
+            raise BookshelfParseError(
+                path, f"non-numeric location in {line!r}", line=lineno
+            ) from None
         fixed = "/FIXED" in line.upper()
         placements[name] = (x, y, fixed)
     return placements
@@ -173,33 +237,42 @@ def _read_scl(path: str) -> CoreArea:
     rows: list[Row] = []
     i = 0
     while i < len(lines):
-        if not lines[i].startswith("CoreRow"):
+        if not lines[i][1].startswith("CoreRow"):
             i += 1
             continue
+        block_lineno = lines[i][0]
         coord = height = site_width = origin = num_sites = None
         i += 1
-        while i < len(lines) and lines[i] != "End":
-            key, _, value = lines[i].partition(":")
+        while i < len(lines) and lines[i][1] != "End":
+            lineno, line = lines[i]
+            key, _, value = line.partition(":")
             key = key.strip().lower()
             value = value.split()[0] if value.split() else "0"
-            if key == "coordinate":
-                coord = float(value)
-            elif key == "height":
-                height = float(value)
-            elif key in ("sitewidth", "sitespacing"):
-                if site_width is None or key == "sitewidth":
-                    site_width = float(value)
-            elif key == "subroworigin":
-                origin = float(value)
-                tail = lines[i].split()
-                if "NumSites" in tail:
-                    num_sites = int(tail[tail.index("NumSites") + 2])
-            elif key == "numsites":
-                num_sites = int(value)
+            try:
+                if key == "coordinate":
+                    coord = float(value)
+                elif key == "height":
+                    height = float(value)
+                elif key in ("sitewidth", "sitespacing"):
+                    if site_width is None or key == "sitewidth":
+                        site_width = float(value)
+                elif key == "subroworigin":
+                    origin = float(value)
+                    tail = line.split()
+                    if "NumSites" in tail:
+                        num_sites = int(tail[tail.index("NumSites") + 2])
+                elif key == "numsites":
+                    num_sites = int(value)
+            except (ValueError, IndexError):
+                raise BookshelfParseError(
+                    path, f"bad CoreRow field {line!r}", line=lineno
+                ) from None
             i += 1
         i += 1  # skip End
         if None in (coord, height, origin, num_sites):
-            raise BookshelfError(f"{path}: incomplete CoreRow block")
+            raise BookshelfParseError(
+                path, "incomplete CoreRow block", line=block_lineno
+            )
         rows.append(
             Row(
                 y=coord, height=height, x=origin,
@@ -207,7 +280,7 @@ def _read_scl(path: str) -> CoreArea:
             )
         )
     if not rows:
-        raise BookshelfError(f"{path}: no CoreRow blocks found")
+        raise BookshelfParseError(path, "no CoreRow blocks found")
     return CoreArea(rows=rows)
 
 
@@ -224,7 +297,9 @@ def read_aux(path: str) -> tuple[Netlist, Placement]:
     files = {os.path.splitext(f)[1]: os.path.join(base, f) for f in file_list.split()}
     for ext in (".nodes", ".nets", ".pl", ".scl"):
         if ext not in files:
-            raise BookshelfError(f"{path}: aux file lists no {ext} file")
+            raise BookshelfParseError(
+                path, f"aux file lists no {ext} file", line=1
+            )
 
     raw_nodes = _read_nodes(files[".nodes"])
     raw_nets = _read_nets(files[".nets"])
@@ -266,10 +341,15 @@ def read_aux(path: str) -> tuple[Netlist, Placement]:
     pin_dy = np.zeros(total)
     pin_is_driver = np.zeros(total, dtype=bool)
     cursor = 0
-    for _, pins in raw_nets:
+    for net_name, pins in raw_nets:
         driver_seen = False
         first = cursor
         for cell, direction, dx, dy in pins:
+            if cell not in index:
+                raise BookshelfError(
+                    f"{files['.nets']}: net {net_name!r} references "
+                    f"unknown node {cell!r}"
+                )
             pin_cell[cursor] = index[cell]
             pin_dx[cursor] = dx
             pin_dy[cursor] = dy

@@ -1,0 +1,49 @@
+"""Resilience runtime: recovery policies, checkpoint/resume, supervision.
+
+The placement flow survives faults instead of aborting: attach a
+:class:`~repro.core.config.ResilienceConfig` to a
+:class:`~repro.core.config.ComPLxConfig` and the placer runs every
+iteration under a :class:`~repro.resilience.supervisor.Supervisor` that
+applies typed, bounded-retry policies (see
+:mod:`repro.resilience.policies`), writes periodic checkpoints
+(:mod:`repro.resilience.checkpoint`) and records every recovery action
+(:mod:`repro.resilience.events`).  The chaos suite in
+``tests/test_resilience.py`` drives all of it through
+:mod:`repro.faults` injectors.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatchError,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .events import FAULT_CLASSES, RecoveryEvent, RecoveryLog
+from .policies import (
+    NumericalFault,
+    RecoveryExhausted,
+    legalize_with_fallback,
+    supervised_solve_spd,
+)
+from .supervisor import Supervisor
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "FAULT_CLASSES",
+    "NumericalFault",
+    "RecoveryEvent",
+    "RecoveryExhausted",
+    "RecoveryLog",
+    "Supervisor",
+    "config_fingerprint",
+    "legalize_with_fallback",
+    "load_checkpoint",
+    "save_checkpoint",
+    "supervised_solve_spd",
+]

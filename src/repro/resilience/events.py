@@ -1,0 +1,86 @@
+"""Typed recovery events: what faulted, what the runtime did about it.
+
+Every action a recovery policy takes is recorded as a
+:class:`RecoveryEvent` so runs stay auditable — the CLI prints a
+summary, experiments count events in their reports, and the chaos suite
+asserts on the exact sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_CLASSES",
+    "RecoveryEvent",
+    "RecoveryLog",
+]
+
+#: The fault taxonomy the policies are keyed by.
+FAULT_CLASSES = (
+    "cg_stall",          # CG solve returned converged=False
+    "cg_non_spd",        # CG solve raised: system not SPD
+    "numerical",         # NaN / escaped coordinates in an iterate
+    "invariant",         # stage-boundary InvariantViolation
+    "legalizer",         # a legalizer raised or produced illegal output
+    "deadline",          # per-run wall-clock budget exhausted
+)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action taken by the resilience runtime."""
+
+    fault: str            # one of FAULT_CLASSES
+    stage: str            # pipeline stage ("primal", "iteration", ...)
+    action: str           # "retry", "regularize", "fallback", "rollback",
+                          # "degrade", "early_exit", "exhausted"
+    iteration: int | None = None
+    attempt: int = 0
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"iter {self.iteration}" if self.iteration is not None else "-"
+        text = (f"[{self.fault}] {self.stage}/{where}: {self.action} "
+                f"(attempt {self.attempt})")
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+
+@dataclass
+class RecoveryLog:
+    """Ordered event log with per-fault-class counters."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def record(self, event: RecoveryEvent) -> RecoveryEvent:
+        self.events.append(event)
+        return event
+
+    def count(self, fault: str | None = None) -> int:
+        if fault is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.fault == fault)
+
+    def by_class(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.fault] = out.get(event.fault, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no recovery events"
+        parts = [f"{fault}={n}" for fault, n in sorted(self.by_class().items())]
+        return f"{len(self.events)} recovery event(s): " + ", ".join(parts)
+
+    def as_dicts(self) -> list[dict]:
+        return [
+            {
+                "fault": e.fault, "stage": e.stage, "action": e.action,
+                "iteration": e.iteration, "attempt": e.attempt,
+                "detail": e.detail,
+            }
+            for e in self.events
+        ]

@@ -1,0 +1,197 @@
+"""Typed, bounded-retry recovery policies.
+
+Each fault class maps to one policy with an explicit retry budget and a
+defined terminal behavior (see ``docs/resilience.md`` for the full
+table):
+
+==============  =============================================  ==================
+fault class     policy                                         terminal behavior
+==============  =============================================  ==================
+cg_stall        retry with proximal regularization + cold      accept best iterate
+                start, then fall back to the scipy backend     (logged)
+cg_non_spd      same ladder (regularization restores SPD)      RecoveryExhausted
+numerical       roll back to last good iterate, re-run the     RecoveryExhausted
+                primal step with a damped lambda
+invariant       same rollback/damped-retry ladder              RecoveryExhausted
+legalizer       degrade along the legalizer chain              re-raise last error
+                (abacus -> tetris) with a warning
+deadline        graceful early exit with the best-so-far       always succeeds
+                feasible placement
+==============  =============================================  ==================
+
+The policies live here (not in the hot modules) so the per-iteration
+path stays free of recovery branching unless a Supervisor is attached.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..netlist import Netlist, Placement
+from ..solvers.cg import CGResult, solve_spd
+from .events import RecoveryEvent, RecoveryLog
+
+__all__ = [
+    "NumericalFault",
+    "RecoveryExhausted",
+    "legalize_with_fallback",
+    "supervised_solve_spd",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class NumericalFault(RuntimeError):
+    """NaN or escaped coordinates detected in an optimizer iterate."""
+
+
+class RecoveryExhausted(RuntimeError):
+    """A recovery policy ran out of retries; the original fault chains."""
+
+
+# ---------------------------------------------------------------------------
+# CG solve policy
+# ---------------------------------------------------------------------------
+
+def supervised_solve_spd(
+    system,
+    warm: np.ndarray,
+    tol: float,
+    max_iter: int | None,
+    backend: str,
+    fallback_backend: str,
+    retries: int,
+    log: RecoveryLog,
+    iteration: int | None = None,
+) -> CGResult:
+    """Solve an SPD placement system under the CG recovery policy.
+
+    Attempt 0 is the ordinary warm-started solve.  Each retry adds
+    proximal regularization — weak anchors at the warm-start coordinates
+    with weight ``1e-6 * 10^attempt * max_diag`` — which restores strict
+    positive-definiteness and conditions a stalled system, and restarts
+    CG cold.  After ``retries`` regularized attempts the solve falls
+    back to ``fallback_backend``.  An unconverged fallback result is
+    accepted (best iterate) and logged; a fallback *error* raises
+    :class:`RecoveryExhausted`.
+    """
+    first_error: Exception | None = None
+    try:
+        solution = solve_spd(system.matrix, system.rhs, x0=warm, tol=tol,
+                             max_iter=max_iter, backend=backend)
+        if solution.converged:
+            return solution
+        fault = "cg_stall"
+        detail = (f"residual={solution.residual:.3g} after "
+                  f"{solution.iterations} iterations")
+    except ValueError as exc:
+        fault = "cg_non_spd"
+        detail = str(exc)
+        first_error = exc
+
+    diag = system.matrix.diagonal()
+    max_diag = float(diag.max()) if diag.size else 1.0
+    anchor = (np.asarray(warm, dtype=np.float64) if warm is not None
+              else np.zeros(system.size, dtype=np.float64))
+    for attempt in range(1, max(retries, 0) + 1):
+        log.record(RecoveryEvent(
+            fault=fault, stage="primal", action="regularize",
+            iteration=iteration, attempt=attempt, detail=detail,
+        ))
+        weight = 1e-6 * (10.0 ** (attempt - 1)) * max(max_diag, 1e-300)
+        system.add_anchors(
+            np.full(system.size, weight, dtype=np.float64), anchor,
+        )
+        try:
+            solution = solve_spd(system.matrix, system.rhs, x0=None, tol=tol,
+                                 max_iter=max_iter, backend=backend)
+        except ValueError as exc:
+            detail = str(exc)
+            continue
+        if solution.converged:
+            return solution
+        detail = (f"residual={solution.residual:.3g} after "
+                  f"{solution.iterations} iterations")
+
+    log.record(RecoveryEvent(
+        fault=fault, stage="primal", action="fallback",
+        iteration=iteration, attempt=max(retries, 0) + 1,
+        detail=f"backend={fallback_backend}",
+    ))
+    try:
+        solution = solve_spd(system.matrix, system.rhs, x0=None, tol=tol,
+                             max_iter=max_iter, backend=fallback_backend)
+    except ValueError as exc:
+        log.record(RecoveryEvent(
+            fault=fault, stage="primal", action="exhausted",
+            iteration=iteration, detail=str(exc),
+        ))
+        raise RecoveryExhausted(
+            f"CG recovery exhausted ({fault}): {exc}"
+        ) from (first_error or exc)
+    if not solution.converged:
+        log.record(RecoveryEvent(
+            fault=fault, stage="primal", action="accept_unconverged",
+            iteration=iteration,
+            detail=f"residual={solution.residual:.3g}",
+        ))
+        logger.warning(
+            "CG fallback (%s) still unconverged (residual %.3g); "
+            "accepting best iterate", fallback_backend, solution.residual,
+        )
+    return solution
+
+
+# ---------------------------------------------------------------------------
+# legalizer degradation policy
+# ---------------------------------------------------------------------------
+
+def legalize_with_fallback(
+    netlist: Netlist,
+    placement: Placement,
+    chain: Sequence[tuple[str, Callable[..., Placement]]],
+    check_invariants: bool = False,
+    log: RecoveryLog | None = None,
+) -> tuple[Placement, str]:
+    """Run legalizers in order until one succeeds.
+
+    ``chain`` is ``[(name, legalizer), ...]`` in preference order (e.g.
+    abacus first, tetris as the degraded fallback).  A legalizer that
+    raises — including an :class:`InvariantViolation` from its own
+    ``check_legal`` certification — triggers degradation to the next
+    entry with a warning.  When every entry fails the last error
+    re-raises wrapped in :class:`RecoveryExhausted`.
+
+    Returns ``(placement, name of the legalizer that succeeded)``.
+    """
+    if not chain:
+        raise ValueError("legalizer chain must not be empty")
+    log = log if log is not None else RecoveryLog()
+    last_error: Exception | None = None
+    for position, (name, legalizer) in enumerate(chain):
+        try:
+            legal = legalizer(netlist, placement,
+                              check_invariants=check_invariants)
+        except Exception as exc:
+            last_error = exc
+            has_next = position + 1 < len(chain)
+            log.record(RecoveryEvent(
+                fault="legalizer", stage="legalization",
+                action="degrade" if has_next else "exhausted",
+                attempt=position + 1, detail=f"{name}: {exc}",
+            ))
+            if has_next:
+                logger.warning(
+                    "legalizer %r failed (%s); degrading to %r",
+                    name, exc, chain[position + 1][0],
+                )
+            continue
+        if position > 0:
+            logger.warning("legalized with degraded legalizer %r", name)
+        return legal, name
+    raise RecoveryExhausted(
+        f"all legalizers failed (last: {last_error})"
+    ) from last_error

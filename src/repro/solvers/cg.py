@@ -18,6 +18,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..faults import hooks as fault_hooks
+
 
 @dataclass
 class CGResult:
@@ -119,6 +121,11 @@ def solve_spd(
     backend: str = "own",
 ) -> CGResult:
     """Solve an SPD system with the selected backend (``own``/``scipy``)."""
+    fault_hooks.maybe_raise("cg.non_spd")
+    if fault_hooks.fire("cg.stall") is not None:
+        stalled = (np.zeros(rhs.shape[0], dtype=np.float64) if x0 is None
+                   else np.array(x0, dtype=np.float64))
+        return CGResult(stalled, 0, float("inf"), False)
     if backend == "own":
         return jacobi_pcg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
     if backend == "scipy":

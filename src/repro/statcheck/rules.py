@@ -12,6 +12,8 @@ R5   no-print         ``print()`` in library code (CLI/experiments/viz exempt;
                       never baselinable)
 R6   public-api       missing ``__all__`` / untyped public signatures in
                       ``core/`` and ``netlist/``
+R7   broad-except     ``except Exception`` / bare ``except`` outside the
+                      recovery layer (``repro.resilience`` exempt)
 ===  ===============  ==========================================================
 
 All rules are pure AST passes; none import the modules they check.
@@ -26,6 +28,7 @@ from typing import Iterator
 from .engine import Finding, ModuleContext, Rule, register
 
 __all__ = [
+    "BroadExceptRule",
     "FloatEqualityRule",
     "HotLoopRule",
     "ImplicitDtypeRule",
@@ -132,7 +135,8 @@ class HotLoopRule(Rule):
                 continue
             try:
                 text = ast.unparse(iterable)
-            except Exception:  # pragma: no cover - unparse is total on 3.10+
+            # unparse is total on 3.10+; purely defensive.
+            except Exception:  # pragma: no cover  # statcheck: ignore[R7]
                 continue
             if _CELL_ITER.search(text):
                 anchor = node if isinstance(node, ast.For) else iterable
@@ -331,6 +335,59 @@ class NoPrintRule(Rule):
                     "print() in library code; use a module-level "
                     "logging logger",
                 )
+
+
+@register
+class BroadExceptRule(Rule):
+    """R7: broad exception handlers in flow code.
+
+    ``except Exception`` (including inside a tuple) and bare ``except``
+    silently swallow the faults the resilience runtime classifies and
+    recovers from — a NaN screen, an invariant violation or an injected
+    chaos fault caught by an over-broad handler never reaches the
+    Supervisor and its typed retry policies.  Flow code must catch the
+    specific exceptions it can actually handle.  Only
+    :mod:`repro.resilience` is exempt: the recovery layer is the single
+    place where catching everything is the point.
+    """
+
+    id = "R7"
+    name = "broad-except"
+    description = "except Exception / bare except outside repro.resilience"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.module.split(".")
+        tail = parts[1:] if parts and parts[0] == "repro" else parts
+        if tail and tail[0] == "resilience":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.id, node,
+                    "bare except swallows every fault (including "
+                    "KeyboardInterrupt); catch the exceptions this code "
+                    "can actually recover from",
+                )
+            elif self._is_broad(node.type):
+                yield ctx.finding(
+                    self.id, node,
+                    "except Exception hides faults from the resilience "
+                    "runtime; catch specific exception types (recovery "
+                    "policies belong in repro.resilience)",
+                )
+
+    @staticmethod
+    def _is_broad(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Tuple):
+            return any(BroadExceptRule._is_broad(e) for e in expr.elts)
+        name = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        return name in ("Exception", "BaseException")
 
 
 #: Packages whose modules must export __all__ and type their public API.

@@ -9,6 +9,7 @@ from repro import Placement
 from repro.models import hpwl
 from repro.netlist.bookshelf import (
     BookshelfError,
+    BookshelfParseError,
     _read_nodes,
     read_aux,
     write_aux,
@@ -152,3 +153,69 @@ class TestParsing:
         i = nl.cell_index("a")
         assert placement.x[i] == pytest.approx(12.0)  # 10 + 4/2
         assert placement.y[i] == pytest.approx(21.0)  # 20 + 2/2
+
+
+class TestParseErrors:
+    """BookshelfParseError carries file + line and renders a
+    compiler-style diagnostic; the CLI turns it into exit code 2."""
+
+    def test_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("UCLA nodes 1.0\na 2\n")
+        with pytest.raises(BookshelfParseError) as exc_info:
+            _read_nodes(str(path))
+        err = exc_info.value
+        assert err.path == str(path)
+        assert err.line == 2
+        assert str(err).startswith(f"{path}:2: ")
+
+    def test_is_a_bookshelf_error(self):
+        assert issubclass(BookshelfParseError, BookshelfError)
+
+    def test_non_numeric_dimensions(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("UCLA nodes 1.0\na two one\n")
+        with pytest.raises(BookshelfParseError, match="non-numeric"):
+            _read_nodes(str(path))
+
+    def test_file_level_error_has_no_line(self, tmp_path):
+        path = tmp_path / "x.nodes"
+        path.write_text("UCLA nodes 1.0\nNumNodes : 5\na 2 1\n")
+        with pytest.raises(BookshelfParseError) as exc_info:
+            _read_nodes(str(path))
+        assert exc_info.value.line is None
+        assert str(exc_info.value).startswith(str(path) + ": ")
+
+    def test_truncated_nets_file(self, design, tmp_path):
+        nl = design.netlist
+        aux = write_aux(nl, nl.initial_placement(), str(tmp_path))
+        nets_path = tmp_path / f"{nl.name}.nets"
+        lines = nets_path.read_text().splitlines()
+        nets_path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(BookshelfParseError, match="ends early"):
+            read_aux(aux)
+
+    def test_bad_netdegree_line(self, tmp_path):
+        path = tmp_path / "x.nets"
+        path.write_text("UCLA nets 1.0\nNetDegree : many n0\n")
+        from repro.netlist.bookshelf import _read_nets
+        with pytest.raises(BookshelfParseError, match="NetDegree"):
+            _read_nets(str(path))
+
+    def test_cli_reports_parse_error_and_exits_2(self, design, tmp_path,
+                                                 capsys):
+        from repro.cli import main as cli_main
+
+        nl = design.netlist
+        aux = write_aux(nl, nl.initial_placement(), str(tmp_path))
+        pl_path = tmp_path / f"{nl.name}.pl"
+        content = pl_path.read_text().splitlines()
+        content[3] = "brokencell not-a-number 7 : N"
+        pl_path.write_text("\n".join(content) + "\n")
+
+        code = cli_main(["place", aux, "--out", str(tmp_path / "out"),
+                         "--skip-detailed"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert f"{nl.name}.pl:4: " in err

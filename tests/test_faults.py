@@ -1,0 +1,159 @@
+"""Tests for the deterministic fault-injection framework (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SimulatedCrash,
+    parse_plan,
+)
+from repro.faults import hooks
+from repro.netlist import Placement
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("cg.stall")
+        assert (spec.at, spec.count, spec.seed) == (1, 1, 0)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("warp.core")
+
+    def test_zero_ordinal_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("cg.stall", at=0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cg.stall", count=0)
+
+
+class TestParsePlan:
+    def test_bare_site(self):
+        plan = parse_plan("cg.stall")
+        assert plan.specs[0] == FaultSpec("cg.stall", at=1)
+
+    def test_ordinal_count_seed(self):
+        plan = parse_plan("primal.nan@3*2:7")
+        assert plan.specs[0] == FaultSpec("primal.nan", at=3, count=2, seed=7)
+
+    def test_comma_separated(self):
+        plan = parse_plan("cg.stall@2, loop.kill@5")
+        assert [s.site for s in plan.specs] == ["cg.stall", "loop.kill"]
+
+    def test_seed_without_count(self):
+        plan = parse_plan("primal.nan@4:9")
+        assert plan.specs[0] == FaultSpec("primal.nan", at=4, seed=9)
+
+
+class TestHitCounting:
+    def test_fires_only_at_ordinal(self):
+        plan = FaultPlan((FaultSpec("cg.stall", at=3),))
+        assert plan.hit("cg.stall") is None
+        assert plan.hit("cg.stall") is None
+        assert plan.hit("cg.stall") is not None
+        assert plan.hit("cg.stall") is None
+
+    def test_sticky_fault_stays_armed(self):
+        plan = FaultPlan((FaultSpec("cg.stall", at=2, count=2),))
+        hits = [plan.hit("cg.stall") is not None for _ in range(4)]
+        assert hits == [False, True, True, False]
+
+    def test_sites_counted_independently(self):
+        plan = FaultPlan((FaultSpec("cg.stall", at=1),))
+        assert plan.hit("primal.nan") is None
+        assert plan.hit("cg.stall") is not None
+
+    def test_fired_log(self):
+        plan = FaultPlan((FaultSpec("cg.stall", at=2),))
+        plan.hit("cg.stall")
+        plan.hit("cg.stall")
+        assert plan.fired == [("cg.stall", 2)]
+
+    def test_reset_zeroes_counters(self):
+        plan = FaultPlan((FaultSpec("cg.stall", at=1),))
+        assert plan.hit("cg.stall") is not None
+        plan.reset()
+        assert plan.fired == []
+        assert plan.hit("cg.stall") is not None
+
+
+class TestActivation:
+    def test_injected_scopes_the_plan(self):
+        assert faults.active_plan() is None
+        with faults.injected("cg.stall@1") as plan:
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None
+
+    def test_injected_accepts_string_or_plan(self):
+        plan = parse_plan("cg.stall@1")
+        with faults.injected(plan) as active:
+            assert active is plan
+
+    def test_injected_resets_counters_on_entry(self):
+        plan = parse_plan("cg.stall@1")
+        with faults.injected(plan):
+            assert plan.hit("cg.stall") is not None
+        with faults.injected(plan):
+            # Counter starts over; ordinal 1 fires again.
+            assert plan.hit("cg.stall") is not None
+
+    def test_nested_plans_restore_previous(self):
+        outer = parse_plan("cg.stall@1")
+        inner = parse_plan("primal.nan@1")
+        with faults.injected(outer):
+            with faults.injected(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+
+
+class TestHooks:
+    def test_hooks_are_noops_without_plan(self):
+        assert faults.active_plan() is None
+        hooks.maybe_raise("cg.non_spd")
+        assert hooks.fire("cg.stall") is None
+
+    def test_corrupt_placement_returns_same_object_when_inactive(self):
+        p = Placement(np.zeros(4), np.zeros(4))
+        assert hooks.corrupt_placement("primal.nan", p) is p
+
+    def test_corrupt_placement_copies_and_pokes_nan(self):
+        p = Placement(np.zeros(4), np.zeros(4))
+        with faults.injected("primal.nan@1"):
+            out = hooks.corrupt_placement("primal.nan", p)
+        assert out is not p
+        assert np.isfinite(p.x).all()          # input untouched
+        assert np.isnan(out.x).sum() == 1
+
+    def test_corrupt_placement_seed_is_deterministic(self):
+        p = Placement(np.zeros(16), np.zeros(16))
+        outs = []
+        for _ in range(2):
+            with faults.injected("primal.nan@1:5"):
+                outs.append(hooks.corrupt_placement("primal.nan", p))
+        assert np.flatnonzero(np.isnan(outs[0].x)) \
+            == np.flatnonzero(np.isnan(outs[1].x))
+
+    def test_maybe_raise_site_exception_classes(self):
+        with faults.injected("cg.non_spd@1"):
+            with pytest.raises(ValueError):
+                hooks.maybe_raise("cg.non_spd")
+        with faults.injected("legalize.abacus@1"):
+            with pytest.raises(InjectedFault):
+                hooks.maybe_raise("legalize.abacus")
+        with faults.injected("loop.kill@1"):
+            with pytest.raises(SimulatedCrash):
+                hooks.maybe_raise("loop.kill")
+
+
+class TestSimulatedCrash:
+    def test_not_an_exception_subclass(self):
+        """A simulated SIGKILL must not be swallowable by any recovery
+        policy (which catch Exception subclasses at most)."""
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)

@@ -1,0 +1,496 @@
+"""Chaos suite for the resilience runtime.
+
+Every fault class gets one deterministic injector driven through the
+*real* placer; the assertions pin the recovery contract: the run
+completes, the recovery action is logged and typed, and the final
+placement still legalizes to within a few percent of the fault-free
+HPWL.  Checkpoint/resume is held to a much tighter bar: a killed and
+resumed run must reproduce the uninterrupted trajectory bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.core.config import ResilienceConfig, resilient_config
+from repro.faults import SimulatedCrash
+from repro.legalize import abacus_legalize, tetris_legalize
+from repro.models import hpwl
+from repro.netlist import check_legal
+from repro.resilience import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatchError,
+    RecoveryExhausted,
+    RecoveryLog,
+    config_fingerprint,
+    legalize_with_fallback,
+    load_checkpoint,
+    save_checkpoint,
+    supervised_solve_spd,
+)
+from repro.workloads import SyntheticSpec, generate
+
+
+@pytest.fixture(scope="module")
+def chaos_netlist():
+    spec = SyntheticSpec(
+        name="chaos", num_cells=180, num_pads=16,
+        num_fixed_macros=2, num_movable_macros=0, seed=42,
+    )
+    return generate(spec).netlist
+
+
+@pytest.fixture(scope="module")
+def reference(chaos_netlist):
+    """Fault-free run + certified legal placement (do not mutate)."""
+    result = ComPLxPlacer(chaos_netlist, ComPLxConfig(seed=1)).place()
+    legal = abacus_legalize(chaos_netlist, result.upper,
+                            check_invariants=True)
+    return result, legal, hpwl(chaos_netlist, legal)
+
+
+def _certified_hpwl(netlist, result):
+    """Legalize a chaos run's output and certify it before measuring."""
+    legal = abacus_legalize(netlist, result.upper)
+    report = check_legal(netlist, legal)
+    assert report.legal, report.summary()
+    return hpwl(netlist, legal)
+
+
+# ----------------------------------------------------------------------
+# the zero-fault contract
+# ----------------------------------------------------------------------
+class TestZeroFaultTrajectory:
+    def test_supervised_run_is_byte_identical(self, chaos_netlist, reference):
+        """With no faults injected, attaching the supervisor must not
+        change a single bit of the trajectory."""
+        ref, _, _ = reference
+        supervised = ComPLxPlacer(
+            chaos_netlist, resilient_config(seed=1)
+        ).place()
+        assert np.array_equal(ref.lower.x, supervised.lower.x)
+        assert np.array_equal(ref.lower.y, supervised.lower.y)
+        assert np.array_equal(ref.upper.x, supervised.upper.x)
+        assert np.array_equal(ref.upper.y, supervised.upper.y)
+        assert (
+            [r.lam for r in ref.history.records]
+            == [r.lam for r in supervised.history.records]
+        )
+        assert supervised.extras["resilience"]["events"] == []
+
+    def test_unsupervised_result_has_no_resilience_extras(self, reference):
+        ref, _, _ = reference
+        assert "resilience" not in ref.extras
+
+
+# ----------------------------------------------------------------------
+# one injector per fault class, through the real placer
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestChaosRecovery:
+    def test_nan_iterate_rolls_back_and_recovers(
+        self, chaos_netlist, reference
+    ):
+        _, _, h_ref = reference
+        with faults.injected("primal.nan@5"):
+            result = ComPLxPlacer(
+                chaos_netlist, resilient_config(seed=1)
+            ).place()
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"numerical": 1}
+        h = _certified_hpwl(chaos_netlist, result)
+        assert abs(h - h_ref) / h_ref < 0.05
+
+    def test_nan_with_invariants_classified_as_invariant(self, chaos_netlist):
+        """With the invariant suite armed, the NaN is caught by the
+        stage contract and recovered under the 'invariant' policy."""
+        with faults.injected("primal.nan@5"):
+            result = ComPLxPlacer(
+                chaos_netlist,
+                resilient_config(seed=1, check_invariants=True),
+            ).place()
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"invariant": 1}
+
+    def test_cg_stall_regularized_retry(self, chaos_netlist, reference):
+        _, _, h_ref = reference
+        # Hit 9 lands in the loop (6 init-sweep solves precede it).
+        with faults.injected("cg.stall@9"):
+            result = ComPLxPlacer(
+                chaos_netlist, resilient_config(seed=1)
+            ).place()
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"cg_stall": 1}
+        h = _certified_hpwl(chaos_netlist, result)
+        assert abs(h - h_ref) / h_ref < 0.05
+
+    def test_cg_non_spd_regularized_retry(self, chaos_netlist, reference):
+        _, _, h_ref = reference
+        with faults.injected("cg.non_spd@11"):
+            result = ComPLxPlacer(
+                chaos_netlist, resilient_config(seed=1)
+            ).place()
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"cg_non_spd": 1}
+        h = _certified_hpwl(chaos_netlist, result)
+        assert abs(h - h_ref) / h_ref < 0.05
+
+    def test_sticky_nan_survives_repeated_faults(self, chaos_netlist):
+        """Two consecutive corrupted attempts of the same iteration
+        still end in a certified-legal placement."""
+        with faults.injected("primal.nan@3*2:5"):
+            result = ComPLxPlacer(
+                chaos_netlist, resilient_config(seed=1)
+            ).place()
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"numerical": 2}
+        _certified_hpwl(chaos_netlist, result)
+
+    def test_retry_budget_exhaustion_raises(self, chaos_netlist):
+        """A fault stickier than the retry budget chains out of
+        RecoveryExhausted instead of looping forever."""
+        config = ComPLxConfig(
+            seed=1, resilience=ResilienceConfig(max_retries=2),
+        )
+        with faults.injected("primal.nan@3*10"):
+            with pytest.raises(RecoveryExhausted):
+                ComPLxPlacer(chaos_netlist, config).place()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_unsupervised_run_dies_on_nan(self, chaos_netlist):
+        """Without the supervisor the same fault corrupts the iterate:
+        the legacy loop has no NaN screen, so the projection blows up.
+        This is the failure mode the tentpole removes."""
+        with faults.injected("primal.nan@5"):
+            with pytest.raises(Exception):
+                result = ComPLxPlacer(
+                    chaos_netlist, ComPLxConfig(seed=1)
+                ).place()
+                # If the loop happens to run to completion, the NaN
+                # must still be present in the output — fail either way.
+                assert np.isfinite(result.lower.x).all()
+
+    def test_legalizer_chain_degrades_to_tetris(self, chaos_netlist,
+                                                reference):
+        ref, _, _ = reference
+        log = RecoveryLog()
+        chain = [("abacus", abacus_legalize), ("tetris", tetris_legalize)]
+        with faults.injected("legalize.abacus@1"):
+            legal, used = legalize_with_fallback(
+                chaos_netlist, ref.upper, chain, log=log,
+            )
+        assert used == "tetris"
+        assert log.count("legalizer") == 1
+        assert log.events[0].action == "degrade"
+        assert check_legal(chaos_netlist, legal).legal
+
+    def test_legalizer_chain_exhaustion_reraises(self, chaos_netlist,
+                                                 reference):
+        ref, _, _ = reference
+        chain = [("abacus", abacus_legalize), ("tetris", tetris_legalize)]
+        with faults.injected("legalize.abacus@1,legalize.tetris@1"):
+            with pytest.raises(RecoveryExhausted):
+                legalize_with_fallback(chaos_netlist, ref.upper, chain)
+
+    def test_deadline_returns_best_so_far(self, chaos_netlist):
+        import time as _time
+
+        config = ComPLxConfig(
+            seed=1, max_iterations=50,
+            resilience=ResilienceConfig(deadline_seconds=0.08),
+        )
+        slow = lambda k, lower, upper: _time.sleep(0.02)  # noqa: E731
+        result = ComPLxPlacer(chaos_netlist, config).place(callback=slow)
+        assert result.history.stop_reason == "deadline"
+        assert result.iterations < 50
+        counts = result.extras["resilience"]["event_counts"]
+        assert counts == {"deadline": 1}
+        _certified_hpwl(chaos_netlist, result)
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestCheckpointResume:
+    def _resilient(self, path, every=5):
+        return resilient_config(
+            seed=1,
+            resilience=ResilienceConfig(
+                checkpoint_every=every, checkpoint_path=str(path),
+            ),
+        )
+
+    def test_kill_and_resume_reproduces_trajectory(
+        self, chaos_netlist, reference, tmp_path
+    ):
+        """Simulated SIGKILL at iteration 13, resume from the rolling
+        checkpoint (iteration 10): bit-identical to the uninterrupted
+        run, which is far inside the required 1e-6 relative HPWL."""
+        ref, _, _ = reference
+        path = tmp_path / "chaos.ckpt.npz"
+        config = self._resilient(path)
+
+        with faults.injected("loop.kill@13"):
+            with pytest.raises(SimulatedCrash):
+                ComPLxPlacer(chaos_netlist, config).place()
+        assert path.exists()
+
+        resumed = ComPLxPlacer(chaos_netlist, config).place(
+            resume_from=str(path)
+        )
+        assert resumed.extras["resilience"]["resumed_from"] == 10
+        assert np.array_equal(ref.upper.x, resumed.upper.x)
+        assert np.array_equal(ref.upper.y, resumed.upper.y)
+        assert np.array_equal(ref.lower.x, resumed.lower.x)
+        h_ref = hpwl(chaos_netlist, ref.upper)
+        h_res = hpwl(chaos_netlist, resumed.upper)
+        assert abs(h_res - h_ref) <= 1e-6 * h_ref
+
+    def test_resume_restores_full_history(
+        self, chaos_netlist, reference, tmp_path
+    ):
+        ref, _, _ = reference
+        path = tmp_path / "chaos.ckpt.npz"
+        config = self._resilient(path)
+        with faults.injected("loop.kill@13"):
+            with pytest.raises(SimulatedCrash):
+                ComPLxPlacer(chaos_netlist, config).place()
+        resumed = ComPLxPlacer(chaos_netlist, config).place(
+            resume_from=str(path)
+        )
+        assert resumed.iterations == ref.iterations
+        assert resumed.history.stop_reason == ref.history.stop_reason
+        assert (
+            [r.lam for r in resumed.history.records]
+            == [r.lam for r in ref.history.records]
+        )
+
+    def test_checkpoint_roundtrip_preserves_state(
+        self, chaos_netlist, tmp_path
+    ):
+        path = tmp_path / "rt.ckpt.npz"
+        config = self._resilient(path, every=5)
+        ComPLxPlacer(chaos_netlist, config).place()
+        ckpt = load_checkpoint(str(path))
+        assert ckpt.iteration % 5 == 0
+        assert ckpt.fingerprint == config_fingerprint(config, chaos_netlist)
+        resaved = tmp_path / "resaved.ckpt.npz"
+        save_checkpoint(str(resaved), ckpt)
+        again = load_checkpoint(str(resaved))
+        assert again.iteration == ckpt.iteration
+        assert np.array_equal(again.lower.x, ckpt.lower.x)
+        assert np.array_equal(again.upper.y, ckpt.upper.y)
+        assert again.schedule == ckpt.schedule
+        assert again.stopping == ckpt.stopping
+        assert again.history == ckpt.history
+        assert again.pi_prev == ckpt.pi_prev
+
+    def test_no_tmp_file_left_behind(self, chaos_netlist, tmp_path):
+        path = tmp_path / "atomic.ckpt.npz"
+        ComPLxPlacer(chaos_netlist, self._resilient(path)).place()
+        assert path.exists()
+        assert not (tmp_path / "atomic.ckpt.npz.tmp").exists()
+
+    def test_fingerprint_mismatch_refused(self, chaos_netlist, tmp_path):
+        path = tmp_path / "mm.ckpt.npz"
+        ComPLxPlacer(chaos_netlist, self._resilient(path)).place()
+        other = resilient_config(
+            seed=1, gamma=0.9,
+            resilience=ResilienceConfig(
+                checkpoint_every=5, checkpoint_path=str(path),
+            ),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            ComPLxPlacer(chaos_netlist, other).place(resume_from=str(path))
+
+    def test_fingerprint_ignores_resilience_knobs(self, chaos_netlist):
+        base = ComPLxConfig(seed=1)
+        tuned = ComPLxConfig(
+            seed=1, resilience=ResilienceConfig(max_retries=9),
+        )
+        assert (config_fingerprint(base, chaos_netlist)
+                == config_fingerprint(tuned, chaos_netlist))
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        bad = tmp_path / "junk.npz"
+        bad.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(bad))
+
+
+# ----------------------------------------------------------------------
+# policy units
+# ----------------------------------------------------------------------
+class TestCGPolicy:
+    def _system(self, n=6):
+        """A real SPD system from the quadratic model builder."""
+        from repro.models.quadratic import build_system
+        spec = SyntheticSpec(name="cgp", num_cells=20, num_pads=4, seed=3)
+        netlist = generate(spec).netlist
+        placement = netlist.initial_placement(seed=0)
+        return build_system(netlist, placement, "x"), placement
+
+    def test_clean_solve_passes_through(self):
+        system, _ = self._system()
+        log = RecoveryLog()
+        solution = supervised_solve_spd(
+            system, None, tol=1e-6, max_iter=500, backend="own",
+            fallback_backend="scipy", retries=2, log=log,
+        )
+        assert solution.converged
+        assert log.events == []
+
+    def test_injected_stall_recovers_with_regularization(self):
+        system, _ = self._system()
+        log = RecoveryLog()
+        with faults.injected("cg.stall@1"):
+            solution = supervised_solve_spd(
+                system, None, tol=1e-6, max_iter=500, backend="own",
+                fallback_backend="scipy", retries=2, log=log,
+            )
+        assert solution.converged
+        assert [e.action for e in log.events] == ["regularize"]
+        assert log.events[0].fault == "cg_stall"
+
+    def test_persistent_stall_falls_back_then_accepts(self):
+        system, _ = self._system()
+        log = RecoveryLog()
+        # Stall every solve attempt: warm, 2 retries, and the fallback
+        # is a different backend so the 4th hit passes through to scipy.
+        with faults.injected("cg.stall@1*3"):
+            solution = supervised_solve_spd(
+                system, None, tol=1e-6, max_iter=500, backend="own",
+                fallback_backend="scipy", retries=2, log=log,
+            )
+        assert solution.converged
+        actions = [e.action for e in log.events]
+        assert actions == ["regularize", "regularize", "fallback"]
+
+
+class TestResilienceConfig:
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            ResilienceConfig(checkpoint_every=5)
+
+    def test_damping_bounds(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(lambda_damping=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(lambda_damping=1.5)
+
+    def test_unknown_fallback_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ResilienceConfig(cg_fallback_backend="cuda")
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(deadline_seconds=0.0)
+
+
+class TestRecoveryLog:
+    def test_summary_counts_by_class(self):
+        from repro.resilience import RecoveryEvent
+        log = RecoveryLog()
+        log.record(RecoveryEvent(fault="numerical", stage="iteration",
+                                 action="rollback", iteration=3))
+        log.record(RecoveryEvent(fault="cg_stall", stage="primal",
+                                 action="regularize"))
+        assert log.count("numerical") == 1
+        assert "numerical=1" in log.summary()
+        assert "cg_stall=1" in log.summary()
+
+    def test_as_dicts_is_json_ready(self):
+        import json
+        from repro.resilience import RecoveryEvent
+        log = RecoveryLog()
+        log.record(RecoveryEvent(fault="deadline", stage="iteration",
+                                 action="early_exit"))
+        assert json.dumps(log.as_dicts())
+
+
+# ----------------------------------------------------------------------
+# flow integration (experiments registry + CLI)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestFlowIntegration:
+    def test_make_placer_threads_resilience(self, chaos_netlist):
+        from repro.experiments.common import make_placer
+        placer = make_placer(
+            "complx", chaos_netlist, gamma=1.0, seed=1,
+            resilience=ResilienceConfig(max_retries=1),
+        )
+        assert placer.config.resilience.max_retries == 1
+
+    def test_run_flow_reports_recovery_events(self, chaos_netlist):
+        from repro.experiments.common import run_flow
+        with faults.injected("primal.nan@5"):
+            flow = run_flow(chaos_netlist, "complx", seed=1,
+                            resilience=ResilienceConfig())
+        assert len(flow.recovery_events) == 1
+        assert flow.recovery_events[0]["fault"] == "numerical"
+
+    def test_cli_checkpoint_resume_cycle(self, chaos_netlist, tmp_path,
+                                         capsys):
+        from repro.cli import main as cli_main
+        from repro.netlist.bookshelf import write_aux
+
+        aux = write_aux(chaos_netlist,
+                        chaos_netlist.initial_placement(seed=0),
+                        str(tmp_path / "design"), design="chaos")
+        out = str(tmp_path / "placed")
+        ckpt = os.path.join(out, "chaos.ckpt.npz")
+        base_args = ["place", aux, "--out", out, "--seed", "1",
+                     "--checkpoint-every", "5", "--skip-detailed"]
+
+        with faults.injected("loop.kill@8"):
+            with pytest.raises(SimulatedCrash):
+                cli_main(base_args)
+        assert os.path.exists(ckpt)
+
+        code = cli_main(base_args + ["--resume", ckpt])
+        assert code == 0
+        assert "global placement" in capsys.readouterr().out
+
+    def test_cli_fingerprint_mismatch_exits_2(self, chaos_netlist,
+                                              tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.netlist.bookshelf import write_aux
+
+        aux = write_aux(chaos_netlist,
+                        chaos_netlist.initial_placement(seed=0),
+                        str(tmp_path / "design"), design="chaos")
+        out = str(tmp_path / "placed")
+        ckpt = os.path.join(out, "chaos.ckpt.npz")
+        cli_main(["place", aux, "--out", out, "--seed", "1",
+                  "--checkpoint-every", "5", "--skip-detailed"])
+        capsys.readouterr()
+
+        code = cli_main(["place", aux, "--out", out, "--seed", "1",
+                         "--gamma", "0.9", "--skip-detailed",
+                         "--resume", ckpt])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "refusing to resume" in err
+
+    def test_cli_missing_checkpoint_exits_2(self, chaos_netlist, tmp_path,
+                                            capsys):
+        from repro.cli import main as cli_main
+        from repro.netlist.bookshelf import write_aux
+
+        aux = write_aux(chaos_netlist,
+                        chaos_netlist.initial_placement(seed=0),
+                        str(tmp_path / "design"), design="chaos")
+        code = cli_main(["place", aux, "--out", str(tmp_path / "p"),
+                         "--skip-detailed",
+                         "--resume", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -210,6 +210,49 @@ class TestPublicApi:
 
 
 # ----------------------------------------------------------------------
+# R7 broad-except
+# ----------------------------------------------------------------------
+class TestBroadExcept:
+    TRY = "try:\n    run()\n"
+
+    def test_fires_on_except_exception(self):
+        src = self.TRY + "except Exception:\n    pass\n"
+        findings = check_source(src, filename=COLD, enable=["R7"])
+        assert rules_of(findings) == ["R7"]
+        assert findings[0].line == 3
+
+    def test_fires_on_bare_except(self):
+        src = self.TRY + "except:\n    pass\n"
+        findings = check_source(src, filename=COLD, enable=["R7"])
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_fires_on_base_exception(self):
+        src = self.TRY + "except BaseException:\n    pass\n"
+        assert len(check_source(src, filename=COLD, enable=["R7"])) == 1
+
+    def test_fires_inside_tuple(self):
+        src = self.TRY + "except (ValueError, Exception):\n    pass\n"
+        assert len(check_source(src, filename=COLD, enable=["R7"])) == 1
+
+    def test_quiet_on_narrow_handlers(self):
+        src = (self.TRY
+               + "except ValueError:\n    pass\n"
+               + "except (KeyError, OSError) as exc:\n    raise\n")
+        assert check_source(src, filename=COLD, enable=["R7"]) == []
+
+    def test_resilience_package_is_exempt(self):
+        src = self.TRY + "except Exception:\n    pass\n"
+        exempt = "src/repro/resilience/supervisor.py"
+        assert check_source(src, filename=exempt, enable=["R7"]) == []
+
+    def test_pragma_suppresses(self):
+        src = (self.TRY
+               + "except Exception:  # statcheck: ignore[R7]\n    pass\n")
+        assert check_source(src, filename=COLD, enable=["R7"]) == []
+
+
+# ----------------------------------------------------------------------
 # engine: classification, pragmas, rule selection
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -232,7 +275,7 @@ class TestEngine:
 
     def test_registry_has_the_shipped_rules(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
 
     def test_select_rules_enable_disable(self):
         assert [r.id for r in select_rules(enable=["R1", "R3"])] == ["R1", "R3"]
@@ -379,7 +422,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert statcheck_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert rid in out
         assert "[no baseline]" in out
 
