@@ -1,0 +1,87 @@
+"""Telemetry tour: trace a placement run, inspect the metrics, and
+write artifacts you can open in a trace viewer.
+
+Walks through the three layers of ``repro.telemetry``:
+
+1. a ``Tracer`` capturing nested stage spans (wall + CPU time),
+2. a ``MetricsRegistry`` capturing counters/gauges and the
+   per-iteration λ/Π/Φ trajectories,
+3. export — span JSONL, a Chrome-trace JSON (open in
+   ``chrome://tracing`` or https://ui.perfetto.dev), a metrics CSV.
+
+    python examples/telemetry_tour.py [suite] [scale]
+"""
+
+import sys
+
+from repro import hpwl, load_suite, telemetry
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.core.convergence import trajectory_summary
+from repro.legalize import abacus_legalize
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "adaptec1_s"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+
+    design = load_suite(suite, scale=scale)
+    netlist = design.netlist
+    print(f"Loaded {netlist}")
+
+    # ------------------------------------------------------------------
+    # 1. Run the placer under a tracer + metrics registry.  Without
+    #    these context managers every telemetry.span(...) in the placer
+    #    returns a shared no-op singleton — zero overhead when disabled.
+    # ------------------------------------------------------------------
+    with telemetry.tracing() as tracer, telemetry.metrics() as registry:
+        placer = ComPLxPlacer(netlist, ComPLxConfig(seed=0))
+        result = placer.place()
+        legal = abacus_legalize(netlist, result.upper)
+
+    # ------------------------------------------------------------------
+    # 2. Stage timings: tracer.aggregate() folds every span into
+    #    per-stage statistics (inclusive wall time).
+    # ------------------------------------------------------------------
+    print("\nStage timings (inclusive):")
+    stats = tracer.aggregate()
+    width = max(len(name) for name in stats)
+    for name in sorted(stats, key=lambda n: -stats[n].total_s):
+        st = stats[name]
+        print(f"  {name:<{width}}  {st.total_s * 1e3:9.2f} ms "
+              f"over {st.count} span(s)")
+
+    # ------------------------------------------------------------------
+    # 3. Metrics: counters/gauges from the solvers and legalizer, plus
+    #    the per-iteration trajectories on result.metrics.
+    # ------------------------------------------------------------------
+    print("\nCounters:")
+    for name, value in sorted(registry.counters().items()):
+        print(f"  {name} = {value:g}")
+    print("Gauges:")
+    for name, value in sorted(registry.gauges().items()):
+        print(f"  {name} = {value:g}")
+
+    traj = result.metrics
+    lam = traj.series("lam").as_array()
+    pi = traj.series("pi").as_array()
+    print(f"\nTrajectories over {result.iterations} iterations:")
+    print(f"  lambda: {lam[0]:.4f} -> {lam[-1]:.4f}")
+    print(f"  Pi:     {pi[0]:.1f} -> {pi[-1]:.1f}")
+    print(f"  summary: {trajectory_summary(traj)}")
+
+    # ------------------------------------------------------------------
+    # 4. Artifacts.
+    # ------------------------------------------------------------------
+    tracer.write_chrome_trace("telemetry_tour_trace.json")
+    tracer.write_jsonl("telemetry_tour_spans.jsonl")
+    traj.write_csv("telemetry_tour_series.csv")
+    print("\nWrote telemetry_tour_trace.json "
+          "(open in chrome://tracing or ui.perfetto.dev),")
+    print("      telemetry_tour_spans.jsonl, telemetry_tour_series.csv")
+    print(f"\nGlobal HPWL {hpwl(netlist, result.upper):.1f}, "
+          f"legalized HPWL {hpwl(netlist, legal):.1f} — "
+          f"`python -m repro.bench` turns these into pinned baselines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .core.convergence import trajectory_summary
 from .models.hpwl import per_net_hpwl
 from .netlist import Netlist, Placement
 from .netlist.validate import check_legal
@@ -143,8 +144,14 @@ def analyze_placement(
     placement: Placement,
     gamma: float = 1.0,
     check_legality: bool = True,
+    metrics=None,
 ) -> PlacementReport:
-    """Full quality report for one placement."""
+    """Full quality report for one placement.
+
+    ``metrics`` optionally takes the run's telemetry registry
+    (``result.metrics``); its convergence endpoints (final lambda / Pi /
+    duality gap, iteration count) then land in ``report.extras``.
+    """
     lengths = net_length_stats(netlist, placement)
     density = density_stats(netlist, placement, gamma=gamma)
     if check_legality:
@@ -152,6 +159,11 @@ def analyze_placement(
         legal, summary = report.legal, report.summary()
     else:
         legal, summary = False, "not checked"
+    extras: dict = {}
+    if metrics is not None:
+        convergence = trajectory_summary(metrics)
+        if convergence:
+            extras["convergence"] = convergence
     return PlacementReport(
         netlist_name=netlist.name,
         num_cells=netlist.num_cells,
@@ -161,4 +173,5 @@ def analyze_placement(
         density=density,
         legal=legal,
         legality_summary=summary,
+        extras=extras,
     )

@@ -1,0 +1,27 @@
+"""Benchmark harness: reproducible perf + quality baselines.
+
+``python -m repro.bench --suite smoke --json BENCH_smoke.json`` runs
+the pinned-seed smoke suite, records per-stage median timings (from the
+telemetry tracer) and quality metrics, and writes a schema-validated
+``BENCH_<suite>.json``.  ``repro.bench compare old.json new.json``
+turns two such files into a regression gate.  See
+``docs/observability.md``.
+"""
+
+from .compare import Regression, compare_docs
+from .runner import run_case, run_suite
+from .schema import SCHEMA_VERSION, validate_bench
+from .suites import SUITES, BenchCase, bench_suite_names, get_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "BenchCase",
+    "Regression",
+    "bench_suite_names",
+    "compare_docs",
+    "get_suite",
+    "run_case",
+    "run_suite",
+    "validate_bench",
+]

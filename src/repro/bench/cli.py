@@ -1,0 +1,157 @@
+"""The ``python -m repro.bench`` command line.
+
+Three modes::
+
+    python -m repro.bench --suite smoke --json BENCH_smoke.json
+    python -m repro.bench compare BENCH_old.json BENCH_new.json --threshold 10
+    python -m repro.bench validate BENCH_smoke.json
+
+Exit codes: 0 success; 1 regression found (compare mode); 2 usage or
+schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .compare import DEFAULT_MIN_SECONDS, compare_docs
+from .runner import run_suite
+from .schema import validate_bench
+from .suites import bench_suite_names
+
+__all__ = ["main"]
+
+
+def _load_json(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _print_summary(doc: dict) -> None:
+    for wl in doc["workloads"]:
+        quality = wl["quality"]
+        total = wl["timings"].get("global_place", {}).get("median_s", 0.0)
+        print(f"  {wl['name']}@{wl['scale']}/{wl['placer']}: "
+              f"{quality['iterations']} iters, "
+              f"HPWL {quality['hpwl']:.4g}, "
+              f"lambda {quality['final_lambda']:.4g}, "
+              f"global_place median {total:.3f}s")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    doc = run_suite(args.suite, repeats=args.repeats, scale=args.scale,
+                    progress=print)
+    problems = validate_bench(doc)
+    if problems:
+        for problem in problems:
+            print(f"schema error: {problem}", file=sys.stderr)
+        return 2
+    with open(args.json, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.json}")
+    _print_summary(doc)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = _load_json(args.baseline)
+    candidate = _load_json(args.candidate)
+    for label, doc in (("baseline", baseline), ("candidate", candidate)):
+        problems = validate_bench(doc)
+        if problems:
+            for problem in problems:
+                print(f"{label} schema error: {problem}", file=sys.stderr)
+            return 2
+    regressions, notes = compare_docs(
+        baseline, candidate,
+        threshold_percent=args.threshold,
+        hpwl_threshold_percent=args.hpwl_threshold,
+        min_seconds=args.min_seconds,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) above "
+              f"{args.threshold:.0f}% (timing) / "
+              f"{args.hpwl_threshold:.0f}% (hpwl):")
+        for regression in regressions:
+            print(f"  {regression.render()}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        doc = _load_json(args.file)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_bench(doc)
+    if problems:
+        for problem in problems:
+            print(f"schema error: {problem}", file=sys.stderr)
+        return 2
+    workloads = doc["workloads"]
+    print(f"{args.file}: valid (suite {doc['suite']!r}, "
+          f"{len(workloads)} workload(s), {doc['repeats']} repeats)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Placement benchmark runner and regression gate.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_parser = sub.add_parser(
+        "run", help="run a bench suite and write BENCH_<suite>.json")
+    run_parser.add_argument("--suite", default="smoke",
+                            choices=bench_suite_names())
+    run_parser.add_argument("--json", default=None,
+                            help="output path "
+                                 "(default: BENCH_<suite>.json)")
+    run_parser.add_argument("--repeats", type=int, default=3,
+                            help="runs per workload; the median is kept")
+    run_parser.add_argument("--scale", type=float, default=None,
+                            help="override every case's workload scale")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="diff two bench files; exit 1 on regression")
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("candidate")
+    compare_parser.add_argument("--threshold", type=float, default=10.0,
+                                help="timing regression threshold, "
+                                     "percent (default 10)")
+    compare_parser.add_argument("--hpwl-threshold", type=float, default=2.0,
+                                help="HPWL regression threshold, "
+                                     "percent (default 2)")
+    compare_parser.add_argument("--min-seconds", type=float,
+                                default=DEFAULT_MIN_SECONDS,
+                                help="skip stages whose baseline median "
+                                     "is below this many seconds")
+    compare_parser.set_defaults(func=cmd_compare)
+
+    validate_parser = sub.add_parser(
+        "validate", help="check a bench file against the schema")
+    validate_parser.add_argument("file")
+    validate_parser.set_defaults(func=cmd_validate)
+
+    # `python -m repro.bench --suite smoke ...` (no subcommand) is the
+    # documented quick form; treat it as `run`.
+    if not argv or argv[0] not in ("run", "compare", "validate", "-h",
+                                   "--help"):
+        argv = ["run", *argv]
+    args = parser.parse_args(argv)
+    if args.command == "run" and args.json is None:
+        args.json = f"BENCH_{args.suite}.json"
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,108 @@
+"""Regression detection between two bench documents.
+
+``repro.bench compare BASELINE CANDIDATE`` pairs workloads by
+(name, scale, placer) and flags:
+
+* stage timing regressions — the candidate's median stage time exceeds
+  the baseline's by more than the threshold percentage (stages faster
+  than ``min_seconds`` in the baseline are skipped: their relative
+  error is all noise),
+* quality regressions — legalized HPWL grew by more than the quality
+  threshold (quality is deterministic under pinned seeds, so even small
+  growth is a real change).
+
+The CLI exits 1 when any regression is found, making the compare a
+CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Regression", "compare_docs"]
+
+#: Baseline stage medians below this many seconds are not compared.
+DEFAULT_MIN_SECONDS = 5e-3
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One detected regression (timing or quality)."""
+
+    workload: str
+    kind: str          # "timing" | "quality"
+    metric: str        # stage name or quality key
+    baseline: float
+    candidate: float
+    percent: float     # relative growth, in percent
+
+    def render(self) -> str:
+        return (f"{self.workload}: {self.kind} {self.metric} "
+                f"{self.baseline:.4g} -> {self.candidate:.4g} "
+                f"(+{self.percent:.1f}%)")
+
+
+def _key(wl: dict[str, Any]) -> tuple:
+    return (wl.get("name"), wl.get("scale"), wl.get("placer"))
+
+
+def compare_docs(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    threshold_percent: float = 10.0,
+    hpwl_threshold_percent: float = 2.0,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[list[Regression], list[str]]:
+    """Returns (regressions, notes).
+
+    ``notes`` reports workloads present on only one side — not failures,
+    but surfaced so a silently shrunk suite cannot masquerade as "no
+    regressions".
+    """
+    base_by_key = {_key(wl): wl for wl in baseline.get("workloads", [])}
+    cand_by_key = {_key(wl): wl for wl in candidate.get("workloads", [])}
+    regressions: list[Regression] = []
+    notes: list[str] = []
+
+    for key, base_wl in base_by_key.items():
+        cand_wl = cand_by_key.get(key)
+        name = f"{key[0]}@{key[1]}/{key[2]}"
+        if cand_wl is None:
+            notes.append(f"workload {name} missing from candidate")
+            continue
+
+        base_timings = base_wl.get("timings", {})
+        cand_timings = cand_wl.get("timings", {})
+        for stage, base_entry in base_timings.items():
+            base_s = float(base_entry.get("median_s", 0.0))
+            if base_s < min_seconds:
+                continue
+            cand_entry = cand_timings.get(stage)
+            if cand_entry is None:
+                notes.append(f"workload {name}: stage {stage!r} "
+                             f"missing from candidate")
+                continue
+            cand_s = float(cand_entry.get("median_s", 0.0))
+            percent = 100.0 * (cand_s - base_s) / base_s
+            if percent > threshold_percent:
+                regressions.append(Regression(
+                    workload=name, kind="timing", metric=stage,
+                    baseline=base_s, candidate=cand_s, percent=percent,
+                ))
+
+        base_hpwl = float(base_wl.get("quality", {}).get("hpwl", 0.0))
+        cand_hpwl = float(cand_wl.get("quality", {}).get("hpwl", 0.0))
+        if base_hpwl > 0:
+            percent = 100.0 * (cand_hpwl - base_hpwl) / base_hpwl
+            if percent > hpwl_threshold_percent:
+                regressions.append(Regression(
+                    workload=name, kind="quality", metric="hpwl",
+                    baseline=base_hpwl, candidate=cand_hpwl,
+                    percent=percent,
+                ))
+
+    for key in cand_by_key.keys() - base_by_key.keys():
+        notes.append(f"workload {key[0]}@{key[1]}/{key[2]} "
+                     f"not in baseline (new)")
+    return regressions, notes

@@ -1,0 +1,136 @@
+"""Bench runner: median-of-N stage timings + quality per workload.
+
+Each case runs ``repeats`` times with a fresh tracer and metrics
+registry installed; per-stage wall-clock totals come from the tracer's
+aggregate and the *median* across repeats is reported (robust to a
+single noisy run on shared CI hardware).  Seeds are pinned by the
+suite, so placement quality is identical across repeats and is read
+from the first run.
+"""
+
+from __future__ import annotations
+
+import statistics
+from datetime import datetime, timezone
+from typing import Any
+
+from .. import telemetry
+from ..core.convergence import trajectory_summary
+from ..experiments.common import make_placer
+from ..legalize import abacus_legalize
+from ..metrics import scaled_hpwl
+from ..models import hpwl
+from ..workloads import load_suite
+from .schema import REQUIRED_SERIES, SCHEMA_VERSION
+from .suites import BenchCase, get_suite
+
+__all__ = ["run_case", "run_suite"]
+
+
+def _one_run(case: BenchCase, netlist) -> tuple[dict[str, Any], Any, Any]:
+    """One traced placement+legalization; returns (stage totals, result,
+    legal placement)."""
+    placer = make_placer(case.placer, netlist, gamma=case.gamma,
+                         seed=case.seed)
+    with telemetry.tracing() as tracer, telemetry.metrics():
+        result = placer.place()
+        legal = abacus_legalize(netlist, result.upper)
+    totals = {name: stats for name, stats in tracer.aggregate().items()}
+    return totals, result, legal
+
+
+def run_case(case: BenchCase, repeats: int = 3) -> dict[str, Any]:
+    """Benchmark one case; returns its workload entry for the document."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    design = load_suite(case.workload, scale=case.scale)
+    netlist = design.netlist
+
+    per_run: list[dict[str, Any]] = []
+    first_result = None
+    first_legal = None
+    for i in range(repeats):
+        totals, result, legal = _one_run(case, netlist)
+        per_run.append(totals)
+        if i == 0:
+            first_result, first_legal = result, legal
+
+    # Median across repeats, stage by stage.  A stage absent from a run
+    # (e.g. a fallback that only fired once) counts as 0 there.
+    stages = sorted({name for totals in per_run for name in totals})
+    timings: dict[str, Any] = {}
+    for stage in stages:
+        runs = [
+            totals[stage].total_s if stage in totals else 0.0
+            for totals in per_run
+        ]
+        counts = [
+            totals[stage].count if stage in totals else 0
+            for totals in per_run
+        ]
+        timings[stage] = {
+            "median_s": statistics.median(runs),
+            "min_s": min(runs),
+            "max_s": max(runs),
+            "count": int(statistics.median(counts)),
+            "runs": runs,
+        }
+
+    registry = first_result.metrics
+    convergence = trajectory_summary(registry)
+    metric = scaled_hpwl(netlist, first_legal, case.gamma)
+    quality = {
+        "hpwl": float(hpwl(netlist, first_legal)),
+        "scaled_hpwl": float(metric.scaled),
+        "overflow_percent": float(metric.overflow_percent),
+        "iterations": int(first_result.iterations),
+        "final_lambda": float(first_result.final_lambda),
+        "final_pi": float(convergence.get("final_pi", 0.0)),
+    }
+    if "final_gap" in convergence:
+        quality["final_gap"] = float(convergence["final_gap"])
+
+    series = {
+        name: [float(v) for v in registry.series(name).values]
+        for name in REQUIRED_SERIES
+    }
+
+    return {
+        "name": case.workload,
+        "scale": case.scale,
+        "placer": case.placer,
+        "gamma": case.gamma,
+        "seed": case.seed,
+        "cells": int(netlist.num_cells),
+        "nets": int(netlist.num_nets),
+        "timings": timings,
+        "quality": quality,
+        "series": series,
+    }
+
+
+def run_suite(
+    suite: str,
+    repeats: int = 3,
+    scale: float | None = None,
+    progress=None,
+) -> dict[str, Any]:
+    """Run a named suite; returns the schema-valid bench document.
+
+    ``scale`` overrides every case's workload scale (test shrinkage);
+    ``progress`` is an optional ``callable(str)`` for status lines.
+    """
+    cases = get_suite(suite, scale=scale)
+    workloads = []
+    for case in cases:
+        if progress is not None:
+            progress(f"bench {case.workload} (scale {case.scale}, "
+                     f"placer {case.placer}, {repeats} repeats)...")
+        workloads.append(run_case(case, repeats=repeats))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "repeats": repeats,
+        "workloads": workloads,
+    }

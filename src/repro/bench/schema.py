@@ -1,0 +1,132 @@
+"""Schema of ``BENCH_<suite>.json`` and a hand-rolled validator.
+
+The repo vendors no JSON-schema library, so the contract is expressed
+as plain checks.  :data:`BENCH_SCHEMA` documents the shape; validation
+returns a list of human-readable problems (empty = valid) so callers
+can print them all at once instead of failing on the first.
+
+Top-level document::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "generated_at": "2026-08-06T12:00:00+00:00",
+      "repeats": 3,
+      "workloads": [ <workload>, ... ]          # >= 1 entries
+    }
+
+Each workload::
+
+    {
+      "name": "adaptec1_s", "scale": 0.1, "placer": "complx",
+      "gamma": 1.0, "seed": 0, "cells": 1220, "nets": 1439,
+      "timings": { "<stage>": {"median_s": f, "min_s": f, "max_s": f,
+                               "count": i, "runs": [f, ...]}, ... },
+      "quality": { "hpwl": f, "iterations": i, "final_lambda": f,
+                   "final_pi": f, "final_gap": f, "overflow_percent": f },
+      "series":  { "lam": [f...], "pi": [f...], "phi_upper": [f...] }
+    }
+
+``timings`` holds wall-clock stage totals (one entry per tracer span
+name, e.g. ``global_place``, ``projection``, ``primal``, ``cg_solve``,
+``legalize``); ``runs`` lists every repeat so medians can be recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "REQUIRED_SERIES", "validate_bench"]
+
+SCHEMA_VERSION = 1
+
+#: Per-iteration trajectories every workload entry must carry.
+REQUIRED_SERIES = ("lam", "pi", "phi_upper")
+
+_QUALITY_KEYS = ("hpwl", "iterations", "final_lambda", "final_pi")
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_timing(stage: str, entry: Any, where: str,
+                  problems: list[str]) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where}: timing {stage!r} is not an object")
+        return
+    for key in ("median_s", "min_s", "max_s"):
+        if not _is_num(entry.get(key)):
+            problems.append(
+                f"{where}: timing {stage!r} missing numeric {key!r}")
+    runs = entry.get("runs")
+    if not isinstance(runs, list) or not runs or not all(
+            _is_num(v) for v in runs):
+        problems.append(
+            f"{where}: timing {stage!r} needs a non-empty numeric 'runs'")
+
+
+def _check_workload(i: int, wl: Any, problems: list[str]) -> None:
+    where = f"workloads[{i}]"
+    if not isinstance(wl, dict):
+        problems.append(f"{where}: not an object")
+        return
+    for key, kind in (("name", str), ("placer", str)):
+        if not isinstance(wl.get(key), kind):
+            problems.append(f"{where}: missing {kind.__name__} {key!r}")
+    for key in ("scale", "gamma", "seed", "cells", "nets"):
+        if not _is_num(wl.get(key)):
+            problems.append(f"{where}: missing numeric {key!r}")
+
+    timings = wl.get("timings")
+    if not isinstance(timings, dict) or not timings:
+        problems.append(f"{where}: 'timings' must be a non-empty object")
+    else:
+        for stage, entry in timings.items():
+            _check_timing(stage, entry, where, problems)
+
+    quality = wl.get("quality")
+    if not isinstance(quality, dict):
+        problems.append(f"{where}: 'quality' must be an object")
+    else:
+        for key in _QUALITY_KEYS:
+            if not _is_num(quality.get(key)):
+                problems.append(f"{where}: quality missing numeric {key!r}")
+
+    series = wl.get("series")
+    if not isinstance(series, dict):
+        problems.append(f"{where}: 'series' must be an object")
+    else:
+        for name in REQUIRED_SERIES:
+            values = series.get(name)
+            if not isinstance(values, list) or not values or not all(
+                    _is_num(v) for v in values):
+                problems.append(
+                    f"{where}: series {name!r} must be a non-empty "
+                    f"list of numbers")
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """All schema violations in a bench document (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("suite"), str) or not doc.get("suite"):
+        problems.append("'suite' must be a non-empty string")
+    if not isinstance(doc.get("generated_at"), str):
+        problems.append("'generated_at' must be an ISO timestamp string")
+    repeats = doc.get("repeats")
+    if not isinstance(repeats, int) or isinstance(repeats, bool) \
+            or repeats < 1:
+        problems.append("'repeats' must be an integer >= 1")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        problems.append("'workloads' must be a non-empty list")
+    else:
+        for i, wl in enumerate(workloads):
+            _check_workload(i, wl, problems)
+    return problems

@@ -1,0 +1,60 @@
+"""Named benchmark suites: pinned workloads, seeds and repeat counts.
+
+A *suite* is a reproducible measurement plan: every case pins the
+synthetic workload, its scale, the placer variant, the target density
+and the RNG seed, so two bench runs on the same machine measure the
+same work and their timings are comparable.  ``smoke`` is sized for CI
+(a few seconds); ``standard`` is the local perf-tracking suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["BenchCase", "SUITES", "bench_suite_names", "get_suite"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned workload in a bench suite."""
+
+    workload: str          # synthetic suite name (repro.workloads)
+    scale: float           # workload scale factor
+    placer: str = "complx"  # placer registry name (experiments.common)
+    gamma: float = 1.0     # target density
+    seed: int = 0
+
+
+SUITES: dict[str, tuple[BenchCase, ...]] = {
+    # CI-sized: two ISPD-style workloads, seconds end to end.
+    "smoke": (
+        BenchCase(workload="adaptec1_s", scale=0.1),
+        BenchCase(workload="newblue1_s", scale=0.1, gamma=0.8),
+    ),
+    # Local perf tracking: bigger scales plus the LSE instantiation.
+    "standard": (
+        BenchCase(workload="adaptec1_s", scale=0.3),
+        BenchCase(workload="newblue1_s", scale=0.3, gamma=0.8),
+        BenchCase(workload="bigblue4_s", scale=0.2),
+        BenchCase(workload="adaptec1_s", scale=0.1, placer="complx_lse"),
+    ),
+}
+
+
+def bench_suite_names() -> list[str]:
+    return sorted(SUITES)
+
+
+def get_suite(name: str, scale: float | None = None) -> tuple[BenchCase, ...]:
+    """Cases of a named suite, optionally overriding every case's scale
+    (used by tests to shrink the run)."""
+    try:
+        cases = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {name!r}; "
+            f"choose from {bench_suite_names()}"
+        ) from None
+    if scale is not None:
+        cases = tuple(replace(c, scale=scale) for c in cases)
+    return cases

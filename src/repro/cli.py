@@ -17,11 +17,13 @@ new Bookshelf file set plus an optional SVG and quality report.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import logging
 import os
 import sys
 import time
 
+from . import telemetry
 from .analysis import analyze_placement
 from .core.config import ResilienceConfig
 from .detailed import DetailedPlacer
@@ -71,6 +73,15 @@ def _add_place_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", default=None, metavar="CKPT",
                         help="resume global placement from a checkpoint "
                              "written by --checkpoint-every")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record tracing spans for the whole flow; "
+                             ".jsonl writes one span per line, any other "
+                             "extension writes Chrome trace format "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write the run's telemetry metrics "
+                             "(per-iteration series, counters, gauges) "
+                             "as JSON")
 
 
 def _legalizer_chain(preferred: str) -> list[tuple[str, object]]:
@@ -82,7 +93,27 @@ def _legalizer_chain(preferred: str) -> list[tuple[str, object]]:
 
 
 def cmd_place(args: argparse.Namespace) -> int:
-    """Place a Bookshelf design end to end."""
+    """Place a Bookshelf design end to end (with optional telemetry)."""
+    with contextlib.ExitStack() as stack:
+        tracer = registry = None
+        if args.trace:
+            tracer = stack.enter_context(telemetry.tracing())
+        if args.metrics_json:
+            registry = stack.enter_context(telemetry.metrics())
+        code = _place_flow(args)
+    if registry is not None:
+        registry.write_json(args.metrics_json)
+        print(f"wrote {args.metrics_json}")
+    if tracer is not None:
+        if args.trace.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace)
+        else:
+            tracer.write_chrome_trace(args.trace)
+        print(f"wrote {args.trace}")
+    return code
+
+
+def _place_flow(args: argparse.Namespace) -> int:
     netlist, initial = read_aux(args.aux)
     print(f"loaded {netlist}")
     checkpoint_path = args.checkpoint_path
@@ -112,6 +143,13 @@ def cmd_place(args: argparse.Namespace) -> int:
     gp_seconds = time.perf_counter() - t0
     print(f"global placement: {result.history.summary()} "
           f"[{gp_seconds:.1f}s]")
+    registry = telemetry.get_metrics()
+    if registry is not None:
+        # Adopt the run's per-iteration series next to the cross-stage
+        # counters/gauges the solvers and legalizers recorded.
+        registry.merge(result.metrics)
+        registry.meta["netlist"] = netlist.name
+        registry.meta["placer"] = args.placer
     report = getattr(result, "extras", {}).get("resilience")
     if report and report["events"]:
         print(f"recovery: {report['summary']}")
@@ -137,7 +175,8 @@ def cmd_place(args: argparse.Namespace) -> int:
     print(f"legalization+DP: HPWL {hpwl(netlist, final):.1f} "
           f"[{time.perf_counter() - t1:.1f}s]")
 
-    report = analyze_placement(netlist, final, gamma=args.gamma)
+    report = analyze_placement(netlist, final, gamma=args.gamma,
+                               metrics=result.metrics)
     print(report.render())
 
     aux = write_aux(netlist, final, args.out,

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from .. import telemetry
 from ..faults import hooks as fault_hooks
 from ..models.hpwl import weighted_hpwl
 from ..models.logsumexp import lse_wirelength
@@ -72,6 +73,9 @@ class GlobalPlacementResult:
     config: ComPLxConfig
     runtime_seconds: float = 0.0
     extras: dict = field(default_factory=dict)
+    _metrics: "telemetry.MetricsRegistry | None" = field(
+        init=False, default=None, repr=False,
+    )
 
     @property
     def final_lambda(self) -> float:
@@ -80,6 +84,21 @@ class GlobalPlacementResult:
     @property
     def iterations(self) -> int:
         return self.history.iterations
+
+    @property
+    def metrics(self) -> "telemetry.MetricsRegistry":
+        """Telemetry view of the run: per-iteration series (``lam``,
+        ``pi``, ``phi_lower``, ``phi_upper``, ``lagrangian``,
+        ``duality_gap``, ...) plus summary gauges.  Built lazily from
+        the history, so rollback/restore of the record list is always
+        reflected on first access."""
+        if self._metrics is None:
+            registry = self.history.to_metrics()
+            registry.gauge("runtime_seconds").set(self.runtime_seconds)
+            registry.gauge("iterations").set(self.history.iterations)
+            registry.gauge("final_lambda").set(self.history.final_lambda)
+            self._metrics = registry
+        return self._metrics
 
 
 @dataclass
@@ -202,10 +221,11 @@ class ComPLxPlacer:
         """One linearized-quadratic primal step (both axes)."""
         out = current.copy()
         for axis in ("x", "y"):
-            system = build_system(
-                self.netlist, current, axis,
-                model=self.config.net_model, eps=self._b2b_eps,
-            )
+            with telemetry.span("b2b_build", axis=axis):
+                system = build_system(
+                    self.netlist, current, axis,
+                    model=self.config.net_model, eps=self._b2b_eps,
+                )
             if anchor is not None and lam > 0:
                 self._add_anchors(system, current, anchor, lam, axis)
             self._regularize(system, axis)
@@ -322,14 +342,21 @@ class ComPLxPlacer:
         place), so a Supervisor can snapshot references before the call
         and roll back on a fault.
         """
+        with telemetry.span("iteration", k=k) as sp:
+            stop = self._iteration_body(k, st, sp)
+        return stop
+
+    def _iteration_body(self, k: int, st: "_LoopState", sp) -> bool:
         netlist = self.netlist
         config = self.config
         iter_start = time.perf_counter()
         self._last_cg_iterations = 0
         bins = self._grid_bins(k - 1)
-        projected = self.projection(
-            st.lower, nx=bins, ny=bins, keep_view=st.checker is not None,
-        )
+        with telemetry.span("projection", k=k, bins=bins):
+            projected = self.projection(
+                st.lower, nx=bins, ny=bins,
+                keep_view=st.checker is not None,
+            )
         st.upper = projected.placement
         if config.dp_each_iteration and self.detailed_placer is not None:
             st.upper = self.detailed_placer(st.upper)
@@ -384,6 +411,10 @@ class ComPLxPlacer:
                 runtime_seconds=time.perf_counter() - iter_start,
             )
         )
+        sp.annotate("bins", bins)
+        sp.annotate("pi", pi)
+        sp.annotate("lam", lam)
+        sp.annotate("phi_upper", phi_ub)
         if self.callback is not None:
             self.callback(k, st.lower, st.upper)
         logger.debug(
@@ -399,7 +430,8 @@ class ComPLxPlacer:
             st.iteration = k
             return True
 
-        st.lower = self._primal_step(st.lower, anchor=st.upper, lam=lam)
+        with telemetry.span("primal", k=k, model=config.net_model):
+            st.lower = self._primal_step(st.lower, anchor=st.upper, lam=lam)
         st.lower = fault_hooks.corrupt_placement("primal.nan", st.lower)
         if st.checker is not None:
             # The invariant suite's finite-coordinate contract owns the
@@ -464,7 +496,11 @@ class ComPLxPlacer:
             max_iterations=config.max_iterations,
         )
 
+        place_span = telemetry.span(
+            "global_place", netlist=netlist.name, cells=netlist.num_cells,
+        )
         try:
+            place_span.__enter__()
             if resume_from is not None:
                 state = self._resume_state(
                     resume_from, checker, schedule, stopping,
@@ -484,8 +520,10 @@ class ComPLxPlacer:
                 # (lambda_0 = 0): a few re-linearized sweeps stabilize
                 # the B2B model.
                 self._last_cg_iterations = 0
-                for _ in range(max(config.init_sweeps, 1)):
-                    lower = self._primal_step(lower, anchor=None, lam=0.0)
+                with telemetry.span("init_sweeps",
+                                    sweeps=max(config.init_sweeps, 1)):
+                    for _ in range(max(config.init_sweeps, 1)):
+                        lower = self._primal_step(lower, anchor=None, lam=0.0)
                 if checker is not None:
                     checker.after_init(lower)
                 state = _LoopState(
@@ -514,6 +552,7 @@ class ComPLxPlacer:
             if not stop and not state.history.stop_reason:
                 state.history.stop_reason = "max_iterations"
         finally:
+            place_span.__exit__(None, None, None)
             self.supervisor = None
             self.callback = None
 

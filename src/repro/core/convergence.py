@@ -23,11 +23,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..netlist import Placement
+from ..telemetry import MetricsRegistry
 
 __all__ = [
     "SelfConsistencyMonitor",
     "StoppingRule",
     "l1_distance",
+    "trajectory_summary",
 ]
 
 
@@ -36,6 +38,36 @@ def l1_distance(a: Placement, b: Placement, movable: np.ndarray) -> float:
     return float(
         (np.abs(a.x - b.x) + np.abs(a.y - b.y))[movable].sum()
     )
+
+
+def trajectory_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Endpoint statistics of a run's telemetry series.
+
+    Consumes a :class:`~repro.telemetry.MetricsRegistry` (usually
+    ``result.metrics``) and distills the convergence trajectory into the
+    scalars the bench harness and figure scripts report: final lambda /
+    Pi / Phi bounds, the relative duality gap, and how far Pi fell from
+    its initial value.  Returns an empty dict for a run with no
+    iterations.
+    """
+    if not registry.has_series("lam") or len(registry.series("lam")) == 0:
+        return {}
+    lam = registry.series("lam")
+    pi = registry.series("pi")
+    phi_lb = registry.series("phi_lower")
+    phi_ub = registry.series("phi_upper")
+    out = {
+        "iterations": float(len(lam)),
+        "final_lambda": lam.last,
+        "final_pi": pi.last,
+        "final_phi_lower": phi_lb.last,
+        "final_phi_upper": phi_ub.last,
+    }
+    if phi_ub.last > 0:
+        out["final_gap"] = max(phi_ub.last - phi_lb.last, 0.0) / phi_ub.last
+    if pi.values and pi.values[0] > 0:
+        out["pi_reduction"] = pi.last / pi.values[0]
+    return out
 
 
 @dataclass

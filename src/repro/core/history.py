@@ -1,17 +1,31 @@
-"""Per-iteration records of a ComPLx run.
+"""Per-iteration records of a ComPLx run (compatibility shim).
+
+.. deprecated::
+    :class:`RunHistory` is the legacy recording API.  The canonical
+    store for per-iteration trajectories is now a
+    :class:`repro.telemetry.MetricsRegistry` — reach it through
+    ``result.metrics`` (:attr:`GlobalPlacementResult.metrics
+    <repro.core.complx.GlobalPlacementResult.metrics>`), whose named
+    series (``lam``, ``pi``, ``phi_lower``, ...) carry exactly the
+    fields below.  ``RunHistory`` remains as a thin shim because the
+    checkpoint format and the supervisor's rollback transact on its
+    record list; :meth:`RunHistory.series` and :meth:`RunHistory.to_csv`
+    emit :class:`DeprecationWarning` and delegate to the registry.
 
 Figure 1 of the paper plots the progressions of L (total Lagrangian),
 Phi (interconnect) and Pi (L1 distance to legal) over iterations; Figure 3
-plots final lambda and iteration counts.  :class:`RunHistory` captures
+plots final lambda and iteration counts.  The telemetry series capture
 everything those plots need, plus grid/solver diagnostics.
 """
 
 from __future__ import annotations
 
-import csv
+import warnings
 from dataclasses import dataclass, field, fields
 
 import numpy as np
+
+from ..telemetry import MetricsRegistry
 
 __all__ = [
     "IterationRecord",
@@ -39,9 +53,20 @@ class IterationRecord:
         return self.phi_upper - self.phi_lower
 
 
+#: Registry series derived from each record (all fields but the index).
+SERIES_FIELDS = tuple(
+    f.name for f in fields(IterationRecord) if f.name != "iteration"
+)
+
+
 @dataclass
 class RunHistory:
-    """Ordered iteration records with convenience extractors."""
+    """Ordered iteration records with convenience extractors.
+
+    .. deprecated:: use ``result.metrics`` (a
+        :class:`~repro.telemetry.MetricsRegistry`) for series access;
+        this class persists as the checkpoint/rollback data carrier.
+    """
 
     records: list[IterationRecord] = field(default_factory=list)
     stop_reason: str = ""
@@ -55,12 +80,42 @@ class RunHistory:
     def __getitem__(self, i: int) -> IterationRecord:
         return self.records[i]
 
+    def to_metrics(self) -> MetricsRegistry:
+        """The telemetry view: one registry series per record field.
+
+        Built fresh on every call — the record list stays authoritative
+        (checkpoint restore and supervisor rollback splice it directly),
+        so the registry is always derived, never stale.
+        """
+        registry = MetricsRegistry()
+        for name in SERIES_FIELDS:
+            series = registry.series(name)
+            for record in self.records:
+                series.record(record.iteration, getattr(record, name))
+        gap = registry.series("duality_gap")
+        for record in self.records:
+            gap.record(record.iteration, record.duality_gap)
+        if self.stop_reason:
+            registry.meta["stop_reason"] = self.stop_reason
+        return registry
+
     def series(self, name: str) -> np.ndarray:
-        """Numpy array of one field across iterations (e.g. ``'pi'``)."""
-        # Mixed int/float fields; numpy picks the natural dtype.
-        return np.array(  # statcheck: ignore[R3]
-            [getattr(r, name) for r in self.records]
+        """Numpy array of one field across iterations (e.g. ``'pi'``).
+
+        .. deprecated:: use ``result.metrics.series(name).as_array()``.
+        """
+        warnings.warn(
+            "RunHistory.series() is deprecated; use "
+            "result.metrics.series(name).as_array() "
+            "(repro.telemetry.MetricsRegistry)",
+            DeprecationWarning, stacklevel=2,
         )
+        if name == "iteration":
+            # Mixed int/float fields; numpy picks the natural dtype.
+            return np.array(  # statcheck: ignore[R3]
+                [r.iteration for r in self.records]
+            )
+        return self.to_metrics().series(name).as_array()
 
     @property
     def final_lambda(self) -> float:
@@ -71,13 +126,16 @@ class RunHistory:
         return len(self.records)
 
     def to_csv(self, path: str) -> None:
-        """Dump the records for external plotting."""
-        names = [f.name for f in fields(IterationRecord)]
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(names)
-            for record in self.records:
-                writer.writerow([getattr(record, n) for n in names])
+        """Dump the records for external plotting.
+
+        .. deprecated:: use ``result.metrics.write_csv(path)``.
+        """
+        warnings.warn(
+            "RunHistory.to_csv() is deprecated; use "
+            "result.metrics.write_csv(path)",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.to_metrics().write_csv(path, series_names=list(SERIES_FIELDS))
 
     def summary(self) -> str:
         if not self.records:

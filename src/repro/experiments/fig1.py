@@ -32,14 +32,14 @@ def run_fig1(
     design = load_design(suite, scale)
     placer = ComPLxPlacer(design.netlist, ComPLxConfig())
     result = placer.place()
-    history = result.history
+    registry = result.metrics
 
     out = results_dir(out_dir)
-    history.to_csv(os.path.join(out, "fig1_history.csv"))
+    registry.write_csv(os.path.join(out, "fig1_history.csv"))
     series = {
-        "L (Lagrangian)": history.series("lagrangian"),
-        "Phi (interconnect)": history.series("phi_lower"),
-        "Pi (dist to legal)": history.series("pi"),
+        "L (Lagrangian)": registry.series("lagrangian").as_array(),
+        "Phi (interconnect)": registry.series("phi_lower").as_array(),
+        "Pi (dist to legal)": registry.series("pi").as_array(),
     }
     line_chart_svg(
         series, os.path.join(out, "fig1_convergence.svg"),
@@ -50,10 +50,11 @@ def run_fig1(
 
 def shape_checks(result) -> dict[str, bool]:
     """The qualitative claims Figure 1 makes, as booleans."""
-    h = result.history
-    lagr = h.series("lagrangian")
-    phi = h.series("phi_lower")
-    pi = h.series("pi")
+    registry = result.metrics
+    lagr = registry.series("lagrangian").as_array()
+    phi = registry.series("phi_lower").as_array()
+    phi_ub = registry.series("phi_upper").as_array()
+    pi = registry.series("pi").as_array()
     third = max(len(lagr) // 3, 1)
     return {
         # L increases steeply early (first third gains most of the rise).
@@ -63,24 +64,22 @@ def shape_checks(result) -> dict[str, bool]:
         # Phi gradually increases.
         "phi_increases": phi[-1] > phi[0],
         # Weak duality: Phi_lb <= Phi_ub every iteration.
-        "weak_duality": bool(
-            np.all(h.series("phi_lower") <= h.series("phi_upper") + 1e-6)
-        ),
+        "weak_duality": bool(np.all(phi <= phi_ub + 1e-6)),
     }
 
 
 def main(scale: float = 0.1, out_dir: str | None = None) -> None:
     """Run the experiment and print the paper-shape checks."""
     result = run_fig1(scale=scale, out_dir=out_dir)
-    h = result.history
+    registry = result.metrics
     print(ascii_chart(
         {
-            "L": h.series("lagrangian"),
-            "Phi": h.series("phi_lower"),
-            "Pi": h.series("pi"),
+            "L": registry.series("lagrangian").as_array(),
+            "Phi": registry.series("phi_lower").as_array(),
+            "Pi": registry.series("pi").as_array(),
         },
         title="Fig 1 (repro): L/Phi/Pi over ComPLx iterations (bigblue4_s)",
     ))
-    print(h.summary())
+    print(result.history.summary())
     for name, ok in shape_checks(result).items():
         print(f"  shape {name}: {'PASS' if ok else 'FAIL'}")

@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..core.invariants import assert_legal
 from ..faults import hooks as fault_hooks
 from ..netlist import Netlist, Placement
+from .instrument import record_displacement
 from .macros import legalize_macros, macro_obstacles
 from .rows import RowMap, snap_placement_to_sites
 
@@ -105,6 +107,20 @@ def abacus_legalize(
     ``check_invariants`` certifies the output with
     :func:`repro.core.invariants.assert_legal` before returning.
     """
+    with telemetry.span("legalize", algorithm="abacus") as sp:
+        out = _abacus_impl(netlist, placement, row_window, snap_sites,
+                           check_invariants)
+        record_displacement("abacus", netlist, placement, out, sp)
+    return out
+
+
+def _abacus_impl(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int,
+    snap_sites: bool,
+    check_invariants: bool,
+) -> Placement:
     fault_hooks.maybe_raise("legalize.abacus")
     out = legalize_macros(netlist, placement)
     rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),

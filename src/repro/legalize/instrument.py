@@ -1,0 +1,44 @@
+"""Telemetry glue for the legalizers.
+
+Displacement is the legalizer's quality number (Abacus' whole point is
+minimizing it), so instrumented runs record it as span attributes and —
+when a cross-stage :class:`~repro.telemetry.MetricsRegistry` is
+installed — as gauges.  All computation is skipped while telemetry is
+disabled, keeping the fault-free path byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import telemetry
+from ..netlist import Netlist, Placement
+
+__all__ = ["record_displacement"]
+
+
+def record_displacement(
+    algorithm: str,
+    netlist: Netlist,
+    before: Placement,
+    after: Placement,
+    span,
+) -> None:
+    """Annotate a legalization span (and active registry) with the mean
+    and max per-cell L1 displacement over movable standard cells."""
+    registry = telemetry.get_metrics()
+    if span is telemetry.NULL_SPAN and registry is None:
+        return
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return
+    l1 = (np.abs(after.x[std] - before.x[std])
+          + np.abs(after.y[std] - before.y[std]))
+    mean_disp = float(l1.mean())
+    max_disp = float(l1.max())
+    span.annotate("cells", int(std.size))
+    span.annotate("mean_displacement", mean_disp)
+    span.annotate("max_displacement", max_disp)
+    if registry is not None:
+        registry.gauge(f"legalize_{algorithm}_mean_displacement").set(mean_disp)
+        registry.gauge(f"legalize_{algorithm}_max_displacement").set(max_disp)

@@ -12,9 +12,11 @@ import logging
 
 import numpy as np
 
+from .. import telemetry
 from ..core.invariants import assert_legal
 from ..faults import hooks as fault_hooks
 from ..netlist import Netlist, Placement
+from .instrument import record_displacement
 from .macros import legalize_macros, macro_obstacles
 from .rows import RowMap, snap_placement_to_sites
 
@@ -36,6 +38,20 @@ def tetris_legalize(
     ``check_invariants`` certifies the output with
     :func:`repro.core.invariants.assert_legal` before returning.
     """
+    with telemetry.span("legalize", algorithm="tetris") as sp:
+        out = _tetris_impl(netlist, placement, row_window, snap_sites,
+                           check_invariants)
+        record_displacement("tetris", netlist, placement, out, sp)
+    return out
+
+
+def _tetris_impl(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int,
+    snap_sites: bool,
+    check_invariants: bool,
+) -> Placement:
     fault_hooks.maybe_raise("legalize.tetris")
     out = legalize_macros(netlist, placement)
     rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
+from .. import telemetry
 from .grid import BinRegion, DensityGrid
 from .spreading import even_spread, linear_scale, split_by_capacity
 
@@ -141,27 +142,31 @@ def project_rectangles(
     Rectangles whose centers fall outside every overfilled region are left
     untouched (the projection is local, like SimPL's).
     """
-    new_x = np.array(x, dtype=np.float64)
-    new_y = np.array(y, dtype=np.float64)
-    areas = w * h
-    usage = grid.usage(None, extra=(new_x, new_y, w, h))
-    if stats is not None:
-        stats.num_overfilled_bins = int(grid.overfilled_bins(usage, gamma).sum())
-    regions = find_expansion_regions(grid, usage, gamma)
-    if stats is not None:
-        stats.num_regions = len(regions)
+    with telemetry.span("lookahead_legalize", n=int(x.shape[0]),
+                        bins=int(grid.nx * grid.ny)) as sp:
+        new_x = np.array(x, dtype=np.float64)
+        new_y = np.array(y, dtype=np.float64)
+        areas = w * h
+        usage = grid.usage(None, extra=(new_x, new_y, w, h))
+        if stats is not None:
+            stats.num_overfilled_bins = int(
+                grid.overfilled_bins(usage, gamma).sum())
+        regions = find_expansion_regions(grid, usage, gamma)
+        if stats is not None:
+            stats.num_regions = len(regions)
+        sp.annotate("regions", len(regions))
 
-    for region in regions:
-        rect = grid.region_rect(region)
-        inside = (
-            (new_x >= rect.xlo) & (new_x <= rect.xhi)
-            & (new_y >= rect.ylo) & (new_y <= rect.yhi)
-        )
-        items = np.flatnonzero(inside)
-        if items.size == 0:
-            continue
-        _bisect(grid, region, items, new_x, new_y, areas, gamma,
-                leaf_size, depth=0, stats=stats)
+        for region in regions:
+            rect = grid.region_rect(region)
+            inside = (
+                (new_x >= rect.xlo) & (new_x <= rect.xhi)
+                & (new_y >= rect.ylo) & (new_y <= rect.yhi)
+            )
+            items = np.flatnonzero(inside)
+            if items.size == 0:
+                continue
+            _bisect(grid, region, items, new_x, new_y, areas, gamma,
+                    leaf_size, depth=0, stats=stats)
     return new_x, new_y
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
+
 __all__ = [
     "FAULT_CLASSES",
     "RecoveryEvent",
@@ -56,6 +58,16 @@ class RecoveryLog:
 
     def record(self, event: RecoveryEvent) -> RecoveryEvent:
         self.events.append(event)
+        # Recovery actions show up as instants on the trace timeline, so
+        # a retry/rollback is visible right where the time went.
+        telemetry.instant(
+            "recovery", fault=event.fault, stage=event.stage,
+            action=event.action, iteration=event.iteration,
+            attempt=event.attempt,
+        )
+        if (registry := telemetry.get_metrics()) is not None:
+            registry.counter("recovery_events").inc()
+            registry.counter(f"recovery_{event.fault}").inc()
         return event
 
     def count(self, fault: str | None = None) -> int:

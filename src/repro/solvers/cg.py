@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .. import telemetry
 from ..faults import hooks as fault_hooks
 
 
@@ -126,8 +127,21 @@ def solve_spd(
         stalled = (np.zeros(rhs.shape[0], dtype=np.float64) if x0 is None
                    else np.array(x0, dtype=np.float64))
         return CGResult(stalled, 0, float("inf"), False)
-    if backend == "own":
-        return jacobi_pcg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
-    if backend == "scipy":
-        return scipy_cg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
-    raise ValueError(f"unknown CG backend {backend!r}")
+    with telemetry.span("cg_solve", backend=backend,
+                        size=int(rhs.shape[0])) as sp_:
+        if backend == "own":
+            result = jacobi_pcg(matrix, rhs, x0=x0, tol=tol,
+                                max_iter=max_iter)
+        elif backend == "scipy":
+            result = scipy_cg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+        else:
+            raise ValueError(f"unknown CG backend {backend!r}")
+        sp_.annotate("iterations", result.iterations)
+        sp_.annotate("residual", result.residual)
+        sp_.annotate("converged", result.converged)
+    registry = telemetry.get_metrics()
+    if registry is not None:
+        registry.counter("cg_solves").inc()
+        registry.counter("cg_iterations_total").inc(result.iterations)
+        registry.gauge("cg_last_residual").set(result.residual)
+    return result

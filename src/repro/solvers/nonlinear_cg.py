@@ -15,6 +15,8 @@ from typing import Callable
 
 import numpy as np
 
+from .. import telemetry
+
 #: Objective callback: returns (value, gradient) at a point.
 Objective = Callable[[np.ndarray], tuple[float, np.ndarray]]
 
@@ -48,6 +50,29 @@ def minimize_nlcg(
     * Armijo backtracking line search starts from a Barzilai-Borwein-style
       step estimate carried between iterations.
     """
+    with telemetry.span("nlcg", n=int(np.asarray(x0).shape[0])) as sp:
+        result = _minimize_nlcg(
+            objective, x0, max_iter=max_iter, grad_tol=grad_tol,
+            initial_step=initial_step, armijo_c=armijo_c,
+            backtrack=backtrack, max_backtracks=max_backtracks,
+            restart_every=restart_every,
+        )
+        sp.annotate("iterations", result.iterations)
+        sp.annotate("converged", result.converged)
+    return result
+
+
+def _minimize_nlcg(
+    objective: Objective,
+    x0: np.ndarray,
+    max_iter: int,
+    grad_tol: float,
+    initial_step: float | None,
+    armijo_c: float,
+    backtrack: float,
+    max_backtracks: int,
+    restart_every: int,
+) -> NLCGResult:
     x = np.array(x0, dtype=np.float64)
     value, grad = objective(x)
     grad_norm = float(np.linalg.norm(grad))

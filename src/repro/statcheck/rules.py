@@ -14,6 +14,9 @@ R6   public-api       missing ``__all__`` / untyped public signatures in
                       ``core/`` and ``netlist/``
 R7   broad-except     ``except Exception`` / bare ``except`` outside the
                       recovery layer (``repro.resilience`` exempt)
+R8   timing           ``time.time()`` anywhere (durations drift under
+                      NTP/DST steps) and print()-style timing in library
+                      code (CLI/experiments/viz exempt)
 ===  ===============  ==========================================================
 
 All rules are pure AST passes; none import the modules they check.
@@ -35,6 +38,7 @@ __all__ = [
     "PublicApiRule",
     "RawMutationRule",
     "NoPrintRule",
+    "TimingDisciplineRule",
 ]
 
 #: Identifier vocabulary that marks an expression as a planar coordinate.
@@ -458,4 +462,105 @@ class PublicApiRule(Rule):
             # *args/**kwargs may stay unannotated; they rarely carry
             # domain data and annotating them adds noise.
             del vararg
+        return False
+
+
+#: Monotonic clock functions (the *right* tools for durations).
+_MONOTONIC_FUNCS = frozenset({"perf_counter", "perf_counter_ns",
+                              "monotonic", "monotonic_ns", "process_time",
+                              "process_time_ns"})
+
+
+@register
+class TimingDisciplineRule(Rule):
+    """R8: timing discipline — wall clock vs. monotonic clock vs. stdout.
+
+    Two anti-patterns:
+
+    * ``time.time()`` (or a bare ``time()`` imported from the ``time``
+      module) — the wall clock steps under NTP sync and DST, so
+      durations measured with it are silently wrong; use
+      ``time.perf_counter()`` for elapsed time and ``datetime`` when a
+      real calendar timestamp is wanted,
+    * print()-style timing in library code — a ``print`` whose
+      arguments compute or interpolate a clock reading is ad-hoc
+      profiling; route it through :mod:`repro.telemetry` spans (or
+      logging) instead.  CLI/experiments/viz modules are exempt, same
+      as R5: their stdout is the product.
+    """
+
+    id = "R8"
+    name = "timing"
+    description = ("time.time() for durations / print()-style timing "
+                   "in library code")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        bare_time = self._bare_time_aliases(ctx.tree)
+        prints_seen: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_wall_clock(node.func, bare_time):
+                yield ctx.finding(
+                    self.id, node,
+                    "time.time() is the steppable wall clock; use "
+                    "time.perf_counter() for durations or datetime for "
+                    "real timestamps",
+                )
+            if (
+                not ctx.is_cli_like
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and node.lineno not in prints_seen
+                and self._mentions_clock(node, bare_time)
+            ):
+                prints_seen.add(node.lineno)
+                yield ctx.finding(
+                    self.id, node,
+                    "print()-style timing in library code; record a "
+                    "repro.telemetry span (or log) instead",
+                )
+
+    @staticmethod
+    def _bare_time_aliases(tree: ast.Module) -> frozenset[str]:
+        """Local names bound to ``time.time`` via ``from time import``."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        aliases.add(alias.asname or alias.name)
+        return frozenset(aliases)
+
+    @staticmethod
+    def _is_wall_clock(func: ast.expr, bare_time: frozenset[str]) -> bool:
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            return True
+        return isinstance(func, ast.Name) and func.id in bare_time
+
+    @classmethod
+    def _mentions_clock(cls, call: ast.Call,
+                        bare_time: frozenset[str]) -> bool:
+        """Any clock reading inside the print call's arguments."""
+        for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+            for node in ast.walk(arg):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if cls._is_wall_clock(func, bare_time):
+                    return True
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MONOTONIC_FUNCS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    return True
+                if isinstance(func, ast.Name) and func.id in _MONOTONIC_FUNCS:
+                    return True
         return False

@@ -1,0 +1,65 @@
+"""Observability for the placement flow: tracing spans + metrics.
+
+Two cooperating pieces, both disabled (zero overhead) by default:
+
+* :mod:`repro.telemetry.tracer` — nested wall/CPU-time spans over the
+  hot stages (B2B rebuild, CG solve, look-ahead legalization, ...),
+  exported as JSONL or a Chrome-trace file,
+* :mod:`repro.telemetry.metrics` — counters, gauges and per-iteration
+  series (lambda, Pi, Phi, HPWL, CG iterations, overflow, ...) with a
+  JSONL round-trip.
+
+Enable either for a block of code::
+
+    from repro import telemetry
+
+    with telemetry.tracing() as tracer, telemetry.metrics() as registry:
+        result = place(netlist)
+    tracer.write_chrome_trace("place.trace.json")
+    registry.write_jsonl("place.metrics.jsonl")
+
+See ``docs/observability.md`` for the full tour, and
+:mod:`repro.bench` for the regression harness built on top.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Series,
+    get_metrics,
+    metrics,
+    set_metrics,
+)
+from .tracer import (
+    NULL_SPAN,
+    SpanRecord,
+    StageStats,
+    Tracer,
+    get_tracer,
+    instant,
+    set_tracer,
+    span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Series",
+    "SpanRecord",
+    "StageStats",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "instant",
+    "metrics",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "traced",
+    "tracing",
+]

@@ -1,0 +1,307 @@
+"""Tests for repro.bench: suites, schema validation, regression compare,
+and the CLI exit-code contract.
+
+A real (micro-scale, single-repeat) suite run exercises the runner end
+to end; the schema and compare logic are additionally tested against
+synthetic documents so every failure branch is cheap to reach.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchCase,
+    bench_suite_names,
+    compare_docs,
+    get_suite,
+    run_suite,
+    validate_bench,
+)
+from repro.bench.cli import main as bench_main
+
+
+def make_doc(hpwl: float = 1000.0, place_s: float = 0.2) -> dict:
+    """A minimal schema-valid bench document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "unit",
+        "generated_at": "2026-08-06T00:00:00+00:00",
+        "repeats": 1,
+        "workloads": [
+            {
+                "name": "tiny",
+                "placer": "complx",
+                "scale": 0.1,
+                "gamma": 1.0,
+                "seed": 0,
+                "cells": 10,
+                "nets": 12,
+                "timings": {
+                    "global_place": {
+                        "median_s": place_s,
+                        "min_s": place_s,
+                        "max_s": place_s,
+                        "count": 1,
+                        "runs": [place_s],
+                    },
+                    "fast_stage": {
+                        "median_s": 1e-4,
+                        "min_s": 1e-4,
+                        "max_s": 1e-4,
+                        "count": 1,
+                        "runs": [1e-4],
+                    },
+                },
+                "quality": {
+                    "hpwl": hpwl,
+                    "iterations": 5,
+                    "final_lambda": 1.5,
+                    "final_pi": 0.3,
+                },
+                "series": {
+                    "lam": [0.1, 0.5, 1.5],
+                    "pi": [9.0, 2.0, 0.3],
+                    "phi_upper": [100.0, 120.0, 130.0],
+                },
+            }
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def smoke_doc(tmp_path_factory):
+    """One micro-scale single-repeat smoke run, shared across tests."""
+    return run_suite("smoke", repeats=1, scale=0.02)
+
+
+# ----------------------------------------------------------------------
+# suites
+# ----------------------------------------------------------------------
+class TestSuites:
+    def test_known_suites(self):
+        names = bench_suite_names()
+        assert "smoke" in names and "standard" in names
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError, match="unknown bench suite"):
+            get_suite("nope")
+
+    def test_scale_override(self):
+        cases = get_suite("smoke", scale=0.05)
+        assert cases and all(c.scale == 0.05 for c in cases)
+        # The registered suite itself must be untouched.
+        assert all(c.scale != 0.05 for c in get_suite("smoke"))
+
+    def test_cases_are_frozen(self):
+        case = get_suite("smoke")[0]
+        assert isinstance(case, BenchCase)
+        with pytest.raises(AttributeError):
+            case.scale = 9.9
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_synthetic_doc_is_valid(self):
+        assert validate_bench(make_doc()) == []
+
+    def test_non_object_document(self):
+        assert validate_bench([1, 2]) == ["document is not a JSON object"]
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda d: d.update(schema_version=99), "schema_version"),
+        (lambda d: d.update(suite=""), "'suite'"),
+        (lambda d: d.pop("generated_at"), "generated_at"),
+        (lambda d: d.update(repeats=0), "repeats"),
+        (lambda d: d.update(repeats=True), "repeats"),
+        (lambda d: d.update(workloads=[]), "workloads"),
+        (lambda d: d["workloads"][0].pop("name"), "name"),
+        (lambda d: d["workloads"][0].pop("cells"), "cells"),
+        (lambda d: d["workloads"][0].update(timings={}), "timings"),
+        (lambda d: d["workloads"][0]["timings"]["global_place"].pop(
+            "median_s"), "median_s"),
+        (lambda d: d["workloads"][0]["timings"]["global_place"].update(
+            runs=[]), "runs"),
+        (lambda d: d["workloads"][0]["quality"].pop("hpwl"), "hpwl"),
+        (lambda d: d["workloads"][0]["series"].update(lam=[]), "lam"),
+        (lambda d: d["workloads"][0]["series"].update(pi=["x"]), "pi"),
+    ])
+    def test_each_violation_is_reported(self, mutate, fragment):
+        doc = make_doc()
+        mutate(doc)
+        problems = validate_bench(doc)
+        assert problems, f"expected a violation for {fragment}"
+        assert any(fragment in p for p in problems)
+
+    def test_all_problems_reported_at_once(self):
+        doc = make_doc()
+        doc["suite"] = ""
+        doc["workloads"][0].pop("placer")
+        assert len(validate_bench(doc)) >= 2
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_identical_docs_clean(self):
+        regs, notes = compare_docs(make_doc(), make_doc())
+        assert regs == [] and notes == []
+
+    def test_timing_regression_detected(self):
+        regs, _ = compare_docs(make_doc(place_s=0.2),
+                               make_doc(place_s=0.25))
+        assert len(regs) == 1
+        reg = regs[0]
+        assert reg.kind == "timing" and reg.metric == "global_place"
+        assert reg.percent == pytest.approx(25.0)
+        assert "global_place" in reg.render()
+
+    def test_timing_within_threshold_passes(self):
+        regs, _ = compare_docs(make_doc(place_s=0.2),
+                               make_doc(place_s=0.21))
+        assert regs == []
+
+    def test_fast_stages_are_noise_exempt(self):
+        base, cand = make_doc(), make_doc()
+        # fast_stage is below min_seconds; even a 10x blowup is skipped.
+        cand["workloads"][0]["timings"]["fast_stage"]["median_s"] = 1e-3
+        regs, _ = compare_docs(base, cand)
+        assert regs == []
+
+    def test_hpwl_regression_detected(self):
+        regs, _ = compare_docs(make_doc(hpwl=1000.0),
+                               make_doc(hpwl=1030.0))
+        assert [r.kind for r in regs] == ["quality"]
+        assert regs[0].metric == "hpwl"
+
+    def test_hpwl_improvement_passes(self):
+        regs, _ = compare_docs(make_doc(hpwl=1000.0),
+                               make_doc(hpwl=900.0))
+        assert regs == []
+
+    def test_missing_workload_is_a_note_not_a_regression(self):
+        cand = make_doc()
+        cand["workloads"] = []
+        regs, notes = compare_docs(make_doc(), cand)
+        assert regs == []
+        assert any("missing from candidate" in n for n in notes)
+
+    def test_new_workload_is_a_note(self):
+        cand = make_doc()
+        extra = copy.deepcopy(cand["workloads"][0])
+        extra["name"] = "extra"
+        cand["workloads"].append(extra)
+        regs, notes = compare_docs(make_doc(), cand)
+        assert regs == []
+        assert any("not in baseline" in n for n in notes)
+
+    def test_missing_stage_is_a_note(self):
+        cand = make_doc()
+        del cand["workloads"][0]["timings"]["global_place"]
+        regs, notes = compare_docs(make_doc(), cand)
+        assert regs == []
+        assert any("global_place" in n for n in notes)
+
+    def test_custom_threshold(self):
+        regs, _ = compare_docs(make_doc(place_s=0.2), make_doc(place_s=0.21),
+                               threshold_percent=2.0)
+        assert len(regs) == 1
+
+
+# ----------------------------------------------------------------------
+# runner (one real micro run)
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_smoke_doc_is_schema_valid(self, smoke_doc):
+        assert validate_bench(smoke_doc) == []
+
+    def test_smoke_doc_shape(self, smoke_doc):
+        assert smoke_doc["suite"] == "smoke"
+        assert smoke_doc["repeats"] == 1
+        assert len(smoke_doc["workloads"]) >= 2
+        wl = smoke_doc["workloads"][0]
+        assert wl["scale"] == 0.02
+        for stage in ("global_place", "iteration", "cg_solve", "legalize"):
+            assert stage in wl["timings"], f"missing stage {stage!r}"
+        iters = wl["quality"]["iterations"]
+        assert iters >= 1
+        for name in ("lam", "pi", "phi_upper"):
+            assert len(wl["series"][name]) == iters
+
+    def test_smoke_doc_compares_clean_with_itself(self, smoke_doc):
+        regs, notes = compare_docs(smoke_doc, smoke_doc)
+        assert regs == [] and notes == []
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_run_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        code = bench_main(["run", "--suite", "smoke", "--scale", "0.02",
+                           "--repeats", "1", "--json", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bare_invocation_defaults_to_run(self, tmp_path):
+        # `python -m repro.bench --suite smoke ...` (no subcommand).
+        out = tmp_path / "bench.json"
+        code = bench_main(["--suite", "smoke", "--scale", "0.02",
+                           "--repeats", "1", "--json", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_validate_ok(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(make_doc()))
+        assert bench_main(["validate", str(path)]) == 0
+
+    def test_validate_rejects_bad_doc(self, tmp_path, capsys):
+        doc = make_doc()
+        doc["schema_version"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        assert bench_main(["validate", str(path)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_compare_clean_exits_zero(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(make_doc()))
+        assert bench_main(["compare", str(a), str(a)]) == 0
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(make_doc(place_s=0.2)))
+        cand.write_text(json.dumps(make_doc(place_s=0.3)))
+        assert bench_main(["compare", str(base), str(cand)]) == 1
+        assert "global_place" in capsys.readouterr().out
+
+    def test_compare_threshold_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(make_doc(place_s=0.2)))
+        cand.write_text(json.dumps(make_doc(place_s=0.3)))
+        assert bench_main(["compare", str(base), str(cand),
+                           "--threshold", "75"]) == 0
+
+    def test_compare_missing_file_exits_two(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(make_doc()))
+        assert bench_main(["compare", str(a),
+                           str(tmp_path / "missing.json")]) == 2
+
+    def test_unknown_suite_exits_two(self, tmp_path):
+        assert bench_main(["run", "--suite", "smoke", "--scale", "-1",
+                           "--repeats", "1",
+                           "--json", str(tmp_path / "x.json")]) == 2

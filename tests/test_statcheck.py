@@ -253,6 +253,64 @@ class TestBroadExcept:
 
 
 # ----------------------------------------------------------------------
+# R8 timing discipline
+# ----------------------------------------------------------------------
+class TestTimingDiscipline:
+    def test_fires_on_time_time(self):
+        src = "import time\nstart = time.time()\n"
+        findings = check_source(src, filename=COLD, enable=["R8"])
+        assert rules_of(findings) == ["R8"]
+        assert "perf_counter" in findings[0].message
+
+    def test_fires_on_bare_time_import(self):
+        src = "from time import time\nstart = time()\n"
+        assert len(check_source(src, filename=COLD, enable=["R8"])) == 1
+
+    def test_fires_on_aliased_time_import(self):
+        src = "from time import time as now\nstart = now()\n"
+        assert len(check_source(src, filename=COLD, enable=["R8"])) == 1
+
+    def test_fires_in_hot_and_cli_modules_alike(self):
+        # The wall-clock check has no module exemption.
+        src = "import time\nstart = time.time()\n"
+        assert len(check_source(src, filename=HOT, enable=["R8"])) == 1
+        assert len(check_source(src, filename=CLI, enable=["R8"])) == 1
+
+    def test_fires_on_print_timing_in_library_code(self):
+        src = ("import time\n"
+               "t0 = time.perf_counter()\n"
+               "print(f'took {time.perf_counter() - t0:.1f}s')\n")
+        findings = check_source(src, filename=COLD, enable=["R8"])
+        assert len(findings) == 1
+        assert "telemetry" in findings[0].message
+
+    def test_print_timing_exempt_in_cli_modules(self):
+        src = ("import time\n"
+               "t0 = time.perf_counter()\n"
+               "print(f'took {time.perf_counter() - t0:.1f}s')\n")
+        assert check_source(src, filename=CLI, enable=["R8"]) == []
+
+    def test_quiet_on_perf_counter_durations(self):
+        src = ("import time\n"
+               "t0 = time.perf_counter()\n"
+               "elapsed = time.perf_counter() - t0\n")
+        assert check_source(src, filename=COLD, enable=["R8"]) == []
+
+    def test_quiet_on_datetime_timestamps(self):
+        src = ("from datetime import datetime, timezone\n"
+               "stamp = datetime.now(timezone.utc).isoformat()\n")
+        assert check_source(src, filename=COLD, enable=["R8"]) == []
+
+    def test_quiet_on_plain_print(self):
+        src = "print('no timing here')\n"
+        assert check_source(src, filename=COLD, enable=["R8"]) == []
+
+    def test_pragma_suppresses(self):
+        src = "import time\nstart = time.time()  # statcheck: ignore[R8]\n"
+        assert check_source(src, filename=COLD, enable=["R8"]) == []
+
+
+# ----------------------------------------------------------------------
 # engine: classification, pragmas, rule selection
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -275,7 +333,7 @@ class TestEngine:
 
     def test_registry_has_the_shipped_rules(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
 
     def test_select_rules_enable_disable(self):
         assert [r.id for r in select_rules(enable=["R1", "R3"])] == ["R1", "R3"]
@@ -422,7 +480,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert statcheck_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
             assert rid in out
         assert "[no baseline]" in out
 
