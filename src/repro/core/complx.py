@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import logging
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -31,9 +32,9 @@ import numpy as np
 
 from .. import telemetry
 from ..faults import hooks as fault_hooks
+from ..models.assembly import AssemblyPlan
 from ..models.hpwl import weighted_hpwl
 from ..models.logsumexp import lse_wirelength
-from ..models.quadratic import build_system
 from ..netlist import Netlist, Placement
 from ..projection import FeasibilityProjection
 from ..solvers.cg import solve_spd
@@ -171,6 +172,7 @@ class ComPLxPlacer:
         #: Per-run iteration observer; bound by :meth:`place`.
         self.callback: IterationCallback | None = None
         self._last_cg_iterations = 0
+        self._plan: AssemblyPlan | None = None
 
         self.projection = FeasibilityProjection(
             netlist,
@@ -212,39 +214,49 @@ class ComPLxPlacer:
     # ------------------------------------------------------------------
     # primal steps
     # ------------------------------------------------------------------
+    def _assembly_plan(self) -> AssemblyPlan:
+        """The cached fast-assembly plan for this (netlist, model).
+
+        Built lazily on the first primal step so ``lse`` runs (which have
+        no linear system) never pay for it.
+        """
+        if self._plan is None:
+            self._plan = AssemblyPlan(
+                self.netlist, model=self.config.net_model,
+                eps=self._b2b_eps,
+            )
+        return self._plan
+
     def _solve_quadratic(
         self,
         current: Placement,
         anchor: Placement | None,
         lam: float,
     ) -> Placement:
-        """One linearized-quadratic primal step (both axes)."""
+        """One linearized-quadratic primal step (both axes).
+
+        Both axis systems are assembled first (on the main thread — the
+        plan's buffers and the tracer's span stack are not thread-safe),
+        then solved; with ``solver_threads > 1`` the two CG solves run
+        concurrently.  Assembly reads only ``current``, so hoisting the
+        y-axis build ahead of the x-axis solve leaves results unchanged.
+        """
         out = current.copy()
+        plan = self._assembly_plan()
+        systems: dict[str, object] = {}
+        warms: dict[str, np.ndarray] = {}
         for axis in ("x", "y"):
             with telemetry.span("b2b_build", axis=axis):
-                system = build_system(
-                    self.netlist, current, axis,
-                    model=self.config.net_model, eps=self._b2b_eps,
-                )
+                system = plan.build_system(current, axis)
             if anchor is not None and lam > 0:
                 self._add_anchors(system, current, anchor, lam, axis)
             self._regularize(system, axis)
             coords = current.x if axis == "x" else current.y
-            warm = coords[system.cell_of_slot]
-            if self.supervisor is not None:
-                # Stalled/non-SPD solves route through the bounded CG
-                # recovery policy (regularized retries, backend fallback).
-                solution = self.supervisor.solve_spd(
-                    system, warm, tol=self.config.cg_tol,
-                    max_iter=self.config.cg_max_iter,
-                    backend=self.config.cg_backend,
-                )
-            else:
-                solution = solve_spd(
-                    system.matrix, system.rhs, x0=warm,
-                    tol=self.config.cg_tol, max_iter=self.config.cg_max_iter,
-                    backend=self.config.cg_backend,
-                )
+            systems[axis] = system
+            warms[axis] = coords[system.cell_of_slot]
+        solutions = self._solve_axes(systems, warms)
+        for axis in ("x", "y"):
+            solution = solutions[axis]
             logger.debug(
                 "CG %s-axis: %d iterations, residual=%.3g, converged=%s",
                 axis, solution.iterations, solution.residual,
@@ -252,8 +264,57 @@ class ComPLxPlacer:
             )
             self._last_cg_iterations += solution.iterations
             target = out.x if axis == "x" else out.y
-            target[system.cell_of_slot] = solution.x
+            target[systems[axis].cell_of_slot] = solution.x
         return self.netlist.clamp_to_core(out)
+
+    def _solve_axes(self, systems: dict, warms: dict) -> dict:
+        """Solve the per-axis SPD systems, concurrently when configured."""
+        config = self.config
+        if config.solver_threads > 1 and self.supervisor is None:
+            # The Jacobi-PCG matvecs release the GIL, so two worker
+            # threads overlap the x and y solves.  Workers run quiet
+            # (no spans/metrics); this main-thread span covers the pair.
+            with telemetry.span("cg_solve", backend=config.cg_backend,
+                                threads=2) as sp:
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    futures = {
+                        axis: pool.submit(
+                            solve_spd, systems[axis].matrix,
+                            systems[axis].rhs, x0=warms[axis],
+                            tol=config.cg_tol, max_iter=config.cg_max_iter,
+                            backend=config.cg_backend, quiet=True,
+                        )
+                        for axis in ("x", "y")
+                    }
+                    solutions = {axis: f.result()
+                                 for axis, f in futures.items()}
+                sp.annotate("iterations", sum(
+                    s.iterations for s in solutions.values()))
+            registry = telemetry.get_metrics()
+            if registry is not None:
+                for s in solutions.values():
+                    registry.counter("cg_solves").inc()
+                    registry.counter("cg_iterations_total").inc(s.iterations)
+                    registry.gauge("cg_last_residual").set(s.residual)
+            return solutions
+        solutions = {}
+        for axis in ("x", "y"):
+            system = systems[axis]
+            if self.supervisor is not None:
+                # Stalled/non-SPD solves route through the bounded CG
+                # recovery policy (regularized retries, backend fallback).
+                solutions[axis] = self.supervisor.solve_spd(
+                    system, warms[axis], tol=config.cg_tol,
+                    max_iter=config.cg_max_iter,
+                    backend=config.cg_backend,
+                )
+            else:
+                solutions[axis] = solve_spd(
+                    system.matrix, system.rhs, x0=warms[axis],
+                    tol=config.cg_tol, max_iter=config.cg_max_iter,
+                    backend=config.cg_backend,
+                )
+        return solutions
 
     def _add_anchors(self, system, current: Placement, anchor: Placement,
                      lam: float, axis: str) -> None:

@@ -65,7 +65,7 @@ class FlowResult:
 
 def make_placer(name: str, netlist: Netlist, gamma: float,
                 seed: int = 0, check_invariants: bool = False,
-                resilience=None):
+                resilience=None, solver_threads: int = 1):
     """Instantiate a registered placer by name.
 
     Names: ``complx`` (default config), ``complx_finest``, ``complx_dp``
@@ -78,10 +78,12 @@ def make_placer(name: str, netlist: Netlist, gamma: float,
     an optional :class:`~repro.core.config.ResilienceConfig`; when set
     the ComPLx variants run supervised (fault recovery, deadlines,
     checkpointing) and invariant violations become recoverable logged
-    events instead of hard aborts.
+    events instead of hard aborts.  ``solver_threads`` is forwarded to
+    :attr:`ComPLxConfig.solver_threads` (concurrent x/y CG solves); the
+    baselines run their own loops and ignore it.
     """
     knobs = dict(gamma=gamma, seed=seed, check_invariants=check_invariants,
-                 resilience=resilience)
+                 resilience=resilience, solver_threads=solver_threads)
     if name == "complx":
         return ComPLxPlacer(netlist, ComPLxConfig(**knobs))
     if name == "complx_finest":

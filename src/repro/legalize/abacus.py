@@ -134,11 +134,109 @@ def _abacus_impl(
     order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
                            kind="stable")]
 
-    # clusters[row][segment] -> list of clusters
+    # clusters[flat segment] -> list of clusters (row-major flat layout
+    # shared with the RowMap's seg_* arrays).
+    clusters: list[list[_Cluster]] = [[] for _ in range(rowmap.seg_lo.size)]
+    # Exact committed cluster widths per segment, refreshed after every
+    # commit with the same left-to-right summation `_insert` performs,
+    # so the vectorized capacity prefilter reproduces its feasibility
+    # test bit for bit.
+    used = np.zeros(rowmap.seg_lo.size, dtype=np.float64)
+    seg_start = rowmap.seg_start
+    seg_lo, seg_hi = rowmap.seg_lo, rowmap.seg_hi
+    seg_row, centers = rowmap.seg_row, rowmap.row_centers
+    capacity = seg_hi - seg_lo
+    want_rows = rowmap.row_indices(out.y[order])
+
+    for cell, want_row in zip(order, want_rows):
+        w = netlist.widths[cell]
+        desired = out.x[cell] - 0.5 * w
+        best = None  # (cost, flat seg, new clusters, x)
+        window = row_window
+        while best is None and window <= 4 * rowmap.num_rows:
+            lo_row = max(want_row - window, 0)
+            hi_row = min(want_row + window, rowmap.num_rows - 1)
+            f0, f1 = seg_start[lo_row], seg_start[hi_row + 1]
+            if f1 > f0:
+                # Vectorized prefilter over the whole row window: drop
+                # segments that cannot hold the cell (the exact check
+                # `_insert` performs) and, via a displacement lower
+                # bound, segments that cannot beat the current best.
+                # The 1e-7 slack absorbs ulp-level re-association in the
+                # cluster width sums (the trial's final edge can exceed
+                # `hi - w` by an ulp), keeping this a true lower bound;
+                # a candidate within the slack of the incumbent could
+                # not have replaced it anyway (strict improvement only).
+                dy = np.abs(centers[seg_row[f0:f1]] - out.y[cell])
+                lower = dy + np.maximum(
+                    np.maximum(seg_lo[f0:f1] - desired,
+                               desired - (seg_hi[f0:f1] - w)),
+                    0.0,
+                ) - 1e-7
+                feasible = used[f0:f1] + w <= capacity[f0:f1] + 1e-9
+                for j in np.flatnonzero(feasible):
+                    if best is not None and lower[j] >= best[0]:
+                        continue
+                    f = int(f0) + int(j)
+                    trial = _insert(
+                        clusters[f], int(cell), desired, 1.0, w,
+                        seg_lo[f], seg_hi[f],
+                    )
+                    if trial is None:
+                        continue
+                    new_clusters, x = trial
+                    cost = abs(x - desired) + dy[j]
+                    if best is None or cost < best[0]:
+                        best = (cost, f, new_clusters, x)
+            window *= 2
+        if best is None:
+            logger.warning("abacus: no legal slot for cell %d", int(cell))
+            continue
+        _, f, new_clusters, _ = best
+        clusters[f] = new_clusters
+        used[f] = sum(c.w for c in new_clusters)
+
+    # Read final positions out of the cluster structures.
+    for f, seg_clusters in enumerate(clusters):
+        y = centers[seg_row[f]]
+        for cluster in seg_clusters:
+            for cell, off in zip(cluster.cells, cluster.offsets):
+                out.x[cell] = cluster.x + off + 0.5 * netlist.widths[cell]
+                out.y[cell] = y
+    if snap_sites:
+        out = snap_placement_to_sites(netlist, out, rowmap)
+    logger.debug(
+        "abacus: legalized %d standard cells, mean |dx|+|dy| = %.3g",
+        std.size,
+        float(np.abs(out.x[std] - placement.x[std]).mean()
+              + np.abs(out.y[std] - placement.y[std]).mean()),
+    )
+    if check_invariants:
+        assert_legal(netlist, out, check_sites=snap_sites)
+    return out
+
+
+def _abacus_reference(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int = 4,
+    snap_sites: bool = True,
+) -> Placement:
+    """The historical nested-loop implementation (kept for equivalence
+    tests against the prefiltered vectorized search)."""
+    out = legalize_macros(netlist, placement)
+    rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
+                    site_align=snap_sites)
+
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return out
+    order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
+                           kind="stable")]
+
     clusters: list[list[list[_Cluster]]] = [
         [[] for _ in segs] for segs in rowmap.segments
     ]
-    assignment: dict[int, tuple[int, int]] = {}
 
     for cell in order:
         w = netlist.widths[cell]
@@ -166,13 +264,10 @@ def _abacus_impl(
                         best = (cost, row, s, new_clusters, x)
             window *= 2
         if best is None:
-            logger.warning("abacus: no legal slot for cell %d", int(cell))
             continue
         _, row, s, new_clusters, _ = best
         clusters[row][s] = new_clusters
-        assignment[int(cell)] = (row, s)
 
-    # Read final positions out of the cluster structures.
     for row, row_clusters in enumerate(clusters):
         y = rowmap.row_center_y(row)
         for seg_clusters in row_clusters:
@@ -182,12 +277,4 @@ def _abacus_impl(
                     out.y[cell] = y
     if snap_sites:
         out = snap_placement_to_sites(netlist, out, rowmap)
-    logger.debug(
-        "abacus: legalized %d standard cells, mean |dx|+|dy| = %.3g",
-        std.size,
-        float(np.abs(out.x[std] - placement.x[std]).mean()
-              + np.abs(out.y[std] - placement.y[std]).mean()),
-    )
-    if check_invariants:
-        assert_legal(netlist, out, check_sites=snap_sites)
     return out

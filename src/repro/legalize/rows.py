@@ -78,10 +78,39 @@ class RowMap:
                 segments = aligned
             self.segments.append(segments)
 
+        # Flat row-major segment arrays for the vectorized candidate
+        # searches: rows lo..hi occupy the contiguous flat slice
+        # seg_start[lo]:seg_start[hi + 1], so a legalizer scans a row
+        # window with pure array ops instead of nested Python loops.
+        counts = [len(segs) for segs in self.segments]
+        self.seg_start = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=self.seg_start[1:])
+        self.seg_lo = np.array(
+            [seg.lo for segs in self.segments for seg in segs],
+            dtype=np.float64,
+        )
+        self.seg_hi = np.array(
+            [seg.hi for segs in self.segments for seg in segs],
+            dtype=np.float64,
+        )
+        self.seg_row = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+        )
+        self.row_centers = self.row_y + 0.5 * self.row_height
+
     def row_index(self, y_center: float) -> int:
         idx = int(np.floor((y_center - 0.5 * self.row_height - self.bounds.ylo)
                            / self.row_height + 0.5))
         return min(max(idx, 0), self.num_rows - 1)
+
+    def row_indices(self, y_centers: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`row_index` for many cells at once."""
+        idx = np.floor(
+            (y_centers - 0.5 * self.row_height - self.bounds.ylo)
+            / self.row_height + 0.5
+        ).astype(np.int64)
+        return np.clip(idx, 0, self.num_rows - 1)
 
     def row_center_y(self, row: int) -> float:
         return float(self.row_y[row] + 0.5 * self.row_height)

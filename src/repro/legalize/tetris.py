@@ -65,7 +65,77 @@ def _tetris_impl(
     order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
                            kind="stable")]
 
-    # Per-row, per-segment frontier: next free x in each segment.
+    # Flat per-segment frontier: next free x in each segment.  The
+    # candidate search below runs over the contiguous flat slice of the
+    # row window with pure array ops; np.argmin's first-minimum tie
+    # break reproduces the historical nested-loop scan (row ascending,
+    # segment ascending, strict improvement only) exactly, so this is
+    # placement-identical to :func:`_tetris_reference`.
+    frontier = rowmap.seg_lo.copy()
+    seg_start = rowmap.seg_start
+    seg_lo, seg_hi = rowmap.seg_lo, rowmap.seg_hi
+    seg_row, centers = rowmap.seg_row, rowmap.row_centers
+    want_rows = rowmap.row_indices(out.y[order])
+
+    for cell, want_row in zip(order, want_rows):
+        w = netlist.widths[cell]
+        want_x = out.x[cell] - 0.5 * w
+        best = None  # (cost, flat segment index, x position)
+        window = row_window
+        while best is None and window <= 4 * rowmap.num_rows:
+            lo_row = max(want_row - window, 0)
+            hi_row = min(want_row + window, rowmap.num_rows - 1)
+            f0, f1 = seg_start[lo_row], seg_start[hi_row + 1]
+            if f1 > f0:
+                hi = seg_hi[f0:f1]
+                x = np.maximum(frontier[f0:f1], np.minimum(want_x, hi - w))
+                ok = (x + w <= hi + 1e-9) & (x >= seg_lo[f0:f1] - 1e-9)
+                if ok.any():
+                    dy = np.abs(centers[seg_row[f0:f1]] - out.y[cell])
+                    cost = np.where(ok, np.abs(x - want_x) + dy, np.inf)
+                    j = int(np.argmin(cost))
+                    best = (float(cost[j]), f0 + j, float(x[j]))
+            window *= 2
+        if best is None:
+            # Pathologically full layout: leave the cell; the caller can
+            # check legality and react.
+            logger.warning("tetris: no legal slot for cell %d", int(cell))
+            continue
+        _, f, x = best
+        frontier[f] = x + w
+        out.x[cell] = x + 0.5 * w
+        out.y[cell] = centers[seg_row[f]]
+    if snap_sites:
+        out = snap_placement_to_sites(netlist, out, rowmap)
+    logger.debug(
+        "tetris: legalized %d standard cells, mean |dx|+|dy| = %.3g",
+        std.size,
+        float(np.abs(out.x[std] - placement.x[std]).mean()
+              + np.abs(out.y[std] - placement.y[std]).mean()),
+    )
+    if check_invariants:
+        assert_legal(netlist, out, check_sites=snap_sites)
+    return out
+
+
+def _tetris_reference(
+    netlist: Netlist,
+    placement: Placement,
+    row_window: int = 6,
+    snap_sites: bool = True,
+) -> Placement:
+    """The historical nested-loop implementation (kept for equivalence
+    tests against the vectorized candidate search)."""
+    out = legalize_macros(netlist, placement)
+    rowmap = RowMap(netlist, extra_obstacles=macro_obstacles(netlist, out),
+                    site_align=snap_sites)
+
+    std = np.flatnonzero(netlist.movable & ~netlist.is_macro)
+    if std.size == 0:
+        return out
+    order = std[np.argsort(placement.x[std] - 0.5 * netlist.widths[std],
+                           kind="stable")]
+
     frontiers: list[list[float]] = [
         [seg.lo for seg in segs] for segs in rowmap.segments
     ]
@@ -92,9 +162,6 @@ def _tetris_impl(
                         best = (cost, row, s, x)
             window *= 2
         if best is None:
-            # Pathologically full layout: leave the cell; the caller can
-            # check legality and react.
-            logger.warning("tetris: no legal slot for cell %d", int(cell))
             continue
         _, row, s, x = best
         frontiers[row][s] = x + w
@@ -102,12 +169,4 @@ def _tetris_impl(
         out.y[cell] = rowmap.row_center_y(row)
     if snap_sites:
         out = snap_placement_to_sites(netlist, out, rowmap)
-    logger.debug(
-        "tetris: legalized %d standard cells, mean |dx|+|dy| = %.3g",
-        std.size,
-        float(np.abs(out.x[std] - placement.x[std]).mean()
-              + np.abs(out.y[std] - placement.y[std]).mean()),
-    )
-    if check_invariants:
-        assert_legal(netlist, out, check_sites=snap_sites)
     return out

@@ -95,37 +95,60 @@ class QuadraticSystem:
 # net-model edge decompositions (pin-level)
 # ---------------------------------------------------------------------------
 
+def clique_pairs(netlist: Netlist) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All pin pairs of every net with >= 2 pins, fully vectorized.
+
+    Returns ``(pin_a, pin_b, net_of_pair)`` ordered by net index
+    ascending, and within each net in ``np.triu_indices(d, k=1)`` order —
+    exactly the order the historical per-net Python loop produced, so
+    edge lists built on top of it are bit-compatible with the old path.
+    Pairs are materialized by grouping nets by degree: one local triu
+    template per distinct degree, scattered to per-net output offsets.
+    """
+    degrees = netlist.net_degrees
+    valid = degrees >= 2
+    pair_counts = np.where(valid, degrees * (degrees - 1) // 2, 0)
+    total = int(pair_counts.sum())
+    empty = np.zeros(0, dtype=np.int64)
+    if total == 0:
+        return empty, empty.copy(), empty.copy()
+    pair_start = np.zeros(netlist.num_nets + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=pair_start[1:])
+    pin_a = np.empty(total, dtype=np.int64)
+    pin_b = np.empty(total, dtype=np.int64)
+    for d in np.unique(degrees[valid]):
+        d = int(d)
+        ii, jj = np.triu_indices(d, k=1)
+        nets_d = np.flatnonzero(valid & (degrees == d))
+        m = d * (d - 1) // 2
+        dest = (pair_start[nets_d][:, None]
+                + np.arange(m, dtype=np.int64)).ravel()
+        base = netlist.net_start[nets_d][:, None]
+        pin_a[dest] = (base + ii).ravel()
+        pin_b[dest] = (base + jj).ravel()
+    net_of_pair = np.repeat(
+        np.arange(netlist.num_nets, dtype=np.int64), pair_counts,
+    )
+    return pin_a, pin_b, net_of_pair
+
+
 def clique_edges(netlist: Netlist, scale_by_degree: bool = False) -> EdgeList:
     """Clique decomposition: all pin pairs, weight ``w_e/(d-1)``.
 
     With ``scale_by_degree`` the weights become ``w_e/(d(d-1))`` which is
     the analytic elimination of the star model's auxiliary node.
     """
-    a_parts: list[np.ndarray] = []
-    b_parts: list[np.ndarray] = []
-    w_parts: list[np.ndarray] = []
-    degrees = netlist.net_degrees
-    for e in range(netlist.num_nets):
-        d = int(degrees[e])
-        if d < 2:
-            continue
-        pins = np.arange(netlist.net_start[e], netlist.net_start[e + 1],
-                         dtype=np.int64)
-        ii, jj = np.triu_indices(d, k=1)
-        weight = netlist.net_weights[e] / (d - 1)
-        if scale_by_degree:
-            weight /= d
-        a_parts.append(pins[ii])
-        b_parts.append(pins[jj])
-        w_parts.append(np.full(ii.shape[0], weight, dtype=np.float64))
-    if not a_parts:
+    pin_a, pin_b, net_of_pair = clique_pairs(netlist)
+    if pin_a.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty.copy(), np.zeros(0, dtype=np.float64)
-    return (
-        np.concatenate(a_parts),
-        np.concatenate(b_parts),
-        np.concatenate(w_parts),
-    )
+    degrees = netlist.net_degrees
+    # Same two-step division the scalar path performed, so edge weights
+    # stay bit-identical to the historical per-net loop.
+    w_net = netlist.net_weights / np.maximum(degrees - 1, 1)
+    if scale_by_degree:
+        w_net = w_net / np.maximum(degrees, 1)
+    return pin_a, pin_b, w_net[net_of_pair]
 
 
 def star_edges(netlist: Netlist) -> EdgeList:
@@ -215,7 +238,22 @@ def assemble_system(
     Each edge contributes ``w (p_a - p_b)^2`` with ``p = x_cell + offset``.
     Movable-movable edges populate the matrix; edges to fixed cells fold
     into the diagonal and right-hand side; pin offsets shift the rhs.
+
+    This is the *reference* assembler: simple, slow, and the ground
+    truth the planned fast path of
+    :class:`repro.models.assembly.AssemblyPlan` is property-tested
+    against.  Per-iteration callers should prefer an ``AssemblyPlan``.
     """
+    return _reference_assemble(netlist, edges, axis, placement)
+
+
+def _reference_assemble(
+    netlist: Netlist,
+    edges: EdgeList,
+    axis: str,
+    placement: Placement,
+) -> QuadraticSystem:
+    """The historical scatter-based assembly (kept verbatim for tests)."""
     if axis == "x":
         offsets = netlist.pin_dx
         fixed_pos = placement.x
@@ -256,8 +294,8 @@ def assemble_system(
         rows += [sa, sb, sa, sb]
         cols += [sa, sb, sb, sa]
         vals += [wm, wm, -wm, -wm]
-        np.add.at(rhs, sa, -wm * delta)
-        np.add.at(rhs, sb, wm * delta)
+        np.add.at(rhs, sa, -wm * delta)  # statcheck: ignore[R9] reference path
+        np.add.at(rhs, sb, wm * delta)  # statcheck: ignore[R9] reference path
 
     # movable-fixed: w (xa + da - c)^2 with c the fixed pin position
     for m_mask, m_cell, m_off, f_cell, f_off in (
@@ -272,7 +310,7 @@ def assemble_system(
         rows.append(s)
         cols.append(s)
         vals.append(wf)
-        np.add.at(rhs, s, wf * (c - m_off[m_mask]))
+        np.add.at(rhs, s, wf * (c - m_off[m_mask]))  # statcheck: ignore[R9] reference path
 
     if rows:
         matrix = sp.coo_matrix(

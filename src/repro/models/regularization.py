@@ -20,6 +20,22 @@ import numpy as np
 from ..netlist import Netlist, Placement
 from .hpwl import pin_positions
 from .logsumexp import SmoothWirelengthResult
+from .quadratic import clique_pairs
+
+
+def _pair_scatter(
+    netlist: Netlist,
+    pin_a: np.ndarray,
+    pin_b: np.ndarray,
+    term: np.ndarray,
+) -> np.ndarray:
+    """Scatter antisymmetric pair terms onto cells: ``+term`` to the
+    cell of ``pin_a``, ``-term`` to the cell of ``pin_b``."""
+    return np.bincount(
+        np.concatenate([netlist.pin_cell[pin_a], netlist.pin_cell[pin_b]]),
+        weights=np.concatenate([term, -term]),
+        minlength=netlist.num_cells,
+    )
 
 
 def beta_regularized_wirelength(
@@ -28,31 +44,33 @@ def beta_regularized_wirelength(
     beta: float,
     with_grad: bool = True,
 ) -> SmoothWirelengthResult:
-    """Sum over clique edges of ``w_e/(d-1) * sqrt(delta^2 + beta)``."""
+    """Sum over clique edges of ``w_e/(d-1) * sqrt(delta^2 + beta)``.
+
+    Vectorized over all clique pairs at once (the per-net O(d^2)
+    matrices of the original formulation become flat pair arrays); each
+    pair ``(i, j)`` contributes ``+w delta/root`` to cell i's gradient
+    and the negation to cell j's, which is the pairwise split of the
+    historical per-net row sums.
+    """
     if beta <= 0:
         raise ValueError("beta must be positive")
     px, py = pin_positions(netlist, placement)
     grad_x = np.zeros(netlist.num_cells, dtype=np.float64)
     grad_y = np.zeros(netlist.num_cells, dtype=np.float64)
     value = 0.0
+    pin_a, pin_b, net_of_pair = clique_pairs(netlist)
+    if pin_a.size == 0:
+        return SmoothWirelengthResult(value, grad_x, grad_y)
     degrees = netlist.net_degrees
-    for e in range(netlist.num_nets):
-        d = int(degrees[e])
-        if d < 2:
-            continue
-        span = netlist.net_pins(e)
-        cells = netlist.pin_cell[span]
-        weight = netlist.net_weights[e] / (d - 1)
-        for coords, grad in ((px, grad_x), (py, grad_y)):
-            c = coords[span]
-            delta = c[:, None] - c[None, :]
-            root = np.sqrt(delta**2 + beta)
-            ii, jj = np.triu_indices(d, k=1)
-            value += weight * float(root[ii, jj].sum())
-            if with_grad:
-                # d/dc_i of sum sqrt((c_i-c_j)^2+beta) = sum delta/root
-                g = weight * (delta / root).sum(axis=1)
-                np.add.at(grad, cells, g)
+    w_pair = (netlist.net_weights
+              / np.maximum(degrees - 1, 1))[net_of_pair]
+    for coords, grad in ((px, grad_x), (py, grad_y)):
+        delta = coords[pin_a] - coords[pin_b]
+        root = np.sqrt(delta**2 + beta)
+        value += float((w_pair * root).sum())
+        if with_grad:
+            grad += _pair_scatter(netlist, pin_a, pin_b,
+                                  w_pair * (delta / root))
     if with_grad:
         grad_x[~netlist.movable] = 0.0
         grad_y[~netlist.movable] = 0.0
@@ -68,9 +86,11 @@ def pnorm_wirelength(
 ) -> SmoothWirelengthResult:
     """Per-net smooth max: ``(sum |c_i - c_j|^p + beta)^(1/p)``.
 
-    Large ``p`` approaches the true HPWL span from above.  Computed per
-    net over clique pairs; numerically normalized by the largest pairwise
-    distance to avoid overflow for large ``p``.
+    Large ``p`` approaches the true HPWL span from above.  Computed over
+    clique pairs grouped per net (contiguous in :func:`clique_pairs`
+    order, so per-net maxima/sums are ``reduceat`` segment reductions);
+    normalized by the largest pairwise distance per net to avoid
+    overflow for large ``p``.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -78,33 +98,35 @@ def pnorm_wirelength(
     grad_x = np.zeros(netlist.num_cells, dtype=np.float64)
     grad_y = np.zeros(netlist.num_cells, dtype=np.float64)
     value = 0.0
+    pin_a, pin_b, net_of_pair = clique_pairs(netlist)
+    if pin_a.size == 0:
+        return SmoothWirelengthResult(value, grad_x, grad_y)
     degrees = netlist.net_degrees
-    for e in range(netlist.num_nets):
-        d = int(degrees[e])
-        if d < 2:
-            continue
-        span = netlist.net_pins(e)
-        cells = netlist.pin_cell[span]
-        weight = netlist.net_weights[e]
-        for coords, grad in ((px, grad_x), (py, grad_y)):
-            c = coords[span]
-            delta = np.abs(c[:, None] - c[None, :])
-            scale = float(delta.max())
-            if scale <= 0.0:
-                value += weight * beta ** (1.0 / p)
-                continue
-            normed = delta / scale
-            total = float((np.triu(normed**p, k=1)).sum()) + beta / scale**p
-            net_val = scale * total ** (1.0 / p)
-            value += weight * net_val
-            if with_grad:
-                # d(net_val)/dc_i via chain rule on sum |c_i - c_j|^p
-                signed = c[:, None] - c[None, :]
-                contrib = (
-                    np.sign(signed) * normed ** (p - 1.0)
-                )
-                g = weight * total ** (1.0 / p - 1.0) * contrib.sum(axis=1)
-                np.add.at(grad, cells, g)
+    vnets = np.flatnonzero(degrees >= 2)
+    d_v = degrees[vnets]
+    group_start = np.zeros(vnets.size, dtype=np.int64)
+    np.cumsum(d_v[:-1] * (d_v[:-1] - 1) // 2, out=group_start[1:])
+    # Position of each pair within the valid-net grouping.
+    seg = np.repeat(np.arange(vnets.size, dtype=np.int64),
+                    d_v * (d_v - 1) // 2)
+    w_net = netlist.net_weights[vnets]
+    for coords, grad in ((px, grad_x), (py, grad_y)):
+        delta = coords[pin_a] - coords[pin_b]
+        dabs = np.abs(delta)
+        scale = np.maximum.reduceat(dabs, group_start)
+        degenerate = scale <= 0.0
+        value += float((w_net[degenerate] * beta ** (1.0 / p)).sum())
+        scale_safe = np.where(degenerate, 1.0, scale)
+        normed = dabs / scale_safe[seg]
+        total = (np.add.reduceat(normed**p, group_start)
+                 + beta / scale_safe**p)
+        net_val = scale * total ** (1.0 / p)
+        ok = ~degenerate
+        value += float((w_net[ok] * net_val[ok]).sum())
+        if with_grad:
+            coeff = np.where(ok, w_net * total ** (1.0 / p - 1.0), 0.0)
+            term = coeff[seg] * np.sign(delta) * normed ** (p - 1.0)
+            grad += _pair_scatter(netlist, pin_a, pin_b, term)
     if with_grad:
         grad_x[~netlist.movable] = 0.0
         grad_y[~netlist.movable] = 0.0

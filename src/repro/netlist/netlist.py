@@ -122,6 +122,7 @@ class Netlist:
         self._name_to_cell: dict[str, int] | None = None
         self._name_to_net: dict[str, int] | None = None
         self._cell_pins: tuple[np.ndarray, np.ndarray] | None = None
+        self._pin_net_ids: np.ndarray | None = None
         self.validate_structure()
 
     # ------------------------------------------------------------------
@@ -200,10 +201,22 @@ class Netlist:
         return self._cell_pins
 
     def pin_net_ids(self) -> np.ndarray:
-        """Net index of every pin (aligned with ``pin_cell``)."""
-        ids = np.zeros(self.num_pins, dtype=np.int64)
-        ids[self.net_start[1:-1]] = 1
-        return np.cumsum(ids)
+        """Net index of every pin (aligned with ``pin_cell``).
+
+        Memoized: the CSR pin layout of a built ``Netlist`` is immutable,
+        and this array is requested once per axis per placement iteration
+        by the net-model decompositions.  The cached array is returned
+        read-only so an accidental in-place write cannot poison later
+        callers; rebuilding through :class:`NetlistBuilder` produces a
+        fresh ``Netlist`` (and therefore a fresh cache).
+        """
+        if self._pin_net_ids is None:
+            ids = np.zeros(self.num_pins, dtype=np.int64)
+            ids[self.net_start[1:-1]] = 1
+            ids = np.cumsum(ids)
+            ids.setflags(write=False)
+            self._pin_net_ids = ids
+        return self._pin_net_ids
 
     def nets_of_cell(self, cell: int) -> list[int]:
         """Sorted unique net indices incident to ``cell``."""

@@ -113,6 +113,21 @@ def scipy_cg(
     return CGResult(x, iters, residual, info == 0)
 
 
+def _dispatch(
+    matrix: sp.csr_matrix,
+    rhs: np.ndarray,
+    x0: np.ndarray | None,
+    tol: float,
+    max_iter: int | None,
+    backend: str,
+) -> CGResult:
+    if backend == "own":
+        return jacobi_pcg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+    if backend == "scipy":
+        return scipy_cg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+    raise ValueError(f"unknown CG backend {backend!r}")
+
+
 def solve_spd(
     matrix: sp.csr_matrix,
     rhs: np.ndarray,
@@ -120,22 +135,25 @@ def solve_spd(
     tol: float = 1e-6,
     max_iter: int | None = None,
     backend: str = "own",
+    quiet: bool = False,
 ) -> CGResult:
-    """Solve an SPD system with the selected backend (``own``/``scipy``)."""
+    """Solve an SPD system with the selected backend (``own``/``scipy``).
+
+    ``quiet`` skips the telemetry span and metric updates — required when
+    the call runs off the main thread (the tracer's span stack is not
+    thread-safe); the parallel per-axis solver wraps the pair of quiet
+    solves in a single main-thread span instead.
+    """
     fault_hooks.maybe_raise("cg.non_spd")
     if fault_hooks.fire("cg.stall") is not None:
         stalled = (np.zeros(rhs.shape[0], dtype=np.float64) if x0 is None
                    else np.array(x0, dtype=np.float64))
         return CGResult(stalled, 0, float("inf"), False)
+    if quiet:
+        return _dispatch(matrix, rhs, x0, tol, max_iter, backend)
     with telemetry.span("cg_solve", backend=backend,
                         size=int(rhs.shape[0])) as sp_:
-        if backend == "own":
-            result = jacobi_pcg(matrix, rhs, x0=x0, tol=tol,
-                                max_iter=max_iter)
-        elif backend == "scipy":
-            result = scipy_cg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
-        else:
-            raise ValueError(f"unknown CG backend {backend!r}")
+        result = _dispatch(matrix, rhs, x0, tol, max_iter, backend)
         sp_.annotate("iterations", result.iterations)
         sp_.annotate("residual", result.residual)
         sp_.annotate("converged", result.converged)

@@ -17,6 +17,10 @@ R7   broad-except     ``except Exception`` / bare ``except`` outside the
 R8   timing           ``time.time()`` anywhere (durations drift under
                       NTP/DST steps) and print()-style timing in library
                       code (CLI/experiments/viz exempt)
+R9   scatter-add      ``np.add.at`` scatters in kernel packages
+                      (``models``, ``solvers``, ``legalize``,
+                      ``projection``) and per-net Python loops in
+                      ``legalize/``
 ===  ===============  ==========================================================
 
 All rules are pure AST passes; none import the modules they check.
@@ -38,6 +42,7 @@ __all__ = [
     "PublicApiRule",
     "RawMutationRule",
     "NoPrintRule",
+    "ScatterAddRule",
     "TimingDisciplineRule",
 ]
 
@@ -463,6 +468,85 @@ class PublicApiRule(Rule):
             # domain data and annotating them adds noise.
             del vararg
         return False
+
+
+#: Packages whose scatter-accumulations and inner loops R9 polices.
+_KERNEL_PACKAGES = ("models", "solvers", "legalize", "projection")
+
+#: Per-net vocabulary for the legalize-loop half of R9.  Narrower than
+#: R2's _CELL_ITER on purpose: the legalizer is per-cell sequential by
+#: nature (frontier/cluster state), so per-cell loops are legitimate
+#: there — but a loop over nets or pins inside legalization code is
+#: always a smell.
+_NET_ITER = re.compile(r"\b(num_nets|num_pins|nets|pins)\b")
+
+
+@register
+class ScatterAddRule(Rule):
+    """R9: slow scatter-accumulation patterns in kernel packages.
+
+    Two anti-patterns:
+
+    * ``np.add.at(target, idx, vals)`` — the unbuffered ufunc scatter is
+      an order of magnitude slower than
+      ``np.bincount(idx, weights=vals, minlength=n)``, which accumulates
+      in the same element order when the target starts from zeros (a
+      bit-identical replacement; see :mod:`repro.models.assembly`),
+    * per-net Python loops inside ``legalize/`` — R2 polices per-cell
+      and per-net loops in the hot packages; R9 extends the per-net half
+      of that discipline to the legalization package, whose inner loops
+      were vectorized in the hot-path overhaul.
+
+    Deliberate reference paths kept for equivalence tests belong under
+    an inline ``# statcheck: ignore[R9]`` with a justification, or in
+    the baseline.
+    """
+
+    id = "R9"
+    name = "scatter-add"
+    description = ("np.add.at in kernel packages / per-net loop in "
+                   "legalize")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.module.split(".")
+        tail = parts[1:] if parts and parts[0] == "repro" else parts
+        if not tail or tail[0] not in _KERNEL_PACKAGES:
+            return
+        in_legalize = tail[0] == "legalize"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and self._is_add_at(node.func):
+                yield ctx.finding(
+                    self.id, node,
+                    "np.add.at scatter in a kernel package; "
+                    "np.bincount(idx, weights=..., minlength=n) "
+                    "accumulates in the same element order onto zeros "
+                    "and is much faster",
+                )
+            elif in_legalize and isinstance(node, (ast.For, ast.comprehension)):
+                try:
+                    text = ast.unparse(node.iter)
+                # unparse is total on 3.10+; purely defensive.
+                except Exception:  # pragma: no cover  # statcheck: ignore[R7]
+                    continue
+                if _NET_ITER.search(text):
+                    anchor = node if isinstance(node, ast.For) else node.iter
+                    yield ctx.finding(
+                        self.id, anchor,
+                        f"Python-level loop over nets/pins ({text!r}) in "
+                        "legalization code; prefer a vectorized kernel",
+                    )
+
+    @staticmethod
+    def _is_add_at(func: ast.expr) -> bool:
+        """Match ``np.add.at`` / ``numpy.add.at``."""
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "at"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "add"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in _NUMPY_ALIASES
+        )
 
 
 #: Monotonic clock functions (the *right* tools for durations).

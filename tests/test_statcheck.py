@@ -311,6 +311,66 @@ class TestTimingDiscipline:
 
 
 # ----------------------------------------------------------------------
+# R9 scatter-add
+# ----------------------------------------------------------------------
+class TestScatterAdd:
+    MODELS = "src/repro/models/somemod.py"
+    LEGALIZE = "src/repro/legalize/somemod.py"
+
+    def test_fires_on_add_at_in_models(self):
+        src = "np.add.at(rhs, idx, vals)\n"
+        findings = check_source(src, filename=self.MODELS, enable=["R9"])
+        assert rules_of(findings) == ["R9"]
+        assert "bincount" in findings[0].message
+
+    def test_fires_in_every_kernel_package(self):
+        src = "np.add.at(grid, bins, area)\n"
+        for pkg in ("models", "solvers", "legalize", "projection"):
+            filename = f"src/repro/{pkg}/somemod.py"
+            assert len(check_source(src, filename=filename,
+                                    enable=["R9"])) == 1
+
+    def test_quiet_outside_kernel_packages(self):
+        src = "np.add.at(rhs, idx, vals)\n"
+        assert check_source(src, filename=COLD, enable=["R9"]) == []
+        assert check_source(src, filename="src/repro/baselines/nl.py",
+                            enable=["R9"]) == []
+
+    def test_fires_on_per_net_loop_in_legalize(self):
+        src = "for n in range(netlist.num_nets):\n    pass\n"
+        findings = check_source(src, filename=self.LEGALIZE, enable=["R9"])
+        assert len(findings) == 1
+        assert "num_nets" in findings[0].message
+
+    def test_fires_on_pin_comprehension_in_legalize(self):
+        src = "spans = [p for p in pins]\n"
+        assert len(check_source(src, filename=self.LEGALIZE,
+                                enable=["R9"])) == 1
+
+    def test_per_cell_loops_allowed_in_legalize(self):
+        # The legalizer is per-cell sequential by design (frontier /
+        # cluster state); only per-net iteration is flagged there.
+        src = "for cell in order:\n    pass\n"
+        assert check_source(src, filename=self.LEGALIZE, enable=["R9"]) == []
+
+    def test_per_net_loops_in_models_left_to_r2(self):
+        # The loop half of R9 is legalize-only so a hot-module net loop
+        # yields exactly one finding (R2), not two.
+        src = "for n in range(netlist.num_nets):\n    pass\n"
+        findings = check_source(src, filename=self.MODELS,
+                                enable=["R2", "R9"])
+        assert rules_of(findings) == ["R2"]
+
+    def test_quiet_on_bincount(self):
+        src = ("grid = np.bincount(idx, weights=vals, minlength=n)\n")
+        assert check_source(src, filename=self.MODELS, enable=["R9"]) == []
+
+    def test_pragma_suppresses(self):
+        src = "np.add.at(rhs, idx, vals)  # statcheck: ignore[R9] ref path\n"
+        assert check_source(src, filename=self.MODELS, enable=["R9"]) == []
+
+
+# ----------------------------------------------------------------------
 # engine: classification, pragmas, rule selection
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -333,7 +393,7 @@ class TestEngine:
 
     def test_registry_has_the_shipped_rules(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
 
     def test_select_rules_enable_disable(self):
         assert [r.id for r in select_rules(enable=["R1", "R3"])] == ["R1", "R3"]
