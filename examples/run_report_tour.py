@@ -1,0 +1,115 @@
+"""Flight-recorder tour: deep probes, the convergence doctor, an HTML
+run report and the run registry with diffing.
+
+Runs the same design twice — once healthy, once with the
+``lambda_mode="double"`` ablation (which saturates the growth cap by
+construction) — and walks through:
+
+1. the health probes a metrics-enabled run records for free,
+2. ``repro.diagnostics.diagnose`` turning trajectories into findings,
+3. ``repro.report`` rendering a single self-contained HTML file,
+4. ``repro.runs`` archiving both runs and diffing them.
+
+    python examples/run_report_tour.py [suite] [scale]
+"""
+
+import sys
+
+from repro import load_suite, telemetry
+from repro.core import ComPLxConfig, ComPLxPlacer
+from repro.diagnostics import diagnose
+from repro.legalize import abacus_legalize
+from repro.projection import DensityGrid, default_grid_shape
+from repro.report import (
+    build_report,
+    record_stage_totals,
+    render_html,
+    write_report,
+)
+from repro.runs import RunRegistry, diff_run_dirs
+
+
+def run_once(netlist, config):
+    """One fully instrumented run: tracer + registry + legalization."""
+    with telemetry.tracing() as tracer, telemetry.metrics() as registry:
+        result = ComPLxPlacer(netlist, config).place()
+        registry.merge(result.metrics)
+        abacus_legalize(netlist, result.upper)
+    record_stage_totals(registry, tracer)
+    registry.meta["netlist"] = netlist.name
+    registry.meta["lambda_mode"] = config.lambda_mode
+    return result, registry, tracer
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "adaptec1_s"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    netlist = load_suite(suite, scale=scale).netlist
+    print(f"Loaded {netlist}")
+
+    # ------------------------------------------------------------------
+    # 1. A healthy run.  The probes ride along with the metrics
+    #    registry: CG residual histories, per-projection density
+    #    snapshots, a displacement histogram, per-stage memory gauges.
+    # ------------------------------------------------------------------
+    healthy_config = ComPLxConfig(seed=0)
+    result, registry, tracer = run_once(netlist, healthy_config)
+    overflow = registry.series("projection_overflow_percent")
+    print(f"\nProbes: {len(overflow)} projection snapshots, "
+          f"final overflow {overflow.last:.1f}%; "
+          f"{registry.counters().get('cg_solves', 0):.0f} CG solves; "
+          f"peak RSS {registry.gauges()['mem_global_place_peak_rss_mb']:.0f}"
+          " MiB in global_place")
+
+    # ------------------------------------------------------------------
+    # 2. The doctor.  Healthy trajectories produce no findings.
+    # ------------------------------------------------------------------
+    diagnosis = diagnose(registry, config=healthy_config)
+    print(f"\n{diagnosis.render()}")
+
+    # ------------------------------------------------------------------
+    # 3. The report: one self-contained HTML file, charts as inline SVG.
+    # ------------------------------------------------------------------
+    grid_bins = default_grid_shape(netlist.num_movable)
+    grid = DensityGrid(netlist, grid_bins, grid_bins)
+    density = grid.utilization(grid.usage(result.upper), healthy_config.gamma)
+    report = build_report(registry, title=f"{netlist.name} (healthy)",
+                          diagnosis=diagnosis, density=density)
+    write_report("run_report_tour_healthy.html", report)
+    print("\nWrote run_report_tour_healthy.html "
+          "(open in any browser, no network needed)")
+
+    # ------------------------------------------------------------------
+    # 4. Archive it, then run the pathological ablation and archive
+    #    that too: lambda_mode="double" doubles lambda every iteration,
+    #    which the doctor flags as D1 lambda-cap-saturation.
+    # ------------------------------------------------------------------
+    runs = RunRegistry("run_report_tour_runs")
+    runs.capture(registry, name=netlist.name,
+                 report_html=render_html(report), tracer=tracer)
+
+    double_config = ComPLxConfig(seed=0, lambda_mode="double")
+    _, bad_registry, bad_tracer = run_once(netlist, double_config)
+    bad_diagnosis = diagnose(bad_registry, config=double_config)
+    print(f"\nAblation run (lambda_mode='double'):")
+    print(bad_diagnosis.render())
+    bad_report = build_report(bad_registry,
+                              title=f"{netlist.name} (double ablation)",
+                              diagnosis=bad_diagnosis)
+    runs.capture(bad_registry, name=netlist.name,
+                 report_html=render_html(bad_report), tracer=bad_tracer)
+
+    # ------------------------------------------------------------------
+    # 5. Diff the two archived runs: series finals, stage seconds,
+    #    counters, meta -- "what changed" in one command.
+    # ------------------------------------------------------------------
+    ids = runs.run_ids()
+    print(f"\nRegistry now holds: {', '.join(ids)}")
+    diff = diff_run_dirs("run_report_tour_runs", ids[0], ids[1])
+    print(diff.render())
+    print("\nSame thing offline: python -m repro.runs diff "
+          f"{ids[0]} {ids[1]} --runs-dir run_report_tour_runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ import argparse
 import json
 import sys
 
-from .compare import DEFAULT_MIN_SECONDS, compare_docs
+from .compare import DEFAULT_MIN_SECONDS, compare_docs, markdown_summary
 from .runner import run_suite
 from .schema import validate_bench
 from .suites import bench_suite_names
@@ -41,8 +41,9 @@ def _print_summary(doc: dict) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    registries: list | None = [] if args.report else None
     doc = run_suite(args.suite, repeats=args.repeats, scale=args.scale,
-                    progress=print)
+                    progress=print, registry_sink=registries)
     problems = validate_bench(doc)
     if problems:
         for problem in problems:
@@ -52,7 +53,31 @@ def cmd_run(args: argparse.Namespace) -> int:
         json.dump(doc, handle, indent=2, sort_keys=True)
     print(f"wrote {args.json}")
     _print_summary(doc)
+    if args.report:
+        _write_run_reports(args.report, doc, registries or [])
     return 0
+
+
+def _write_run_reports(path: str, doc: dict, registries: list) -> None:
+    """One run report per benched workload; a single workload gets
+    ``path`` itself, more get ``<stem>_<name>_<placer><ext>``."""
+    from ..diagnostics import diagnose
+    from ..report import build_report, write_report
+
+    workloads = doc["workloads"]
+    for workload, registry in zip(workloads, registries):
+        if len(registries) == 1:
+            out = path
+        else:
+            stem, dot, ext = path.rpartition(".")
+            suffix = f"{workload['name']}_{workload['placer']}"
+            out = f"{stem}_{suffix}.{ext}" if dot else f"{path}_{suffix}"
+        title = (f"bench {doc['suite']}: {workload['name']}"
+                 f"@{workload['scale']}/{workload['placer']}")
+        report = build_report(registry, title=title,
+                              diagnosis=diagnose(registry))
+        write_report(out, report)
+        print(f"wrote {out}")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -70,6 +95,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
         hpwl_threshold_percent=args.hpwl_threshold,
         min_seconds=args.min_seconds,
     )
+    if args.markdown is not None:
+        table = markdown_summary(
+            baseline, candidate,
+            threshold_percent=args.threshold,
+            hpwl_threshold_percent=args.hpwl_threshold,
+            min_seconds=args.min_seconds,
+        )
+        if args.markdown == "-":
+            print(table)
+        else:
+            with open(args.markdown, "w") as handle:
+                handle.write(table + "\n")
+            print(f"wrote {args.markdown}")
     for note in notes:
         print(f"note: {note}")
     if regressions:
@@ -119,6 +157,11 @@ def main(argv: list[str] | None = None) -> int:
                             help="runs per workload; the median is kept")
     run_parser.add_argument("--scale", type=float, default=None,
                             help="override every case's workload scale")
+    run_parser.add_argument("--report", default=None, metavar="PATH",
+                            help="also render a run report per workload "
+                                 "(.md Markdown, else single-file HTML); "
+                                 "multiple workloads get the workload "
+                                 "name appended to the stem")
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser(
@@ -135,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
                                 default=DEFAULT_MIN_SECONDS,
                                 help="skip stages whose baseline median "
                                      "is below this many seconds")
+    compare_parser.add_argument("--markdown", nargs="?", const="-",
+                                default=None, metavar="PATH",
+                                help="emit a CI-pasteable Markdown "
+                                     "comparison table (to stdout, or "
+                                     "to PATH when given)")
     compare_parser.set_defaults(func=cmd_compare)
 
     validate_parser = sub.add_parser(

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Regression", "compare_docs"]
+__all__ = ["Regression", "compare_docs", "markdown_summary"]
 
 #: Baseline stage medians below this many seconds are not compared.
 DEFAULT_MIN_SECONDS = 5e-3
@@ -106,3 +106,75 @@ def compare_docs(
         notes.append(f"workload {key[0]}@{key[1]}/{key[2]} "
                      f"not in baseline (new)")
     return regressions, notes
+
+
+def markdown_summary(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    threshold_percent: float = 10.0,
+    hpwl_threshold_percent: float = 2.0,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> str:
+    """A CI-pasteable Markdown table of the comparison.
+
+    One row per compared metric (legalized HPWL plus every stage above
+    ``min_seconds`` in the baseline); regressions beyond the thresholds
+    are flagged in the status column.  Ends with the notes
+    (one-sided workloads) as bullet points.
+    """
+    regressions, notes = compare_docs(
+        baseline, candidate,
+        threshold_percent=threshold_percent,
+        hpwl_threshold_percent=hpwl_threshold_percent,
+        min_seconds=min_seconds,
+    )
+    flagged = {(r.workload, r.kind, r.metric) for r in regressions}
+    base_by_key = {_key(wl): wl for wl in baseline.get("workloads", [])}
+    cand_by_key = {_key(wl): wl for wl in candidate.get("workloads", [])}
+
+    lines = [
+        "### Bench comparison",
+        "",
+        f"Thresholds: timing +{threshold_percent:g}%, "
+        f"HPWL +{hpwl_threshold_percent:g}% "
+        f"(stages under {min_seconds:g}s skipped).",
+        "",
+        "| workload | metric | baseline | candidate | delta | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+
+    def row(workload: str, kind: str, metric: str, base: float,
+            cand: float, unit: str) -> str:
+        percent = 100.0 * (cand - base) / base if base else 0.0
+        status = "**regression**" if (workload, kind, metric) in flagged \
+            else "ok"
+        return (f"| {workload} | {metric} | {base:.4g}{unit} | "
+                f"{cand:.4g}{unit} | {percent:+.1f}% | {status} |")
+
+    for key in sorted(base_by_key, key=str):
+        cand_wl = cand_by_key.get(key)
+        if cand_wl is None:
+            continue
+        base_wl = base_by_key[key]
+        name = f"{key[0]}@{key[1]}/{key[2]}"
+        base_hpwl = float(base_wl.get("quality", {}).get("hpwl", 0.0))
+        cand_hpwl = float(cand_wl.get("quality", {}).get("hpwl", 0.0))
+        if base_hpwl > 0:
+            lines.append(row(name, "quality", "hpwl", base_hpwl,
+                             cand_hpwl, ""))
+        cand_timings = cand_wl.get("timings", {})
+        for stage in sorted(base_wl.get("timings", {})):
+            base_s = float(base_wl["timings"][stage].get("median_s", 0.0))
+            if base_s < min_seconds or stage not in cand_timings:
+                continue
+            cand_s = float(cand_timings[stage].get("median_s", 0.0))
+            lines.append(row(name, "timing", stage, base_s, cand_s, "s"))
+
+    if notes:
+        lines.append("")
+        lines.extend(f"- note: {note}" for note in notes)
+    lines.append("")
+    verdict = f"{len(regressions)} regression(s)." if regressions \
+        else "No regressions."
+    lines.append(verdict)
+    return "\n".join(lines)

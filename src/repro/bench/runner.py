@@ -27,20 +27,39 @@ from .suites import BenchCase, get_suite
 __all__ = ["run_case", "run_suite"]
 
 
-def _one_run(case: BenchCase, netlist) -> tuple[dict[str, Any], Any, Any]:
+def _one_run(case: BenchCase, netlist) -> tuple[dict[str, Any], Any, Any, Any]:
     """One traced placement+legalization; returns (stage totals, result,
-    legal placement)."""
+    legal placement, merged registry)."""
     placer = make_placer(case.placer, netlist, gamma=case.gamma,
                          seed=case.seed)
-    with telemetry.tracing() as tracer, telemetry.metrics():
+    with telemetry.tracing() as tracer, telemetry.metrics() as registry:
         result = placer.place()
         legal = abacus_legalize(netlist, result.upper)
     totals = {name: stats for name, stats in tracer.aggregate().items()}
-    return totals, result, legal
+    # Fold the per-iteration series in with the cross-stage
+    # counters/gauges and stage totals so the registry is
+    # report-complete on its own.
+    registry.merge(result.metrics)
+    registry.meta["netlist"] = netlist.name
+    registry.meta["placer"] = case.placer
+    for name, stats in sorted(totals.items()):
+        registry.gauge(f"stage_{name}_total_s").set(stats.total_s)
+        registry.gauge(f"stage_{name}_count").set(float(stats.count))
+    return totals, result, legal, registry
 
 
-def run_case(case: BenchCase, repeats: int = 3) -> dict[str, Any]:
-    """Benchmark one case; returns its workload entry for the document."""
+def run_case(
+    case: BenchCase,
+    repeats: int = 3,
+    registry_sink: list | None = None,
+) -> dict[str, Any]:
+    """Benchmark one case; returns its workload entry for the document.
+
+    ``registry_sink``, when a list, receives the first repeat's merged
+    :class:`~repro.telemetry.MetricsRegistry` (per-iteration series +
+    cross-stage instruments + stage-total gauges) — what ``repro.bench
+    run --report`` renders into the run report.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     design = load_suite(case.workload, scale=case.scale)
@@ -50,10 +69,12 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict[str, Any]:
     first_result = None
     first_legal = None
     for i in range(repeats):
-        totals, result, legal = _one_run(case, netlist)
+        totals, result, legal, run_registry = _one_run(case, netlist)
         per_run.append(totals)
         if i == 0:
             first_result, first_legal = result, legal
+            if registry_sink is not None:
+                registry_sink.append(run_registry)
 
     # Median across repeats, stage by stage.  A stage absent from a run
     # (e.g. a fallback that only fired once) counts as 0 there.
@@ -114,11 +135,14 @@ def run_suite(
     repeats: int = 3,
     scale: float | None = None,
     progress=None,
+    registry_sink: list | None = None,
 ) -> dict[str, Any]:
     """Run a named suite; returns the schema-valid bench document.
 
     ``scale`` overrides every case's workload scale (test shrinkage);
-    ``progress`` is an optional ``callable(str)`` for status lines.
+    ``progress`` is an optional ``callable(str)`` for status lines;
+    ``registry_sink`` collects one metrics registry per workload (see
+    :func:`run_case`).
     """
     cases = get_suite(suite, scale=scale)
     workloads = []
@@ -126,7 +150,8 @@ def run_suite(
         if progress is not None:
             progress(f"bench {case.workload} (scale {case.scale}, "
                      f"placer {case.placer}, {repeats} repeats)...")
-        workloads.append(run_case(case, repeats=repeats))
+        workloads.append(run_case(case, repeats=repeats,
+                                  registry_sink=registry_sink))
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": suite,

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
+import hashlib
+import json
 import logging
 import os
 import sys
@@ -27,11 +30,16 @@ from . import telemetry
 from .analysis import analyze_placement
 from .core.config import ResilienceConfig
 from .detailed import DetailedPlacer
+from .diagnostics import diagnose
 from .experiments.common import make_placer
 from .legalize import abacus_legalize, tetris_legalize
 from .models import hpwl
 from .netlist.bookshelf import BookshelfError, read_aux, write_aux
+from .projection.grid import DensityGrid, default_grid_shape
+from .report import build_report, record_stage_totals, render_html, \
+    write_report
 from .resilience import CheckpointError, legalize_with_fallback
+from .runs import RunRegistry
 from .viz import placement_svg
 from .workloads import load_suite, suite_names
 
@@ -85,6 +93,15 @@ def _add_place_args(parser: argparse.ArgumentParser) -> None:
                         help="write the run's telemetry metrics "
                              "(per-iteration series, counters, gauges) "
                              "as JSON")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write a self-contained run report "
+                             "(convergence charts, doctor findings, "
+                             "stage times); .md renders Markdown, "
+                             "anything else single-file HTML")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="archive the run (metrics, manifest, report, "
+                             "trace) under DIR/<design>-NNNN/ for later "
+                             "'python -m repro.runs diff'")
 
 
 def _legalizer_chain(preferred: str) -> list[tuple[str, object]]:
@@ -99,15 +116,15 @@ def cmd_place(args: argparse.Namespace) -> int:
     """Place a Bookshelf design end to end (with optional telemetry)."""
     with contextlib.ExitStack() as stack:
         tracer = registry = None
-        if args.trace:
+        if args.trace or args.report or args.run_dir:
             tracer = stack.enter_context(telemetry.tracing())
-        if args.metrics_json:
+        if args.metrics_json or args.report or args.run_dir:
             registry = stack.enter_context(telemetry.metrics())
         code = _place_flow(args)
-    if registry is not None:
+    if registry is not None and args.metrics_json:
         registry.write_json(args.metrics_json)
         print(f"wrote {args.metrics_json}")
-    if tracer is not None:
+    if tracer is not None and args.trace:
         if args.trace.endswith(".jsonl"):
             tracer.write_jsonl(args.trace)
         else:
@@ -154,9 +171,10 @@ def _place_flow(args: argparse.Namespace) -> int:
         registry.merge(result.metrics)
         registry.meta["netlist"] = netlist.name
         registry.meta["placer"] = args.placer
-    report = getattr(result, "extras", {}).get("resilience")
-    if report and report["events"]:
-        print(f"recovery: {report['summary']}")
+    resilience_report = getattr(result, "extras", {}).get("resilience")
+    recovery_events = resilience_report["events"] if resilience_report else []
+    if recovery_events:
+        print(f"recovery: {resilience_report['summary']}")
 
     chain = _legalizer_chain(args.legalizer)
     t1 = time.perf_counter()
@@ -190,7 +208,61 @@ def _place_flow(args: argparse.Namespace) -> int:
         placement_svg(netlist, final, args.svg,
                       title=f"{netlist.name} ({args.placer})")
         print(f"wrote {args.svg}")
+
+    if registry is not None and (args.report or args.run_dir):
+        _emit_run_report(args, netlist, placer, final, registry,
+                         recovery_events)
     return 0
+
+
+def _fingerprints(netlist, placer) -> dict[str, str]:
+    """Short stable digests identifying the design and the config."""
+    digest = hashlib.sha256()
+    digest.update(str((netlist.num_cells, netlist.num_nets)).encode())
+    for array in (netlist.areas, netlist.widths, netlist.heights):
+        digest.update(array.tobytes())
+    out = {"netlist_fingerprint": digest.hexdigest()[:16]}
+    config = getattr(placer, "config", None)
+    if config is not None:
+        try:
+            doc = dataclasses.asdict(config)
+        except TypeError:
+            doc = {"repr": repr(config)}
+        encoded = json.dumps(doc, sort_keys=True, default=str).encode()
+        out["config_fingerprint"] = \
+            hashlib.sha256(encoded).hexdigest()[:16]
+    return out
+
+
+def _emit_run_report(args, netlist, placer, final, registry,
+                     recovery_events) -> None:
+    """Render the run report and/or archive the run (place --report /
+    --run-dir)."""
+    tracer = telemetry.get_tracer()
+    if tracer is not None:
+        record_stage_totals(registry, tracer)
+    if recovery_events:
+        registry.meta["recovery_events"] = json.dumps(recovery_events)
+    registry.meta.update(_fingerprints(netlist, placer))
+    bins = default_grid_shape(netlist.num_movable)
+    grid = DensityGrid(netlist, bins, bins)
+    density = grid.utilization(grid.usage(final), args.gamma)
+    diagnosis = diagnose(registry, config=getattr(placer, "config", None),
+                         recovery_events=recovery_events)
+    run_report = build_report(
+        registry, title=f"{netlist.name} ({args.placer})",
+        diagnosis=diagnosis, density=density,
+        recovery_events=recovery_events)
+    if args.report:
+        write_report(args.report, run_report)
+        print(f"wrote {args.report}")
+        if not diagnosis.ok:
+            print(diagnosis.render())
+    if args.run_dir:
+        run_dir = RunRegistry(args.run_dir).capture(
+            registry, name=netlist.name,
+            report_html=render_html(run_report), tracer=tracer)
+        print(f"captured {run_dir}")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -209,6 +281,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     netlist, placement = read_aux(args.aux)
     report = analyze_placement(netlist, placement, gamma=args.gamma)
     print(report.render())
+    if args.report:
+        registry = telemetry.MetricsRegistry()
+        registry.meta["netlist"] = netlist.name
+        registry.gauge("hpwl").set(report.hpwl)
+        registry.gauge("density_overflow_percent").set(
+            report.density.overflow_percent)
+        registry.gauge("density_max_utilization").set(
+            report.density.max_utilization)
+        registry.gauge("net_hpwl_p95").set(report.net_lengths.p95)
+        registry.gauge("legal").set(1.0 if report.legal else 0.0)
+        bins = default_grid_shape(netlist.num_movable)
+        grid = DensityGrid(netlist, bins, bins)
+        density = grid.utilization(grid.usage(placement), args.gamma)
+        write_report(args.report, build_report(
+            registry, title=f"analysis: {netlist.name}", density=density))
+        print(f"wrote {args.report}")
     return 0
 
 
@@ -238,6 +326,9 @@ def main(argv: list[str] | None = None) -> int:
         "analyze", help="quality report for a design's .pl placement")
     analyze_parser.add_argument("aux")
     analyze_parser.add_argument("--gamma", type=float, default=1.0)
+    analyze_parser.add_argument("--report", default=None, metavar="PATH",
+                                help="write a density/quality report "
+                                     "(.md Markdown, else HTML)")
     analyze_parser.set_defaults(func=cmd_analyze)
 
     args = parser.parse_args(argv)

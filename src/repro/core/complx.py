@@ -37,7 +37,7 @@ from ..models.hpwl import weighted_hpwl
 from ..models.logsumexp import lse_wirelength
 from ..netlist import Netlist, Placement
 from ..projection import FeasibilityProjection
-from ..solvers.cg import solve_spd
+from ..solvers.cg import record_cg_solve, solve_spd
 from ..solvers.nonlinear_cg import minimize_nlcg
 from .anchors import add_anchors_to_system
 from .config import ComPLxConfig
@@ -273,29 +273,50 @@ class ComPLxPlacer:
         if config.solver_threads > 1 and self.supervisor is None:
             # The Jacobi-PCG matvecs release the GIL, so two worker
             # threads overlap the x and y solves.  Workers run quiet
-            # (no spans/metrics); this main-thread span covers the pair.
+            # (the tracer's span stack is not thread-safe) but time
+            # themselves with perf_counter when a tracer is installed;
+            # the completed intervals are recorded from the main thread
+            # on dedicated trace lanes so the overlap is visible in
+            # chrome://tracing.  Metrics are recorded from the main
+            # thread too, matching the sequential path.
+            tracer = telemetry.get_tracer()
+            registry = telemetry.get_metrics()
+
+            def _solve_one(axis: str):
+                t0 = time.perf_counter() if tracer is not None else 0.0
+                solution = solve_spd(
+                    systems[axis].matrix, systems[axis].rhs,
+                    x0=warms[axis], tol=config.cg_tol,
+                    max_iter=config.cg_max_iter,
+                    backend=config.cg_backend, quiet=True,
+                    collect_residuals=registry is not None,
+                )
+                t1 = time.perf_counter() if tracer is not None else 0.0
+                return solution, t0, t1
+
             with telemetry.span("cg_solve", backend=config.cg_backend,
                                 threads=2) as sp:
                 with ThreadPoolExecutor(max_workers=2) as pool:
-                    futures = {
-                        axis: pool.submit(
-                            solve_spd, systems[axis].matrix,
-                            systems[axis].rhs, x0=warms[axis],
-                            tol=config.cg_tol, max_iter=config.cg_max_iter,
-                            backend=config.cg_backend, quiet=True,
-                        )
-                        for axis in ("x", "y")
-                    }
-                    solutions = {axis: f.result()
-                                 for axis, f in futures.items()}
+                    futures = {axis: pool.submit(_solve_one, axis)
+                               for axis in ("x", "y")}
+                    timed = {axis: f.result()
+                             for axis, f in futures.items()}
+                solutions = {axis: t[0] for axis, t in timed.items()}
                 sp.annotate("iterations", sum(
                     s.iterations for s in solutions.values()))
-            registry = telemetry.get_metrics()
+                if tracer is not None:
+                    for tid, axis in ((2, "x"), (3, "y")):
+                        solution, t0, t1 = timed[axis]
+                        tracer.record_span(
+                            "cg_solve_axis", t0, t1, tid=tid, axis=axis,
+                            backend=config.cg_backend,
+                            iterations=solution.iterations,
+                            residual=solution.residual,
+                            converged=solution.converged,
+                        )
             if registry is not None:
-                for s in solutions.values():
-                    registry.counter("cg_solves").inc()
-                    registry.counter("cg_iterations_total").inc(s.iterations)
-                    registry.gauge("cg_last_residual").set(s.residual)
+                for axis in ("x", "y"):
+                    record_cg_solve(registry, solutions[axis])
             return solutions
         solutions = {}
         for axis in ("x", "y"):
@@ -585,6 +606,7 @@ class ComPLxPlacer:
                                     sweeps=max(config.init_sweeps, 1)):
                     for _ in range(max(config.init_sweeps, 1)):
                         lower = self._primal_step(lower, anchor=None, lam=0.0)
+                telemetry.record_stage_memory("init_sweeps")
                 if checker is not None:
                     checker.after_init(lower)
                 state = _LoopState(
@@ -612,6 +634,7 @@ class ComPLxPlacer:
                     break
             if not stop and not state.history.stop_reason:
                 state.history.stop_reason = "max_iterations"
+            telemetry.record_stage_memory("global_place")
         finally:
             place_span.__exit__(None, None, None)
             self.supervisor = None

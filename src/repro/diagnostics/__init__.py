@@ -1,0 +1,32 @@
+"""The convergence doctor: rule-based diagnosis of placement runs.
+
+ComPLx's health is its trajectory — lambda growth, Pi decay, the
+Phi bound gap closing (paper Formulas 8-12).  The doctor walks the
+recorded telemetry series of a run (``result.metrics`` or a saved
+metrics JSON) with a fixed battery of detectors and emits structured
+:class:`Finding`\\ s: what looks wrong, how severe, over which
+iterations, and which knobs to try.
+
+::
+
+    from repro.diagnostics import diagnose
+
+    diagnosis = diagnose(result.metrics, config=config)
+    for finding in diagnosis.findings:
+        print(finding.render())
+
+Detector reference (see ``docs/observability.md`` for the full rule
+catalog): D1 lambda-cap saturation, D2 Pi plateau/oscillation, D3
+duality gap not closing, D4 CG stall clusters, D5 overflow regression
+after projection, D6 recovery churn.
+"""
+
+from .findings import Diagnosis, Finding
+from .doctor import DOCTOR_RULES, diagnose
+
+__all__ = [
+    "DOCTOR_RULES",
+    "Diagnosis",
+    "Finding",
+    "diagnose",
+]

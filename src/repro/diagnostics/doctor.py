@@ -1,0 +1,379 @@
+"""The detector battery behind :func:`diagnose`.
+
+Each detector is a pure function over a :class:`DoctorContext` (recorded
+series + config knobs + recovery events) yielding zero or more
+:class:`~repro.diagnostics.findings.Finding`\\ s.  Detectors must be
+conservative: a healthy run — lambda leaving its cap once Pi-ratio
+growth takes over, Pi decaying, the gap closing — produces no findings.
+Thresholds are tuned against the bench smoke suite's pinned-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..telemetry import MetricsRegistry
+from .findings import Diagnosis, Finding
+
+__all__ = ["DOCTOR_RULES", "DoctorContext", "diagnose"]
+
+
+@dataclass
+class DoctorContext:
+    """Everything one detector pass can look at."""
+
+    registry: MetricsRegistry
+    lambda_growth_cap: float = 2.0
+    gap_tol: float = 0.08
+    recovery_events: list[dict[str, Any]] = field(default_factory=list)
+
+    def series(self, name: str) -> np.ndarray:
+        if not self.registry.has_series(name):
+            return np.zeros(0, dtype=np.float64)
+        return self.registry.series(name).as_array()
+
+    def series_index(self, name: str) -> np.ndarray:
+        if not self.registry.has_series(name):
+            return np.zeros(0, dtype=np.int64)
+        return self.registry.series(name).iteration_array()
+
+    def counter(self, name: str) -> float:
+        return self.registry.counters().get(name, 0.0)
+
+    @property
+    def stop_reason(self) -> str:
+        return self.registry.meta.get("stop_reason", "")
+
+    @property
+    def iterations(self) -> int:
+        return len(self.series("lam"))
+
+
+Detector = Callable[[DoctorContext], Iterator[Finding]]
+
+
+def _span(index: np.ndarray, mask: np.ndarray) -> tuple[int, int] | None:
+    """(first, last) index values where ``mask`` holds."""
+    where = np.flatnonzero(mask)
+    if where.size == 0:
+        return None
+    return int(index[where[0]]), int(index[where[-1]])
+
+
+# ----------------------------------------------------------------------
+# D1: lambda saturating at its growth cap
+# ----------------------------------------------------------------------
+def detect_lambda_cap_saturation(ctx: DoctorContext) -> Iterator[Finding]:
+    """Formula (12) caps lambda growth at ``growth_cap`` per iteration;
+    the cap is *meant* to bind for the first few iterations and then
+    hand over to Pi-proportional additive growth.  A schedule still
+    pinned to the cap in the closing half of the run means the additive
+    term never took over — lambda is exploding geometrically, and the
+    anchors will crush wirelength before the gap closes."""
+    lam = ctx.series("lam")
+    index = ctx.series_index("lam")
+    if lam.shape[0] < 6 or np.any(lam[:-1] <= 0):
+        return
+    ratios = lam[1:] / lam[:-1]
+    capped = ratios >= ctx.lambda_growth_cap * (1.0 - 1e-9)
+    half = capped.shape[0] // 2
+    tail = capped[half:]
+    if tail.size == 0:
+        return
+    fraction = float(tail.mean())
+    if fraction < 0.6:
+        return
+    severity = "critical" if fraction >= 0.9 else "warning"
+    yield Finding(
+        rule="D1", name="lambda-cap-saturation", severity=severity,
+        summary=(f"lambda hit its x{ctx.lambda_growth_cap:g} growth cap in "
+                 f"{100 * fraction:.0f}% of the last "
+                 f"{tail.shape[0]} updates (geometric growth never "
+                 "handed over to the Pi-proportional term)"),
+        iteration_range=_span(index[1:][half:], tail),
+        suggestions=(
+            "check Pi is actually decreasing (projection quality); a flat "
+            "Pi keeps the additive term large",
+            "lower lambda_h_factor so the additive branch of Formula (12) "
+            "binds sooner",
+            "if running lambda_mode='double', that ablation grows at the "
+            "cap by construction — use mode 'complx'",
+        ),
+        evidence={"capped_fraction": fraction,
+                  "growth_cap": float(ctx.lambda_growth_cap)},
+    )
+
+
+# ----------------------------------------------------------------------
+# D2: Pi plateau or oscillation
+# ----------------------------------------------------------------------
+def detect_pi_stagnation(ctx: DoctorContext) -> Iterator[Finding]:
+    """Pi (the L1 distance to feasibility, Formula 3) must trend to zero.
+    A *plateau* far above zero means the primal step and the projection
+    are fighting to a standstill; an *oscillation* is the local-optima
+    trap — iterates bouncing between basins instead of settling."""
+    pi = ctx.series("pi")
+    index = ctx.series_index("pi")
+    if pi.shape[0] < 8 or pi[0] <= 0:
+        return
+    window = max(4, pi.shape[0] // 3)
+    tail = pi[-window:]
+    tail_index = index[-window:]
+    mean_tail = float(tail.mean())
+    if mean_tail <= 0:
+        return
+    rel_range = float((tail.max() - tail.min()) / mean_tail)
+    still_high = pi[-1] > 0.25 * pi[0]
+    if still_high and rel_range < 0.05:
+        yield Finding(
+            rule="D2", name="pi-plateau", severity="warning",
+            summary=(f"Pi plateaued at {pi[-1]:.4g} "
+                     f"({100 * pi[-1] / pi[0]:.0f}% of its initial value) "
+                     f"over the last {window} iterations"),
+            iteration_range=(int(tail_index[0]), int(tail_index[-1])),
+            suggestions=(
+                "raise max_iterations only if Pi was still falling before "
+                "the plateau; otherwise it will not help",
+                "refine the grid sooner (smaller refine_every) so the "
+                "projection stops moving cells between coarse bins",
+                "lower gamma slack: a too-tight density target can make "
+                "P_C displace the same cells every iteration",
+            ),
+            evidence={"pi_final": float(pi[-1]),
+                      "pi_initial": float(pi[0]),
+                      "relative_range": rel_range},
+        )
+        return
+    diffs = np.diff(tail)
+    if diffs.shape[0] >= 4:
+        signs = np.sign(diffs)
+        flips = float(np.count_nonzero(signs[1:] * signs[:-1] < 0))
+        flip_rate = flips / (diffs.shape[0] - 1)
+        swing = float(np.abs(diffs).mean() / mean_tail)
+        if still_high and flip_rate >= 0.6 and swing > 0.15:
+            yield Finding(
+                rule="D2", name="pi-oscillation", severity="warning",
+                summary=(f"Pi is oscillating (direction flips in "
+                         f"{100 * flip_rate:.0f}% of the last {window} "
+                         f"steps, mean swing {100 * swing:.0f}% of its "
+                         "level) instead of decaying"),
+                iteration_range=(int(tail_index[0]), int(tail_index[-1])),
+                suggestions=(
+                    "damp the schedule: smaller lambda_h_factor or "
+                    "lambda_growth_cap slows the anchor strength ramp",
+                    "increase init_sweeps so the primal iterate starts "
+                    "closer to its fixed point",
+                ),
+                evidence={"flip_rate": flip_rate, "swing": swing},
+            )
+
+
+# ----------------------------------------------------------------------
+# D3: duality gap not closing
+# ----------------------------------------------------------------------
+def detect_gap_not_closing(ctx: DoctorContext) -> Iterator[Finding]:
+    """The weak-duality sandwich (Formula 7-8) is the stopping
+    criterion; a run that burns its whole iteration budget with the
+    relative gap stuck far above ``gap_tol`` converged to nothing."""
+    phi_lb = ctx.series("phi_lower")
+    phi_ub = ctx.series("phi_upper")
+    index = ctx.series_index("phi_upper")
+    if phi_ub.shape[0] < 6 or np.any(phi_ub <= 0):
+        return
+    gap = np.maximum(phi_ub - phi_lb, 0.0) / phi_ub
+    final = float(gap[-1])
+    threshold = 2.0 * ctx.gap_tol
+    if final <= threshold:
+        return
+    half = gap.shape[0] // 2
+    early = float(np.median(gap[:half]))
+    no_progress = early <= 0 or final >= 0.9 * early
+    if ctx.stop_reason == "max_iterations" or \
+            (ctx.stop_reason == "" and no_progress):
+        severity = "critical" if no_progress else "warning"
+        yield Finding(
+            rule="D3", name="gap-not-closing", severity=severity,
+            summary=(f"relative duality gap ended at {100 * final:.0f}% "
+                     f"(tolerance {100 * ctx.gap_tol:.0f}%) after "
+                     f"exhausting the iteration budget"),
+            iteration_range=(int(index[half]), int(index[-1])),
+            suggestions=(
+                "a large stable gap usually means the lower bound is "
+                "loose, not that the placement is bad — check Phi_upper "
+                "is still improving before spending more iterations",
+                "raise max_iterations if both bounds were still moving",
+                "check D1/D2 findings first: a saturated lambda or a Pi "
+                "plateau upstream keeps the gap open",
+            ),
+            evidence={"final_gap": final, "median_early_gap": early,
+                      "gap_tol": float(ctx.gap_tol)},
+        )
+
+
+# ----------------------------------------------------------------------
+# D4: CG stall clusters
+# ----------------------------------------------------------------------
+def detect_cg_stalls(ctx: DoctorContext) -> Iterator[Finding]:
+    """Unconverged CG solves (stalls, non-SPD breakdowns, injected
+    faults) recorded by :func:`repro.solvers.cg.record_cg_solve`.  A
+    single stall is survivable; a cluster means every primal step is
+    running on a half-solved system."""
+    stalls = ctx.counter("cg_stalls")
+    if stalls <= 0:
+        return
+    ordinals = ctx.series_index("cg_stall_solves")
+    total = ctx.counter("cg_solves")
+    consecutive = bool(
+        ordinals.shape[0] >= 2 and np.any(np.diff(ordinals) == 1))
+    severity = "critical" if stalls >= 3 or consecutive else "warning"
+    span = (int(ordinals[0]), int(ordinals[-1])) if ordinals.size else None
+    yield Finding(
+        rule="D4", name="cg-stall-cluster", severity=severity,
+        summary=(f"{stalls:.0f} of {total:.0f} CG solves did not converge"
+                 + (" (consecutive solves affected)" if consecutive else "")
+                 + "; ranges below are solve ordinals, not iterations"),
+        iteration_range=span,
+        suggestions=(
+            "raise cg_max_iter or loosen cg_tol",
+            "switch cg_backend to 'scipy' to cross-check the stall",
+            "enable resilience (resilient_config()): the supervisor "
+            "retries stalled solves with regularization and backend "
+            "fallback",
+        ),
+        evidence={"stalls": float(stalls), "solves": float(total)},
+    )
+
+
+# ----------------------------------------------------------------------
+# D5: overflow regressing after projection
+# ----------------------------------------------------------------------
+def detect_overflow_regression(ctx: DoctorContext) -> Iterator[Finding]:
+    """Overflow bounces a few points iteration to iteration (and jumps
+    legitimately when the grid refines: a finer grid sees more local
+    congestion), so single-step regressions are noise.  The pathology is
+    *sustained* worsening: on the final same-grid stretch of the run the
+    later half sits clearly above the earlier half — P_C is
+    re-congesting bins the run had already cleared."""
+    overflow = ctx.series("overflow_percent")
+    bins = ctx.series("grid_bins")
+    index = ctx.series_index("overflow_percent")
+    if overflow.shape[0] < 8 or bins.shape[0] != overflow.shape[0]:
+        return
+    # Longest suffix at the final grid resolution.
+    start = overflow.shape[0] - 1
+    while start > 0 and bins[start - 1] == bins[-1]:
+        start -= 1
+    segment = overflow[start:]
+    if segment.shape[0] < 6:
+        return
+    half = segment.shape[0] // 2
+    median_early = float(np.median(segment[:half]))
+    median_late = float(np.median(segment[half:]))
+    if median_late <= median_early + 2.0 or \
+            median_late <= 1.3 * median_early:
+        return
+    yield Finding(
+        rule="D5", name="overflow-regression", severity="warning",
+        summary=(f"density overflow is trending up on the final grid: "
+                 f"median {median_early:.1f}% over iterations "
+                 f"{int(index[start])}-{int(index[start + half - 1])} but "
+                 f"{median_late:.1f}% afterwards — the projection is "
+                 "re-congesting bins the run had already cleared"),
+        iteration_range=(int(index[start + half]), int(index[-1])),
+        suggestions=(
+            "lower lambda_h_factor: over-strong anchors drag cells back "
+            "into cleared bins between projections",
+            "check movable macros: shredded macros re-rasterize "
+            "differently between iterations and can flip bins",
+        ),
+        evidence={"median_early": median_early,
+                  "median_late": median_late},
+    )
+
+
+# ----------------------------------------------------------------------
+# D6: recovery churn
+# ----------------------------------------------------------------------
+def detect_recovery_churn(ctx: DoctorContext) -> Iterator[Finding]:
+    """A handful of recoveries is the resilience runtime doing its job;
+    recoveries on a large fraction of iterations mean the run limped
+    through on rollbacks and the trajectory can't be trusted."""
+    events = ctx.recovery_events
+    count = len(events) if events else int(ctx.counter("recovery_events"))
+    if count <= 0:
+        return
+    iterations = max(ctx.iterations, 1)
+    threshold = max(4, int(np.ceil(0.25 * iterations)))
+    if count < threshold:
+        return
+    faults = sorted({str(e.get("fault", "?")) for e in events}) if events \
+        else []
+    detail = f" (faults: {', '.join(faults)})" if faults else ""
+    severity = "critical" if count >= iterations else "warning"
+    span = None
+    if events:
+        its = [int(e["iteration"]) for e in events if "iteration" in e]
+        if its:
+            span = (min(its), max(its))
+    yield Finding(
+        rule="D6", name="recovery-churn", severity=severity,
+        summary=(f"{count} recovery events over {iterations} iterations"
+                 f"{detail} — the supervisor spent the run rolling back"),
+        iteration_range=span,
+        suggestions=(
+            "inspect the dominant fault class in the recovery log; "
+            "recurring cg_stall points at the solver config, recurring "
+            "numerical/invariant faults at the model or netlist",
+            "raise max_retries only after fixing the root cause; more "
+            "retries on a deterministic fault just burn time",
+        ),
+        evidence={"events": float(count), "iterations": float(iterations)},
+    )
+
+
+#: The doctor's battery, in reporting order: (id, slug, detector).
+DOCTOR_RULES: list[tuple[str, str, Detector]] = [
+    ("D1", "lambda-cap-saturation", detect_lambda_cap_saturation),
+    ("D2", "pi-stagnation", detect_pi_stagnation),
+    ("D3", "gap-not-closing", detect_gap_not_closing),
+    ("D4", "cg-stall-cluster", detect_cg_stalls),
+    ("D5", "overflow-regression", detect_overflow_regression),
+    ("D6", "recovery-churn", detect_recovery_churn),
+]
+
+
+def diagnose(
+    registry: MetricsRegistry,
+    config: Any = None,
+    recovery_events: list[dict[str, Any]] | None = None,
+) -> Diagnosis:
+    """Run every detector over a run's metrics registry.
+
+    ``config`` (a :class:`~repro.core.config.ComPLxConfig`, or anything
+    with the same attribute names) supplies the thresholds the run
+    actually used; without it the paper defaults apply.
+    ``recovery_events`` takes the supervisor report's event dicts
+    (``result.extras["resilience"]["events"]``); when omitted, the
+    ``recovery_events`` counter and the JSON-encoded
+    ``recovery_events`` meta key (written by the CLI) are consulted.
+    """
+    if recovery_events is None:
+        encoded = registry.meta.get("recovery_events", "")
+        if encoded:
+            import json
+
+            recovery_events = json.loads(encoded)
+    ctx = DoctorContext(
+        registry=registry,
+        lambda_growth_cap=float(getattr(config, "lambda_growth_cap", 2.0)),
+        gap_tol=float(getattr(config, "gap_tol", 0.08)),
+        recovery_events=recovery_events or [],
+    )
+    diagnosis = Diagnosis()
+    for rule_id, _slug, detector in DOCTOR_RULES:
+        diagnosis.rules_checked.append(rule_id)
+        diagnosis.findings.extend(detector(ctx))
+    return diagnosis

@@ -1,0 +1,99 @@
+"""Structured doctor output: findings and the diagnosis container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Diagnosis", "Finding", "SEVERITIES"]
+
+#: Recognized severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected pathology in a run's trajectory.
+
+    ``iteration_range`` is the (first, last) iteration the evidence
+    spans, when the detector can localize it (per-solve detectors use
+    solve ordinals instead and say so in the summary).
+    ``suggestions`` name concrete config knobs or actions to try.
+    """
+
+    rule: str                  # detector id, e.g. "D1"
+    name: str                  # short slug, e.g. "lambda-cap-saturation"
+    severity: str              # "info" | "warning" | "critical"
+    summary: str               # one-line human statement
+    iteration_range: tuple[int, int] | None = None
+    suggestions: tuple[str, ...] = ()
+    evidence: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def render(self) -> str:
+        where = ""
+        if self.iteration_range is not None:
+            lo, hi = self.iteration_range
+            where = f" [iterations {lo}-{hi}]"
+        lines = [f"{self.severity.upper()} {self.rule} {self.name}: "
+                 f"{self.summary}{where}"]
+        for suggestion in self.suggestions:
+            lines.append(f"    try: {suggestion}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "summary": self.summary,
+        }
+        if self.iteration_range is not None:
+            out["iteration_range"] = list(self.iteration_range)
+        if self.suggestions:
+            out["suggestions"] = list(self.suggestions)
+        if self.evidence:
+            out["evidence"] = dict(self.evidence)
+        return out
+
+
+@dataclass
+class Diagnosis:
+    """The doctor's verdict over one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    rules_checked: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def worst_severity(self) -> str | None:
+        worst = None
+        for finding in self.findings:
+            rank = SEVERITIES.index(finding.severity)
+            if worst is None or rank > SEVERITIES.index(worst):
+                worst = finding.severity
+        return worst
+
+    def render(self) -> str:
+        if self.ok:
+            checked = ", ".join(self.rules_checked)
+            return f"doctor: no findings ({len(self.rules_checked)} " \
+                   f"detectors checked: {checked})"
+        lines = [f"doctor: {len(self.findings)} finding(s)"]
+        lines.extend(f.render() for f in self.findings)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "rules_checked": list(self.rules_checked),
+            "findings": [f.to_json() for f in self.findings],
+        }

@@ -3,8 +3,10 @@
 Displacement is the legalizer's quality number (Abacus' whole point is
 minimizing it), so instrumented runs record it as span attributes and —
 when a cross-stage :class:`~repro.telemetry.MetricsRegistry` is
-installed — as gauges.  All computation is skipped while telemetry is
-disabled, keeping the fault-free path byte-identical.
+installed — as gauges, a displacement histogram (for the run report's
+histogram chart) and per-stage memory gauges.  All computation is
+skipped while telemetry is disabled, keeping the fault-free path
+byte-identical.
 """
 
 from __future__ import annotations
@@ -16,6 +18,9 @@ from ..netlist import Netlist, Placement
 
 __all__ = ["record_displacement"]
 
+#: Histogram resolution for the displacement distribution.
+HISTOGRAM_BINS = 16
+
 
 def record_displacement(
     algorithm: str,
@@ -24,8 +29,15 @@ def record_displacement(
     after: Placement,
     span,
 ) -> None:
-    """Annotate a legalization span (and active registry) with the mean
-    and max per-cell L1 displacement over movable standard cells."""
+    """Annotate a legalization span (and active registry) with the
+    per-cell L1 displacement statistics over movable standard cells.
+
+    With a registry installed, the latest legalization also records a
+    :data:`HISTOGRAM_BINS`-bin displacement histogram — the series
+    ``legalize_<alg>_displacement_hist`` maps bin index to count, with
+    the value range in the ``..._hist_lo_um``/``..._hist_hi_um`` gauges
+    — plus a p95 gauge and the stage's peak-memory gauges.
+    """
     registry = telemetry.get_metrics()
     if span is telemetry.NULL_SPAN and registry is None:
         return
@@ -40,5 +52,15 @@ def record_displacement(
     span.annotate("mean_displacement", mean_disp)
     span.annotate("max_displacement", max_disp)
     if registry is not None:
-        registry.gauge(f"legalize_{algorithm}_mean_displacement").set(mean_disp)
-        registry.gauge(f"legalize_{algorithm}_max_displacement").set(max_disp)
+        prefix = f"legalize_{algorithm}"
+        registry.gauge(f"{prefix}_mean_displacement").set(mean_disp)
+        registry.gauge(f"{prefix}_max_displacement").set(max_disp)
+        registry.gauge(f"{prefix}_p95_displacement").set(
+            float(np.percentile(l1, 95.0)))
+        counts, edges = np.histogram(l1, bins=HISTOGRAM_BINS)
+        histogram = registry.series(f"{prefix}_displacement_hist")
+        histogram.iterations = list(range(HISTOGRAM_BINS))
+        histogram.values = [float(c) for c in counts]
+        registry.gauge(f"{prefix}_hist_lo_um").set(float(edges[0]))
+        registry.gauge(f"{prefix}_hist_hi_um").set(float(edges[-1]))
+        telemetry.record_stage_memory(prefix)

@@ -223,6 +223,18 @@ class DensityGrid:
         tol = 1e-9 * self.bin_w * self.bin_h
         return usage > gamma * self.capacity + tol
 
+    def utilization(self, usage: np.ndarray, gamma: float) -> np.ndarray:
+        """Per-bin ``usage / (gamma * capacity)`` (0 where capacity is 0).
+
+        1.0 marks a bin exactly at the density target; the health probes
+        snapshot the maximum and the top-k mean of this matrix every
+        projection call.
+        """
+        target = gamma * self.capacity
+        out = np.zeros_like(usage)
+        np.divide(usage, target, out=out, where=target > 0)
+        return out
+
 
 def default_grid_shape(num_movable: int, cells_per_bin: float = 4.0) -> int:
     """Square grid dimension so each bin holds ~``cells_per_bin`` cells."""

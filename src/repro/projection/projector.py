@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..netlist import Netlist, Placement
 from .grid import DensityGrid, default_grid_shape
 from .alternating import project_rectangles_alternating
@@ -165,6 +166,7 @@ class FeasibilityProjection:
             overflow_percent=grid.overflow_percent(usage, self.gamma),
             stats=stats,
         )
+        self._record_probes(grid, usage, result)
         logger.debug(
             "P_C on %dx%d grid: Pi=%.4g, overflow=%.1f%%",
             nx, ny, result.pi, result.overflow_percent,
@@ -174,6 +176,40 @@ class FeasibilityProjection:
             result.projected_view_x = px
             result.projected_view_y = py
         return result
+
+    def _record_probes(
+        self,
+        grid: DensityGrid,
+        usage: np.ndarray,
+        result: ProjectionResult,
+        top_k: int = 8,
+    ) -> None:
+        """Per-call density snapshots for the convergence doctor.
+
+        Indexed by the projection-call *ordinal* (not the placement
+        iteration — baselines call ``P_C`` on their own cadence).  Reads
+        the already-computed usage matrix only, so the placement
+        trajectory is untouched; skipped entirely (one None check) when
+        no registry is installed.
+        """
+        registry = telemetry.get_metrics()
+        if registry is None:
+            return
+        overflow = registry.series("projection_overflow_percent")
+        ordinal = len(overflow)
+        overflow.record(ordinal, result.overflow_percent)
+        util = grid.utilization(usage, self.gamma)
+        flat = util.ravel()
+        k = min(top_k, flat.shape[0])
+        top = np.partition(flat, flat.shape[0] - k)[flat.shape[0] - k:]
+        registry.series("projection_max_utilization").record(
+            ordinal, float(flat.max()) if flat.size else 0.0)
+        registry.series("projection_topk_utilization").record(
+            ordinal, float(top.mean()) if k else 0.0)
+        registry.series("projection_overfilled_bins").record(
+            ordinal, int(np.count_nonzero(
+                grid.overfilled_bins(usage, self.gamma))))
+        registry.series("projection_pi").record(ordinal, result.pi)
 
     def pi(self, placement: Placement, nx: int | None = None) -> float:
         """Just the constraint-violation distance (Formula 3)."""

@@ -1,0 +1,62 @@
+"""Offline report generation: ``python -m repro.report``.
+
+Rebuilds a run report from a saved metrics file (``place
+--metrics-json`` output, JSON or JSONL) without re-running the placer.
+The doctor runs over the saved trajectories; charts that need
+in-process state (the density heatmap) are simply omitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..diagnostics import diagnose
+from ..telemetry import MetricsRegistry
+from .render import build_report, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="render a run report from a saved metrics file",
+    )
+    parser.add_argument("metrics", help="metrics JSON/JSONL file "
+                        "(from place --metrics-json)")
+    parser.add_argument("--out", default="report.html",
+                        help="output path; .md renders Markdown, "
+                        "anything else single-file HTML "
+                        "(default: %(default)s)")
+    parser.add_argument("--title", default=None,
+                        help="report title (default: derived from meta)")
+    parser.add_argument("--no-doctor", action="store_true",
+                        help="skip the convergence doctor section")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.metrics.endswith(".jsonl"):
+            registry = MetricsRegistry.read_jsonl(args.metrics)
+        else:
+            import json
+
+            with open(args.metrics) as handle:
+                registry = MetricsRegistry.from_dict(json.load(handle))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {args.metrics}: {exc}", file=sys.stderr)
+        return 2
+
+    title = args.title
+    if title is None:
+        netlist = registry.meta.get("netlist", "")
+        title = f"placement run: {netlist}" if netlist else "placement run"
+    diagnosis = None if args.no_doctor else diagnose(registry)
+    report = build_report(registry, title=title, diagnosis=diagnosis)
+    path = write_report(args.out, report)
+    print(f"wrote {path}")
+    if diagnosis is not None and not diagnosis.ok:
+        print(diagnosis.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The run registry: archive placement runs, list them, diff them.
+
+``place --run-dir runs/`` captures each run as ``runs/<name>-NNNN/``
+holding the metrics dump, a manifest, the HTML report and the Chrome
+trace, with an ``index.json`` across runs.  Offline::
+
+    python -m repro.runs list  --runs-dir runs
+    python -m repro.runs show  smoke-0001 --runs-dir runs
+    python -m repro.runs diff  smoke-0001 smoke-0002 --runs-dir runs
+"""
+
+from .diff import RunDiff, SeriesDelta, diff_run_dirs, diff_runs
+from .registry import RunRegistry
+
+__all__ = [
+    "RunDiff",
+    "RunRegistry",
+    "SeriesDelta",
+    "diff_run_dirs",
+    "diff_runs",
+]

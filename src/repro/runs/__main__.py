@@ -1,0 +1,55 @@
+"""Run registry CLI: ``python -m repro.runs {list,show,diff}``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .diff import diff_run_dirs
+from .registry import RunRegistry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runs",
+        description="list, inspect and diff archived placement runs",
+    )
+    parser.add_argument("--runs-dir", default="runs",
+                        help="registry root (default: %(default)s)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    listing = sub.add_parser("list", help="one line per archived run")
+    show = sub.add_parser("show", help="print a run's manifest")
+    show.add_argument("run_id")
+    diff = sub.add_parser("diff", help="compare two runs")
+    diff.add_argument("run_id_a")
+    diff.add_argument("run_id_b")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+    # Accept --runs-dir after the subcommand too; SUPPRESS keeps an
+    # absent flag from clobbering the top-level value.
+    for subparser in (listing, show, diff):
+        subparser.add_argument("--runs-dir", default=argparse.SUPPRESS,
+                               help="registry root")
+    args = parser.parse_args(argv)
+
+    registry = RunRegistry(args.runs_dir)
+    try:
+        if args.command == "list":
+            print(registry.describe())
+        elif args.command == "show":
+            print(json.dumps(registry.manifest(args.run_id), indent=2,
+                             sort_keys=True))
+        else:
+            result = diff_run_dirs(args.runs_dir, args.run_id_a,
+                                   args.run_id_b)
+            print(json.dumps(result.to_json(), indent=2) if args.json
+                  else result.render())
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Diffing two archived runs: per-series, per-stage, per-counter.
+
+The comparison is structural, not statistical: finals and
+per-iteration maximum divergence for every series both runs recorded,
+stage wall-time deltas from the ``stage_*_total_s`` gauges, and
+counter deltas.  Use it to answer "what changed between run A and
+run B" after a config tweak or a code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..telemetry import MetricsRegistry
+from .registry import RunRegistry
+
+__all__ = ["RunDiff", "SeriesDelta", "diff_run_dirs", "diff_runs"]
+
+#: Histogram-style series (bin index, not iteration) skipped by the diff.
+_SKIP_SUFFIXES = ("_hist",)
+
+
+@dataclass
+class SeriesDelta:
+    """How one series differs between two runs."""
+
+    name: str
+    points_a: int
+    points_b: int
+    final_a: float
+    final_b: float
+    max_abs_delta: float      # over the common iteration prefix
+
+    @property
+    def final_delta(self) -> float:
+        return self.final_b - self.final_a
+
+    @property
+    def final_pct(self) -> float:
+        if self.final_a == 0:
+            return float("inf") if self.final_b else 0.0
+        return 100.0 * self.final_delta / abs(self.final_a)
+
+
+@dataclass
+class RunDiff:
+    """The full structural diff between two runs."""
+
+    label_a: str
+    label_b: str
+    series: list[SeriesDelta] = field(default_factory=list)
+    counters: dict[str, tuple[float, float]] = field(default_factory=dict)
+    stages: dict[str, tuple[float, float]] = field(default_factory=dict)
+    meta_changes: dict[str, tuple[str, str]] = field(default_factory=dict)
+    only_a: list[str] = field(default_factory=list)
+    only_b: list[str] = field(default_factory=list)
+
+    def render(self, significant_pct: float = 0.01) -> str:
+        lines = [f"diff: {self.label_a} -> {self.label_b}"]
+        changed = [d for d in self.series
+                   if abs(d.final_pct) >= significant_pct
+                   or d.points_a != d.points_b]
+        if changed:
+            lines.append("series (final values):")
+            for delta in changed:
+                points = "" if delta.points_a == delta.points_b else \
+                    f" points {delta.points_a}->{delta.points_b}"
+                pct = delta.final_pct
+                pct_text = f"{pct:+.2f}%" if np.isfinite(pct) else "new"
+                lines.append(
+                    f"  {delta.name}: {delta.final_a:.6g} -> "
+                    f"{delta.final_b:.6g} ({pct_text}){points}")
+        else:
+            lines.append("series: no significant final-value changes")
+        for title, table in (("counters", self.counters),
+                             ("stage seconds", self.stages)):
+            rows = [(name, a, b) for name, (a, b) in sorted(table.items())
+                    if a != b]
+            if rows:
+                lines.append(f"{title}:")
+                lines.extend(f"  {name}: {a:.6g} -> {b:.6g}"
+                             for name, a, b in rows)
+        if self.meta_changes:
+            lines.append("meta:")
+            lines.extend(f"  {key}: {a!r} -> {b!r}"
+                         for key, (a, b) in sorted(self.meta_changes.items()))
+        if self.only_a:
+            lines.append(f"only in {self.label_a}: "
+                         + ", ".join(sorted(self.only_a)))
+        if self.only_b:
+            lines.append(f"only in {self.label_b}: "
+                         + ", ".join(sorted(self.only_b)))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "a": self.label_a,
+            "b": self.label_b,
+            "series": [{
+                "name": d.name,
+                "final_a": d.final_a, "final_b": d.final_b,
+                "final_delta": d.final_delta,
+                "points_a": d.points_a, "points_b": d.points_b,
+                "max_abs_delta": d.max_abs_delta,
+            } for d in self.series],
+            "counters": {k: list(v) for k, v in sorted(self.counters.items())},
+            "stages": {k: list(v) for k, v in sorted(self.stages.items())},
+            "meta_changes": {k: list(v) for k, v
+                             in sorted(self.meta_changes.items())},
+            "only_a": sorted(self.only_a),
+            "only_b": sorted(self.only_b),
+        }
+
+
+def _stage_gauges(registry: MetricsRegistry) -> dict[str, float]:
+    return {name[len("stage_"):-len("_total_s")]: value
+            for name, value in registry.gauges().items()
+            if name.startswith("stage_") and name.endswith("_total_s")}
+
+
+def diff_runs(
+    registry_a: MetricsRegistry,
+    registry_b: MetricsRegistry,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> RunDiff:
+    """Structural diff of two metrics registries."""
+    diff = RunDiff(label_a=label_a, label_b=label_b)
+    names_a = set(registry_a.series_names())
+    names_b = set(registry_b.series_names())
+    diff.only_a = sorted(names_a - names_b)
+    diff.only_b = sorted(names_b - names_a)
+    for name in sorted(names_a & names_b):
+        if name.endswith(_SKIP_SUFFIXES):
+            continue
+        series_a = registry_a.series(name)
+        series_b = registry_b.series(name)
+        if not len(series_a) or not len(series_b):
+            continue
+        a = series_a.as_array()
+        b = series_b.as_array()
+        common = min(a.shape[0], b.shape[0])
+        max_abs = float(np.abs(a[:common] - b[:common]).max()) \
+            if common else 0.0
+        diff.series.append(SeriesDelta(
+            name=name, points_a=a.shape[0], points_b=b.shape[0],
+            final_a=float(a[-1]), final_b=float(b[-1]),
+            max_abs_delta=max_abs))
+    counters_a = registry_a.counters()
+    counters_b = registry_b.counters()
+    for name in sorted(set(counters_a) | set(counters_b)):
+        diff.counters[name] = (counters_a.get(name, 0.0),
+                               counters_b.get(name, 0.0))
+    stages_a = _stage_gauges(registry_a)
+    stages_b = _stage_gauges(registry_b)
+    for name in sorted(set(stages_a) | set(stages_b)):
+        diff.stages[name] = (stages_a.get(name, 0.0),
+                             stages_b.get(name, 0.0))
+    for key in sorted(set(registry_a.meta) | set(registry_b.meta)):
+        if key == "recovery_events":
+            continue
+        value_a = registry_a.meta.get(key, "")
+        value_b = registry_b.meta.get(key, "")
+        if value_a != value_b:
+            diff.meta_changes[key] = (value_a, value_b)
+    return diff
+
+
+def diff_run_dirs(root: str, run_id_a: str, run_id_b: str) -> RunDiff:
+    """Diff two archived runs by id under a registry root."""
+    registry = RunRegistry(root)
+    return diff_runs(
+        registry.load_metrics(run_id_a),
+        registry.load_metrics(run_id_b),
+        label_a=run_id_a,
+        label_b=run_id_b,
+    )

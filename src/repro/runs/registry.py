@@ -1,0 +1,169 @@
+"""The run registry: archived placement runs under one root directory.
+
+Layout (everything plain JSON/HTML so runs diff and archive cleanly)::
+
+    runs/
+      index.json              # run-id -> one-line summary
+      smoke-0001/
+        manifest.json         # id, name, finals, counters, meta
+        metrics.json          # full MetricsRegistry dump
+        report.html           # self-contained run report (optional)
+        trace.json            # Chrome trace (optional)
+
+Run ids are deterministic — ``<name>-NNNN`` with the next free ordinal
+— so repeated captures of the same flow sort chronologically without
+embedding wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any
+
+from ..telemetry import MetricsRegistry, Tracer
+
+__all__ = ["RunRegistry"]
+
+#: Series whose finals go into the manifest / index summary.
+SUMMARY_SERIES = ("phi_upper", "phi_lower", "pi", "lam", "overflow_percent",
+                  "duality_gap")
+
+_ID_RE = re.compile(r"^(?P<name>.+)-(?P<ordinal>\d{4,})$")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
+    return cleaned or "run"
+
+
+class RunRegistry:
+    """Captures runs into ``root`` and answers queries over them."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # paths and ids
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def path(self, run_id: str) -> str:
+        return os.path.join(self.root, run_id)
+
+    def new_run_id(self, name: str = "run") -> str:
+        """Next free ``<name>-NNNN`` id under the root."""
+        name = _sanitize(name)
+        taken = 0
+        if os.path.isdir(self.root):
+            for entry in os.listdir(self.root):
+                match = _ID_RE.match(entry)
+                if match and match.group("name") == name:
+                    taken = max(taken, int(match.group("ordinal")))
+        return f"{name}-{taken + 1:04d}"
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        registry: MetricsRegistry,
+        name: str = "run",
+        run_id: str | None = None,
+        report_html: str | None = None,
+        tracer: Tracer | None = None,
+        manifest_extra: dict[str, Any] | None = None,
+    ) -> str:
+        """Archive one run; returns the run directory path.
+
+        ``report_html`` is the rendered report document (a string, not a
+        path) so the capture stays a pure write.  The index is updated
+        in place.
+        """
+        if run_id is None:
+            run_id = self.new_run_id(name)
+        run_dir = self.path(run_id)
+        os.makedirs(run_dir, exist_ok=True)
+
+        registry.write_json(os.path.join(run_dir, "metrics.json"))
+
+        finals: dict[str, float] = {}
+        for series_name in SUMMARY_SERIES:
+            if registry.has_series(series_name) and \
+                    len(registry.series(series_name)):
+                finals[series_name] = registry.series(series_name).last
+        iterations = len(registry.series("lam")) \
+            if registry.has_series("lam") else 0
+        manifest: dict[str, Any] = {
+            "run_id": run_id,
+            "name": _sanitize(name),
+            "iterations": iterations,
+            "finals": finals,
+            "counters": registry.counters(),
+            "meta": {k: v for k, v in sorted(registry.meta.items())
+                     if k != "recovery_events"},
+            "artifacts": ["metrics.json"],
+        }
+        if report_html is not None:
+            with open(os.path.join(run_dir, "report.html"), "w") as handle:
+                handle.write(report_html)
+            manifest["artifacts"].append("report.html")
+        if tracer is not None:
+            tracer.write_chrome_trace(os.path.join(run_dir, "trace.json"))
+            manifest["artifacts"].append("trace.json")
+        if manifest_extra:
+            manifest.update(manifest_extra)
+        with open(os.path.join(run_dir, "manifest.json"), "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+
+        index = self._read_index()
+        index[run_id] = {
+            "name": manifest["name"],
+            "iterations": iterations,
+            "finals": finals,
+            "stop_reason": registry.meta.get("stop_reason", ""),
+        }
+        with open(self.index_path, "w") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+        return run_dir
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _read_index(self) -> dict[str, Any]:
+        if not os.path.exists(self.index_path):
+            return {}
+        with open(self.index_path) as handle:
+            return json.load(handle)
+
+    def run_ids(self) -> list[str]:
+        return sorted(self._read_index())
+
+    def manifest(self, run_id: str) -> dict[str, Any]:
+        with open(os.path.join(self.path(run_id),
+                               "manifest.json")) as handle:
+            return json.load(handle)
+
+    def load_metrics(self, run_id: str) -> MetricsRegistry:
+        with open(os.path.join(self.path(run_id),
+                               "metrics.json")) as handle:
+            return MetricsRegistry.from_dict(json.load(handle))
+
+    def describe(self) -> str:
+        """One line per run, for ``python -m repro.runs list``."""
+        index = self._read_index()
+        if not index:
+            return f"no runs under {self.root}"
+        lines = []
+        for run_id in sorted(index):
+            entry = index[run_id]
+            finals = entry.get("finals", {})
+            phi = finals.get("phi_upper")
+            phi_text = f" phi_ub={phi:.6g}" if phi is not None else ""
+            stop = entry.get("stop_reason") or "n/a"
+            lines.append(f"{run_id}: {entry.get('iterations', 0)} "
+                         f"iterations{phi_text} stop={stop}")
+        return "\n".join(lines)

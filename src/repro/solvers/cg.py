@@ -24,12 +24,20 @@ from ..faults import hooks as fault_hooks
 
 @dataclass
 class CGResult:
-    """Solution plus convergence diagnostics."""
+    """Solution plus convergence diagnostics.
+
+    ``residual_history`` holds the residual norm after every iteration
+    (index 0 is the warm-start residual) when the caller asked for it;
+    it is ``None`` on uninstrumented solves and for the scipy backend
+    (whose callback exposes iterates, not residuals — recomputing them
+    would add a matvec per iteration).
+    """
 
     x: np.ndarray
     iterations: int
     residual: float
     converged: bool
+    residual_history: np.ndarray | None = None
 
 
 def jacobi_pcg(
@@ -38,11 +46,15 @@ def jacobi_pcg(
     x0: np.ndarray | None = None,
     tol: float = 1e-6,
     max_iter: int | None = None,
+    collect_residuals: bool = False,
 ) -> CGResult:
     """Jacobi-preconditioned CG for an SPD sparse system.
 
     ``tol`` is relative: iteration stops when ``||A x - b|| <= tol ||b||``.
     ``x0`` enables warm starts from the previous placement iterate.
+    ``collect_residuals`` additionally returns the residual-norm
+    trajectory; the norms are computed by the solver either way, so
+    collection never perturbs the iterates.
     """
     n = rhs.shape[0]
     if n == 0:
@@ -54,13 +66,19 @@ def jacobi_pcg(
         raise ValueError("matrix has non-positive diagonal; not SPD")
     inv_diag = 1.0 / diag
 
+    def _history(norms: list[float]) -> np.ndarray | None:
+        if not collect_residuals:
+            return None
+        return np.asarray(norms, dtype=np.float64)
+
     x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
     r = rhs - matrix @ x
     b_norm = float(np.linalg.norm(rhs))
     threshold = tol * max(b_norm, 1e-300)
     r_norm = float(np.linalg.norm(r))
+    norms = [r_norm] if collect_residuals else []
     if r_norm <= threshold:
-        return CGResult(x, 0, r_norm, True)
+        return CGResult(x, 0, r_norm, True, _history(norms))
 
     z = inv_diag * r
     p = z.copy()
@@ -70,18 +88,20 @@ def jacobi_pcg(
         pap = float(p @ ap)
         if pap <= 0:
             # Numerical breakdown: matrix not SPD within round-off.
-            return CGResult(x, k, r_norm, False)
+            return CGResult(x, k, r_norm, False, _history(norms))
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
         r_norm = float(np.linalg.norm(r))
+        if collect_residuals:
+            norms.append(r_norm)
         if r_norm <= threshold:
-            return CGResult(x, k, r_norm, True)
+            return CGResult(x, k, r_norm, True, _history(norms))
         z = inv_diag * r
         rz_new = float(r @ z)
         p = z + (rz_new / rz) * p
         rz = rz_new
-    return CGResult(x, max_iter, r_norm, False)
+    return CGResult(x, max_iter, r_norm, False, _history(norms))
 
 
 def scipy_cg(
@@ -120,12 +140,46 @@ def _dispatch(
     tol: float,
     max_iter: int | None,
     backend: str,
+    collect_residuals: bool = False,
 ) -> CGResult:
     if backend == "own":
-        return jacobi_pcg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
+        return jacobi_pcg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter,
+                          collect_residuals=collect_residuals)
     if backend == "scipy":
         return scipy_cg(matrix, rhs, x0=x0, tol=tol, max_iter=max_iter)
     raise ValueError(f"unknown CG backend {backend!r}")
+
+
+def _stalled_result(rhs: np.ndarray, x0: np.ndarray | None) -> CGResult:
+    """The injected-stall outcome: the warm start, unconverged."""
+    stalled = (np.zeros(rhs.shape[0], dtype=np.float64) if x0 is None
+               else np.array(x0, dtype=np.float64))
+    return CGResult(stalled, 0, float("inf"), False)
+
+
+def record_cg_solve(registry, result: CGResult) -> None:
+    """Fold one solve's diagnostics into a metrics registry.
+
+    Besides the run totals, each solve appends to per-solve series
+    indexed by the solve *ordinal* (``cg_solve_iterations``,
+    ``cg_solve_residual``; unconverged ordinals also land in
+    ``cg_stall_solves``), and the latest residual trajectory — when the
+    backend collected one — replaces ``cg_last_residual_history``.
+    The convergence doctor reads these to spot stall clusters.
+    """
+    ordinal = int(registry.counter("cg_solves").value)
+    registry.counter("cg_solves").inc()
+    registry.counter("cg_iterations_total").inc(result.iterations)
+    registry.gauge("cg_last_residual").set(result.residual)
+    registry.series("cg_solve_iterations").record(ordinal, result.iterations)
+    registry.series("cg_solve_residual").record(ordinal, result.residual)
+    if not result.converged:
+        registry.counter("cg_stalls").inc()
+        registry.series("cg_stall_solves").record(ordinal, result.residual)
+    if result.residual_history is not None:
+        history = registry.series("cg_last_residual_history")
+        history.iterations = list(range(result.residual_history.shape[0]))
+        history.values = [float(v) for v in result.residual_history]
 
 
 def solve_spd(
@@ -136,30 +190,38 @@ def solve_spd(
     max_iter: int | None = None,
     backend: str = "own",
     quiet: bool = False,
+    collect_residuals: bool = False,
 ) -> CGResult:
     """Solve an SPD system with the selected backend (``own``/``scipy``).
 
     ``quiet`` skips the telemetry span and metric updates — required when
     the call runs off the main thread (the tracer's span stack is not
     thread-safe); the parallel per-axis solver wraps the pair of quiet
-    solves in a single main-thread span instead.
+    solves in a single main-thread span and records their metrics from
+    the main thread via :func:`record_cg_solve`.  ``collect_residuals``
+    asks the own backend for the residual trajectory; instrumented
+    non-quiet solves turn it on automatically when a metrics registry is
+    installed.
     """
     fault_hooks.maybe_raise("cg.non_spd")
-    if fault_hooks.fire("cg.stall") is not None:
-        stalled = (np.zeros(rhs.shape[0], dtype=np.float64) if x0 is None
-                   else np.array(x0, dtype=np.float64))
-        return CGResult(stalled, 0, float("inf"), False)
+    stalled = fault_hooks.fire("cg.stall") is not None
     if quiet:
-        return _dispatch(matrix, rhs, x0, tol, max_iter, backend)
+        if stalled:
+            return _stalled_result(rhs, x0)
+        return _dispatch(matrix, rhs, x0, tol, max_iter, backend,
+                         collect_residuals=collect_residuals)
+    registry = telemetry.get_metrics()
+    collect = collect_residuals or registry is not None
     with telemetry.span("cg_solve", backend=backend,
                         size=int(rhs.shape[0])) as sp_:
-        result = _dispatch(matrix, rhs, x0, tol, max_iter, backend)
+        if stalled:
+            result = _stalled_result(rhs, x0)
+        else:
+            result = _dispatch(matrix, rhs, x0, tol, max_iter, backend,
+                               collect_residuals=collect)
         sp_.annotate("iterations", result.iterations)
         sp_.annotate("residual", result.residual)
         sp_.annotate("converged", result.converged)
-    registry = telemetry.get_metrics()
     if registry is not None:
-        registry.counter("cg_solves").inc()
-        registry.counter("cg_iterations_total").inc(result.iterations)
-        registry.gauge("cg_last_residual").set(result.residual)
+        record_cg_solve(registry, result)
     return result

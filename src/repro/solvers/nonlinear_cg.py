@@ -59,6 +59,16 @@ def minimize_nlcg(
         )
         sp.annotate("iterations", result.iterations)
         sp.annotate("converged", result.converged)
+    registry = telemetry.get_metrics()
+    if registry is not None:
+        ordinal = int(registry.counter("nlcg_solves").value)
+        registry.counter("nlcg_solves").inc()
+        registry.counter("nlcg_iterations_total").inc(result.iterations)
+        registry.gauge("nlcg_last_grad_norm").set(result.grad_norm)
+        registry.series("nlcg_solve_iterations").record(
+            ordinal, result.iterations)
+        if not result.converged:
+            registry.counter("nlcg_stalls").inc()
     return result
 
 

@@ -160,12 +160,14 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules() -> list[Rule]:
-    """Fresh instances of every registered rule, sorted by id."""
+    """Fresh instances of every registered rule, sorted by numeric id
+    (R2 before R10)."""
     # Importing the rules module populates the registry lazily so the
     # engine stays importable on its own.
     from . import rules  # noqa: F401
 
-    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+    return [_REGISTRY[rid]()
+            for rid in sorted(_REGISTRY, key=lambda r: int(r[1:]))]
 
 
 def select_rules(

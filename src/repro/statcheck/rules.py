@@ -21,6 +21,10 @@ R9   scatter-add      ``np.add.at`` scatters in kernel packages
                       (``models``, ``solvers``, ``legalize``,
                       ``projection``) and per-net Python loops in
                       ``legalize/``
+R10  rendering        plotting-library imports (matplotlib & co) anywhere,
+                      and chained ``open(...).write(...)`` report emission
+                      in library code (CLI/experiments/viz and
+                      ``repro.report`` exempt from the latter)
 ===  ===============  ==========================================================
 
 All rules are pure AST passes; none import the modules they check.
@@ -42,6 +46,7 @@ __all__ = [
     "PublicApiRule",
     "RawMutationRule",
     "NoPrintRule",
+    "RenderingRule",
     "ScatterAddRule",
     "TimingDisciplineRule",
 ]
@@ -648,3 +653,84 @@ class TimingDisciplineRule(Rule):
                 if isinstance(func, ast.Name) and func.id in _MONOTONIC_FUNCS:
                     return True
         return False
+
+
+#: Import roots that mark a module as depending on a plotting stack.
+_PLOTTING_ROOTS = frozenset({
+    "matplotlib", "pylab", "seaborn", "plotly", "bokeh", "PIL",
+})
+
+
+@register
+class RenderingRule(Rule):
+    """R10: rendering discipline — charts through ``repro.viz``, reports
+    through ``repro.report``.
+
+    Two anti-patterns:
+
+    * importing a plotting stack (``matplotlib``, ``pylab``,
+      ``seaborn``, ``plotly``, ``bokeh``, ``PIL``) *anywhere* — the
+      environment does not ship one, so the import is a latent
+      ``ImportError`` on exactly the machine that matters (CI), and the
+      repo's figures are hand-rolled SVG (:mod:`repro.viz`) by design,
+    * chained ``open(path).write(...)`` report emission in library code
+      — fire-and-forget file writes with no close on error and no
+      single point of control over what a run emits.  Report/figure
+      files belong to :mod:`repro.report` and :mod:`repro.viz` (exempt,
+      like the CLI-like modules); other library code should return
+      strings/objects and let the caller persist them.
+    """
+
+    id = "R10"
+    name = "rendering"
+    description = ("plotting-library import / chained open().write() "
+                   "report emission in library code")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parts = ctx.module.split(".")
+        tail = parts[1:] if parts and parts[0] == "repro" else parts
+        emission_exempt = ctx.is_cli_like or (tail and tail[0] == "report")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _PLOTTING_ROOTS:
+                        yield ctx.finding(
+                            self.id, node,
+                            f"import of plotting stack {alias.name!r}; "
+                            "charts are rendered with repro.viz "
+                            "(hand-rolled SVG) — matplotlib & co are "
+                            "not installed here",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in _PLOTTING_ROOTS:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"import from plotting stack {root!r}; "
+                        "charts are rendered with repro.viz "
+                        "(hand-rolled SVG) — matplotlib & co are "
+                        "not installed here",
+                    )
+            elif (
+                not emission_exempt
+                and isinstance(node, ast.Call)
+                and self._is_open_write(node)
+            ):
+                yield ctx.finding(
+                    self.id, node,
+                    "chained open(...).write(...) in library code; "
+                    "return the document and let repro.report (or the "
+                    "caller) persist it",
+                )
+
+    @staticmethod
+    def _is_open_write(call: ast.Call) -> bool:
+        """Match ``open(...).write(...)``."""
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "write"
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "open"
+        )

@@ -22,6 +22,7 @@ See ``docs/observability.md`` for the full tour, and
 :mod:`repro.bench` for the regression harness built on top.
 """
 
+from .memory import peak_rss_mb, record_stage_memory
 from .metrics import (
     Counter,
     Gauge,
@@ -57,6 +58,8 @@ __all__ = [
     "get_tracer",
     "instant",
     "metrics",
+    "peak_rss_mb",
+    "record_stage_memory",
     "set_metrics",
     "set_tracer",
     "span",

@@ -1,0 +1,53 @@
+"""Per-stage peak-memory gauges (RSS + optional tracemalloc).
+
+Placement memory is dominated by a few stages (system assembly, the
+density grid, legalizer row maps); a run report that can say *which*
+stage peaked is worth far more than a single end-of-run number.  This
+module records, at stage boundaries:
+
+* ``mem_<stage>_peak_rss_mb`` — the process peak resident set size at
+  the end of the stage, from ``resource.getrusage``.  The kernel
+  counter is monotone over the process lifetime, so per-stage gauges
+  read as "peak so far when this stage finished"; the first stage to
+  raise the value is the one that allocated it.
+* ``mem_<stage>_traced_mb`` / ``mem_<stage>_traced_peak_mb`` — current
+  and peak Python-heap usage from :mod:`tracemalloc`, recorded only
+  when the caller has started tracing (``tracemalloc.start()``);
+  tracing costs real time, so the probe never turns it on itself.
+
+Zero overhead when disabled: like every probe, the recorder returns
+after one None check when no :class:`~repro.telemetry.MetricsRegistry`
+is installed, and it never touches placement state.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import tracemalloc
+
+from .metrics import get_metrics
+
+__all__ = ["peak_rss_mb", "record_stage_memory"]
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 2**20 if sys.platform == "darwin" else 1024
+    return float(peak) / divisor
+
+
+def record_stage_memory(stage: str) -> None:
+    """Record memory gauges for a completed stage, if metrics are on."""
+    registry = get_metrics()
+    if registry is None:
+        return
+    registry.gauge(f"mem_{stage}_peak_rss_mb").set(peak_rss_mb())
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        registry.gauge(f"mem_{stage}_traced_mb").set(current / 2**20)
+        registry.gauge(f"mem_{stage}_traced_peak_mb").set(peak / 2**20)

@@ -1,12 +1,28 @@
 """Plot output: ASCII charts for terminals, SVG files for figures."""
 
 from .ascii import ascii_chart, ascii_scatter
-from .svg import line_chart_svg, placement_svg, scatter_svg
+from .svg import (
+    bar_chart_svg_str,
+    heatmap_svg_str,
+    histogram_svg_str,
+    line_chart_svg,
+    line_chart_svg_str,
+    placement_svg,
+    placement_svg_str,
+    scatter_svg,
+    scatter_svg_str,
+)
 
 __all__ = [
     "ascii_chart",
     "ascii_scatter",
+    "bar_chart_svg_str",
+    "heatmap_svg_str",
+    "histogram_svg_str",
     "line_chart_svg",
+    "line_chart_svg_str",
     "placement_svg",
+    "placement_svg_str",
     "scatter_svg",
+    "scatter_svg_str",
 ]

@@ -4,6 +4,12 @@ Hand-rolled (no matplotlib in the environment); enough to regenerate the
 paper's figures as vector files: convergence curves (Figure 1),
 shredded-macro placements (Figure 2), scalability scatter (Figure 3),
 region-constraint before/after (Figure 4) and path overlays (Figure 5).
+
+Every chart comes in two flavors: a ``*_svg_str`` renderer returning the
+SVG document as a string (what the run report embeds inline) and a
+``*_svg`` wrapper writing it to a file.  The bar/heatmap/histogram
+renderers exist for the report: stage-time bars, the density-utilization
+heatmap and the legalizer displacement histogram.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from ..netlist import Netlist, Placement
 
 _PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"]
 
+_FONT = 'font-family="sans-serif"'
+
 
 def _svg_header(width: int, height: int) -> str:
     return (
@@ -25,16 +33,20 @@ def _svg_header(width: int, height: int) -> str:
     )
 
 
-def line_chart_svg(
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def line_chart_svg_str(
     series: dict[str, np.ndarray],
-    path: str,
     title: str = "",
     width: int = 640,
     height: int = 400,
     logy: bool = False,
     x_values: np.ndarray | None = None,
-) -> None:
-    """Write a multi-series line chart to an SVG file."""
+) -> str:
+    """Render a multi-series line chart as an SVG document string."""
     margin = 50
     plot_w = width - 2 * margin
     plot_h = height - 2 * margin
@@ -59,7 +71,7 @@ def line_chart_svg(
     if title:
         out.write(
             f'<text x="{width / 2}" y="20" text-anchor="middle" '
-            f'font-family="sans-serif" font-size="14">{title}</text>\n'
+            f'{_FONT} font-size="14">{_escape(title)}</text>\n'
         )
     out.write(
         f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
@@ -83,32 +95,47 @@ def line_chart_svg(
             f'<line x1="{width - margin - 110}" y1="{y - 4}" '
             f'x2="{width - margin - 90}" y2="{y - 4}" stroke="{color}" '
             'stroke-width="2"/>\n'
-            f'<text x="{width - margin - 84}" y="{y}" font-family="sans-serif" '
-            f'font-size="12">{name}</text>\n'
+            f'<text x="{width - margin - 84}" y="{y}" {_FONT} '
+            f'font-size="12">{_escape(name)}</text>\n'
         )
     lo_label = f"{10**ylo:.3g}" if logy else f"{ylo:.3g}"
     hi_label = f"{10**yhi:.3g}" if logy else f"{yhi:.3g}"
     out.write(
         f'<text x="{margin - 4}" y="{margin + 4}" text-anchor="end" '
-        f'font-family="sans-serif" font-size="11">{hi_label}</text>\n'
+        f'{_FONT} font-size="11">{hi_label}</text>\n'
         f'<text x="{margin - 4}" y="{margin + plot_h}" text-anchor="end" '
-        f'font-family="sans-serif" font-size="11">{lo_label}</text>\n'
+        f'{_FONT} font-size="11">{lo_label}</text>\n'
     )
     out.write("</svg>\n")
+    return out.getvalue()
+
+
+def line_chart_svg(
+    series: dict[str, np.ndarray],
+    path: str,
+    title: str = "",
+    width: int = 640,
+    height: int = 400,
+    logy: bool = False,
+    x_values: np.ndarray | None = None,
+) -> None:
+    """Write a multi-series line chart to an SVG file."""
+    document = line_chart_svg_str(series, title=title, width=width,
+                                  height=height, logy=logy,
+                                  x_values=x_values)
     with open(path, "w") as handle:
-        handle.write(out.getvalue())
+        handle.write(document)
 
 
-def placement_svg(
+def placement_svg_str(
     netlist: Netlist,
     placement: Placement,
-    path: str,
     title: str = "",
     width: int = 640,
     highlight: np.ndarray | None = None,
     extra_rects: list[tuple[float, float, float, float, str]] | None = None,
-) -> None:
-    """Write a placement plot: std cells as dots, macros as outlines.
+) -> str:
+    """Render a placement plot: std cells as dots, macros as outlines.
 
     ``highlight`` marks a subset of cells in red; ``extra_rects`` draws
     extra rectangles (e.g. region constraints) as
@@ -129,7 +156,7 @@ def placement_svg(
     if title:
         out.write(
             f'<text x="{width / 2}" y="14" text-anchor="middle" '
-            f'font-family="sans-serif" font-size="12">{title}</text>\n'
+            f'{_FONT} font-size="12">{_escape(title)}</text>\n'
         )
     out.write(
         f'<rect x="{sx(bounds.xlo)}" y="{sy(bounds.yhi)}" '
@@ -164,20 +191,35 @@ def placement_svg(
             'stroke-dasharray="6,3"/>\n'
         )
     out.write("</svg>\n")
+    return out.getvalue()
+
+
+def placement_svg(
+    netlist: Netlist,
+    placement: Placement,
+    path: str,
+    title: str = "",
+    width: int = 640,
+    highlight: np.ndarray | None = None,
+    extra_rects: list[tuple[float, float, float, float, str]] | None = None,
+) -> None:
+    """Write a placement plot to an SVG file (see placement_svg_str)."""
+    document = placement_svg_str(netlist, placement, title=title,
+                                 width=width, highlight=highlight,
+                                 extra_rects=extra_rects)
     with open(path, "w") as handle:
-        handle.write(out.getvalue())
+        handle.write(document)
 
 
-def scatter_svg(
+def scatter_svg_str(
     x: np.ndarray,
     y_series: dict[str, np.ndarray],
-    path: str,
     title: str = "",
     width: int = 640,
     height: int = 400,
     logx: bool = False,
-) -> None:
-    """Scatter chart with shared x values (Figure 3 style)."""
+) -> str:
+    """Render a scatter chart with shared x values (Figure 3 style)."""
     margin = 50
     plot_w = width - 2 * margin
     plot_h = height - 2 * margin
@@ -193,7 +235,7 @@ def scatter_svg(
     if title:
         out.write(
             f'<text x="{width / 2}" y="20" text-anchor="middle" '
-            f'font-family="sans-serif" font-size="14">{title}</text>\n'
+            f'{_FONT} font-size="14">{_escape(title)}</text>\n'
         )
     out.write(
         f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
@@ -216,9 +258,158 @@ def scatter_svg(
         out.write(
             f'<circle cx="{width - margin - 100}" cy="{y - 4}" r="4" '
             f'fill="{color}"/>\n'
-            f'<text x="{width - margin - 90}" y="{y}" font-family="sans-serif" '
-            f'font-size="12">{name}</text>\n'
+            f'<text x="{width - margin - 90}" y="{y}" {_FONT} '
+            f'font-size="12">{_escape(name)}</text>\n'
         )
     out.write("</svg>\n")
+    return out.getvalue()
+
+
+def scatter_svg(
+    x: np.ndarray,
+    y_series: dict[str, np.ndarray],
+    path: str,
+    title: str = "",
+    width: int = 640,
+    height: int = 400,
+    logx: bool = False,
+) -> None:
+    """Write a scatter chart to an SVG file (see scatter_svg_str)."""
+    document = scatter_svg_str(x, y_series, title=title, width=width,
+                               height=height, logx=logx)
     with open(path, "w") as handle:
-        handle.write(out.getvalue())
+        handle.write(document)
+
+
+def bar_chart_svg_str(
+    labels: list[str],
+    values: np.ndarray,
+    title: str = "",
+    width: int = 640,
+    unit: str = "",
+    color: str = "#1f77b4",
+) -> str:
+    """Horizontal bar chart — one bar per label (stage-time bars)."""
+    vals = np.asarray(values, dtype=np.float64)
+    bar_h, gap, top = 22, 8, 36 if title else 12
+    label_w = 150
+    height = top + len(labels) * (bar_h + gap) + 12
+    vmax = float(vals.max()) if vals.size and vals.max() > 0 else 1.0
+    plot_w = width - label_w - 90
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'{_FONT} font-size="14">{_escape(title)}</text>\n'
+        )
+    for i, (label, value) in enumerate(zip(labels, vals)):
+        y = top + i * (bar_h + gap)
+        w = max(value / vmax * plot_w, 0.0)
+        out.write(
+            f'<text x="{label_w - 6}" y="{y + bar_h - 6}" text-anchor="end" '
+            f'{_FONT} font-size="12">{_escape(label)}</text>\n'
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" height="{bar_h}" '
+            f'fill="{color}"/>\n'
+            f'<text x="{label_w + w + 6:.1f}" y="{y + bar_h - 6}" '
+            f'{_FONT} font-size="11">{value:.3g}{_escape(unit)}</text>\n'
+        )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def heatmap_svg_str(
+    matrix: np.ndarray,
+    title: str = "",
+    width: int = 420,
+    vmax: float | None = None,
+) -> str:
+    """Density heatmap: white (empty) through red (``vmax``, default the
+    matrix maximum).  Row 0 is drawn at the bottom, matching the
+    DensityGrid's y-up bin indexing."""
+    grid = np.asarray(matrix, dtype=np.float64)
+    ny, nx = grid.shape
+    top = 28 if title else 4
+    cell = max(2, (width - 8) // max(nx, 1))
+    plot_w, plot_h = cell * nx, cell * ny
+    height = top + plot_h + 8
+    top_v = float(vmax) if vmax is not None else float(grid.max())
+    if top_v <= 0:
+        top_v = 1.0
+    level = np.clip(grid / top_v, 0.0, 1.0)
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" '
+            f'{_FONT} font-size="13">{_escape(title)}</text>\n'
+        )
+    for iy in range(ny):
+        for ix in range(nx):
+            t = level[iy, ix]
+            if t <= 0:
+                continue
+            # white -> red ramp
+            gb = int(round(255 * (1.0 - t)))
+            out.write(
+                f'<rect x="{4 + ix * cell}" '
+                f'y="{top + (ny - 1 - iy) * cell}" width="{cell}" '
+                f'height="{cell}" fill="rgb(255,{gb},{gb})"/>\n'
+            )
+    out.write(
+        f'<rect x="4" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>\n'
+    )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def histogram_svg_str(
+    counts: np.ndarray,
+    lo: float,
+    hi: float,
+    title: str = "",
+    width: int = 640,
+    height: int = 260,
+    unit: str = "",
+    color: str = "#2ca02c",
+) -> str:
+    """Vertical histogram from precomputed bin counts over [lo, hi]."""
+    vals = np.asarray(counts, dtype=np.float64)
+    margin = 40
+    top = 36 if title else 12
+    plot_w = width - 2 * margin
+    plot_h = height - top - 30
+    vmax = float(vals.max()) if vals.size and vals.max() > 0 else 1.0
+    n = max(vals.shape[0], 1)
+    bar_w = plot_w / n
+
+    out = io.StringIO()
+    out.write(_svg_header(width, height))
+    if title:
+        out.write(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'{_FONT} font-size="14">{_escape(title)}</text>\n'
+        )
+    for i, value in enumerate(vals):
+        h = value / vmax * plot_h
+        out.write(
+            f'<rect x="{margin + i * bar_w:.1f}" '
+            f'y="{top + plot_h - h:.1f}" width="{max(bar_w - 2, 1):.1f}" '
+            f'height="{h:.1f}" fill="{color}"/>\n'
+        )
+    out.write(
+        f'<line x1="{margin}" y1="{top + plot_h}" '
+        f'x2="{margin + plot_w}" y2="{top + plot_h}" stroke="#444"/>\n'
+        f'<text x="{margin}" y="{top + plot_h + 16}" {_FONT} '
+        f'font-size="11">{lo:.3g}{_escape(unit)}</text>\n'
+        f'<text x="{margin + plot_w}" y="{top + plot_h + 16}" '
+        f'text-anchor="end" {_FONT} font-size="11">'
+        f'{hi:.3g}{_escape(unit)}</text>\n'
+        f'<text x="{margin - 4}" y="{top + 8}" text-anchor="end" '
+        f'{_FONT} font-size="11">{vmax:.0f}</text>\n'
+    )
+    out.write("</svg>\n")
+    return out.getvalue()

@@ -1,0 +1,227 @@
+"""Convergence doctor: structured findings, each detector on seeded
+pathologies, and silence on healthy trajectories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ComPLxConfig, faults, telemetry
+from repro.core import ComPLxPlacer
+from repro.diagnostics import DOCTOR_RULES, Diagnosis, Finding, diagnose
+from repro.telemetry import MetricsRegistry
+
+
+def make_registry(series=None, counters=None, meta=None):
+    registry = MetricsRegistry()
+    for name, values in (series or {}).items():
+        recorded = registry.series(name)
+        for i, value in enumerate(values):
+            recorded.record(i, float(value))
+    for name, value in (counters or {}).items():
+        counter = registry.counter(name)
+        for _ in range(int(value)):
+            counter.inc()
+    registry.meta.update(meta or {})
+    return registry
+
+
+def rules_of(diagnosis):
+    return {f.rule for f in diagnosis.findings}
+
+
+class TestFindingModel:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding(rule="D1", name="x", severity="fatal", summary="s")
+
+    def test_render_mentions_rule_range_and_suggestions(self):
+        finding = Finding(rule="D2", name="pi-plateau", severity="warning",
+                          summary="flat", iteration_range=(3, 9),
+                          suggestions=("turn the knob",))
+        text = finding.render()
+        assert "WARNING D2 pi-plateau" in text
+        assert "iterations 3-9" in text
+        assert "try: turn the knob" in text
+
+    def test_to_json_omits_empty_optionals(self):
+        bare = Finding(rule="D4", name="x", severity="info", summary="s")
+        assert set(bare.to_json()) == {"rule", "name", "severity", "summary"}
+
+    def test_diagnosis_severity_helpers(self):
+        diagnosis = Diagnosis(findings=[
+            Finding(rule="D1", name="a", severity="warning", summary="w"),
+            Finding(rule="D3", name="b", severity="critical", summary="c"),
+        ])
+        assert not diagnosis.ok
+        assert diagnosis.worst_severity() == "critical"
+        assert [f.rule for f in diagnosis.by_severity("critical")] == ["D3"]
+        assert Diagnosis().worst_severity() is None
+
+
+class TestHealthyRun:
+    def test_no_findings_on_converged_placement(self, placed_small):
+        diagnosis = diagnose(placed_small.metrics, config=placed_small.config)
+        assert diagnosis.ok, diagnosis.render()
+        assert diagnosis.rules_checked == [rid for rid, _, _ in DOCTOR_RULES]
+        assert "no findings" in diagnosis.render()
+
+    def test_empty_registry_is_silent(self):
+        diagnosis = diagnose(MetricsRegistry())
+        assert diagnosis.ok
+
+
+class TestD1LambdaCap:
+    def test_double_mode_run_saturates_the_cap(self, small_design):
+        config = ComPLxConfig(seed=1, lambda_mode="double",
+                              max_iterations=12)
+        result = ComPLxPlacer(small_design.netlist, config).place()
+        diagnosis = diagnose(result.metrics, config=config)
+        d1 = [f for f in diagnosis.findings if f.rule == "D1"]
+        assert len(d1) == 1
+        assert d1[0].severity == "critical"
+        assert d1[0].evidence["capped_fraction"] == pytest.approx(1.0)
+        assert any("lambda_mode" in s for s in d1[0].suggestions)
+
+    def test_healthy_schedule_leaves_the_cap(self):
+        # Capped for the first three updates, additive afterwards.
+        lam = [1.0, 2.0, 4.0, 8.0, 8.8, 9.5, 10.1, 10.6, 11.0, 11.3]
+        diagnosis = diagnose(make_registry({"lam": lam}))
+        assert "D1" not in rules_of(diagnosis)
+
+
+class TestD2PiStagnation:
+    def test_plateau(self):
+        pi = [10.0, 8.0, 6.5, 5.5, 5.0, 4.8, 4.6, 4.5,
+              4.5, 4.5, 4.5, 4.5]
+        registry = make_registry({"pi": pi, "lam": [1.0] * len(pi)})
+        diagnosis = diagnose(registry)
+        plateau = [f for f in diagnosis.findings if f.name == "pi-plateau"]
+        assert len(plateau) == 1
+        assert plateau[0].iteration_range == (8, 11)
+
+    def test_oscillation(self):
+        pi = [10.0] * 12 + [8.0, 3.0, 8.0, 3.0, 8.0, 3.0]
+        registry = make_registry({"pi": pi})
+        names = {f.name for f in diagnose(registry).findings}
+        assert "pi-oscillation" in names
+
+    def test_decaying_pi_is_healthy(self):
+        pi = [10.0 * 0.7 ** i for i in range(14)]
+        assert "D2" not in rules_of(diagnose(make_registry({"pi": pi})))
+
+
+class TestD3GapNotClosing:
+    def test_budget_exhausted_with_flat_gap_is_critical(self):
+        registry = make_registry(
+            {"phi_lower": [50.0] * 10, "phi_upper": [100.0] * 10},
+            meta={"stop_reason": "max_iterations"},
+        )
+        d3 = [f for f in diagnose(registry).findings if f.rule == "D3"]
+        assert len(d3) == 1
+        assert d3[0].severity == "critical"
+        assert d3[0].evidence["final_gap"] == pytest.approx(0.5)
+
+    def test_converged_stop_reason_is_trusted(self):
+        registry = make_registry(
+            {"phi_lower": [50.0] * 10, "phi_upper": [100.0] * 10},
+            meta={"stop_reason": "gap_closed"},
+        )
+        assert "D3" not in rules_of(diagnose(registry))
+
+    def test_closing_gap_is_healthy(self):
+        upper = [100.0] * 10
+        lower = [100.0 - 60.0 * 0.5 ** i for i in range(10)]
+        registry = make_registry(
+            {"phi_lower": lower, "phi_upper": upper},
+            meta={"stop_reason": "max_iterations"},
+        )
+        assert "D3" not in rules_of(diagnose(registry))
+
+
+class TestD4CgStalls:
+    def test_injected_stall_is_detected_end_to_end(self, small_design):
+        config = ComPLxConfig(seed=1, max_iterations=6)
+        with telemetry.metrics() as registry:
+            with faults.injected("cg.stall@2"):
+                result = ComPLxPlacer(small_design.netlist, config).place()
+            registry.merge(result.metrics)
+        diagnosis = diagnose(registry, config=config)
+        d4 = [f for f in diagnosis.findings if f.rule == "D4"]
+        assert len(d4) == 1
+        assert d4[0].evidence["stalls"] >= 1.0
+
+    def test_cluster_of_consecutive_stalls_is_critical(self):
+        registry = make_registry(counters={"cg_solves": 20, "cg_stalls": 2})
+        stall_series = registry.series("cg_stall_solves")
+        stall_series.record(7, 1.0)
+        stall_series.record(8, 1.0)
+        d4 = [f for f in diagnose(registry).findings if f.rule == "D4"]
+        assert d4[0].severity == "critical"
+        assert d4[0].iteration_range == (7, 8)
+
+    def test_no_stalls_no_finding(self):
+        registry = make_registry(counters={"cg_solves": 20})
+        assert "D4" not in rules_of(diagnose(registry))
+
+
+class TestD5OverflowRegression:
+    def test_sustained_worsening_on_final_grid(self):
+        overflow = [2.0] * 6 + [8.0, 8.5, 8.2, 9.0, 8.8, 9.1]
+        registry = make_registry({
+            "overflow_percent": overflow,
+            "grid_bins": [8.0] * len(overflow),
+        })
+        d5 = [f for f in diagnose(registry).findings if f.rule == "D5"]
+        assert len(d5) == 1
+        assert d5[0].evidence["median_late"] > d5[0].evidence["median_early"]
+
+    def test_refine_jump_is_not_a_regression(self):
+        # The coarse-grid half sits low; the jump at refinement is
+        # expected and the fine-grid stretch itself is flat.
+        overflow = [2.0] * 6 + [9.0, 8.5, 9.0, 8.7, 8.9, 9.1]
+        registry = make_registry({
+            "overflow_percent": overflow,
+            "grid_bins": [8.0] * 6 + [16.0] * 6,
+        })
+        assert "D5" not in rules_of(diagnose(registry))
+
+    def test_noisy_but_flat_overflow_is_healthy(self):
+        overflow = [5.0, 7.0, 4.5, 6.5, 5.5, 7.2, 4.8, 6.8, 5.2, 7.0]
+        registry = make_registry({
+            "overflow_percent": overflow,
+            "grid_bins": [8.0] * len(overflow),
+        })
+        assert "D5" not in rules_of(diagnose(registry))
+
+
+class TestD6RecoveryChurn:
+    def test_churn_from_event_list(self):
+        events = [{"iteration": i, "fault": "cg_stall"} for i in range(5)]
+        registry = make_registry({"lam": [1.0] * 10})
+        diagnosis = diagnose(registry, recovery_events=events)
+        d6 = [f for f in diagnosis.findings if f.rule == "D6"]
+        assert len(d6) == 1
+        assert d6[0].severity == "warning"
+        assert d6[0].iteration_range == (0, 4)
+        assert "cg_stall" in d6[0].summary
+
+    def test_churn_every_iteration_is_critical(self):
+        events = [{"iteration": i, "fault": "primal_nan"} for i in range(10)]
+        registry = make_registry({"lam": [1.0] * 10})
+        d6 = diagnose(registry, recovery_events=events).findings[0]
+        assert d6.severity == "critical"
+
+    def test_events_read_back_from_meta(self):
+        import json
+
+        events = [{"iteration": i, "fault": "cg_stall"} for i in range(6)]
+        registry = make_registry(
+            {"lam": [1.0] * 8},
+            meta={"recovery_events": json.dumps(events)},
+        )
+        assert "D6" in rules_of(diagnose(registry))
+
+    def test_a_couple_of_recoveries_is_fine(self):
+        events = [{"iteration": 3, "fault": "cg_stall"}]
+        registry = make_registry({"lam": [1.0] * 20})
+        assert "D6" not in rules_of(diagnose(registry, recovery_events=events))

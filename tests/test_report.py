@@ -1,0 +1,173 @@
+"""Run reports: single self-contained HTML, deterministic rendering,
+Markdown digest, stage-total folding, and the offline __main__."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import Diagnosis, Finding, diagnose
+from repro.report import (
+    build_report,
+    record_stage_totals,
+    render_html,
+    render_markdown,
+    write_report,
+)
+from repro.report.__main__ import main as report_main
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+@pytest.fixture
+def registry(placed_small):
+    reg = MetricsRegistry()
+    reg.merge(placed_small.metrics)
+    reg.meta["netlist"] = "small"
+    reg.meta["netlist_fingerprint"] = "abc123"
+    return reg
+
+
+@pytest.fixture
+def report(registry):
+    density = np.linspace(0.0, 1.4, 12).reshape(3, 4)
+    return build_report(
+        registry,
+        title="small run",
+        diagnosis=diagnose(registry),
+        density=density,
+        recovery_events=[{"iteration": 2, "fault": "cg_stall",
+                          "action": "rollback"}],
+    )
+
+
+class TestHtmlReport:
+    def test_single_self_contained_document(self, report):
+        doc = render_html(report)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.count("<html") == 1 and doc.rstrip().endswith("</html>")
+        assert "<svg" in doc
+        # Self-contained: no external fetches of any kind (the SVG
+        # xmlns namespace identifier is not a fetch).
+        stripped = doc.replace('xmlns="http://www.w3.org/2000/svg"', "")
+        assert "http://" not in stripped and "https://" not in stripped
+        assert "<script" not in doc and "<link" not in doc
+        assert not re.search(r'src\s*=\s*"', doc)
+
+    def test_sections_present(self, report):
+        doc = render_html(report)
+        for heading in ("Run", "Convergence doctor", "Convergence",
+                        "Density utilization", "Recovery timeline",
+                        "Gauges"):
+            assert f"<h2>{heading}</h2>" in doc
+        assert "abc123" in doc
+        assert "cg_stall" in doc
+
+    def test_deterministic(self, report):
+        assert render_html(report) == render_html(report)
+
+    def test_findings_are_rendered_with_severity(self, registry):
+        diagnosis = Diagnosis(findings=[
+            Finding(rule="D1", name="lambda-cap-saturation",
+                    severity="critical", summary="lambda exploded",
+                    iteration_range=(4, 9),
+                    suggestions=("lower lambda_h_factor",)),
+        ])
+        doc = render_html(build_report(registry, diagnosis=diagnosis))
+        assert "CRITICAL D1 lambda-cap-saturation" in doc
+        assert "lambda exploded" in doc
+        assert "try: lower lambda_h_factor" in doc
+        assert "#d62728" in doc  # critical border color
+
+    def test_healthy_diagnosis_says_so(self, registry):
+        doc = render_html(build_report(registry,
+                                       diagnosis=diagnose(registry)))
+        assert "No findings" in doc
+
+    def test_meta_recovery_json_is_not_dumped_raw(self, registry):
+        registry.meta["recovery_events"] = json.dumps(
+            [{"iteration": 1, "fault": "primal.nan"}])
+        doc = render_html(build_report(registry))
+        # The events show up as a timeline table, not as a JSON blob row.
+        assert "<h2>Recovery timeline</h2>" in doc
+        assert "<th>recovery_events</th>" not in doc
+
+    def test_title_is_escaped(self, registry):
+        doc = render_html(build_report(registry, title="<b>evil</b>"))
+        assert "<b>evil</b>" not in doc
+        assert "&lt;b&gt;evil&lt;/b&gt;" in doc
+
+
+class TestMarkdownReport:
+    def test_digest_contents(self, report):
+        doc = render_markdown(report)
+        assert doc.startswith("# small run")
+        assert "## Convergence doctor" in doc
+        assert "## Series finals" in doc
+        assert "| lam |" in doc
+        assert "## Recovery timeline" in doc
+        assert "<svg" not in doc
+
+    def test_deterministic(self, report):
+        assert render_markdown(report) == render_markdown(report)
+
+
+class TestWriteReport:
+    def test_extension_dispatch(self, tmp_path, report):
+        html_path = tmp_path / "run.html"
+        md_path = tmp_path / "run.md"
+        write_report(str(html_path), report)
+        write_report(str(md_path), report)
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        assert md_path.read_text().startswith("# small run")
+
+
+class TestStageTotals:
+    def test_folds_tracer_aggregate_into_gauges(self):
+        tracer = Tracer()
+        tracer.record_span("assemble", 0.0, 0.25)
+        tracer.record_span("assemble", 1.0, 1.25)
+        tracer.record_span("cg_solve", 0.25, 1.0)
+        registry = MetricsRegistry()
+        record_stage_totals(registry, tracer)
+        gauges = registry.gauges()
+        assert gauges["stage_assemble_total_s"] == pytest.approx(0.5)
+        assert gauges["stage_assemble_count"] == 2.0
+        assert gauges["stage_cg_solve_total_s"] == pytest.approx(0.75)
+
+    def test_stage_bars_appear_in_html(self):
+        tracer = Tracer()
+        tracer.record_span("assemble", 0.0, 0.5)
+        registry = MetricsRegistry()
+        record_stage_totals(registry, tracer)
+        doc = render_html(build_report(registry))
+        assert "<h2>Stage timing</h2>" in doc
+        assert "assemble" in doc
+
+
+class TestOfflineMain:
+    def test_report_from_saved_json(self, tmp_path, registry):
+        metrics = tmp_path / "metrics.json"
+        registry.write_json(str(metrics))
+        out = tmp_path / "report.html"
+        assert report_main([str(metrics), "--out", str(out)]) == 0
+        doc = out.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "placement run: small" in doc
+
+    def test_jsonl_markdown_and_title_flags(self, tmp_path, registry):
+        metrics = tmp_path / "metrics.jsonl"
+        registry.write_jsonl(str(metrics))
+        out = tmp_path / "digest.md"
+        code = report_main([str(metrics), "--out", str(out),
+                            "--title", "offline", "--no-doctor"])
+        assert code == 0
+        doc = out.read_text()
+        assert doc.startswith("# offline")
+        assert "Convergence doctor" not in doc
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Run registry: capture layout, deterministic ids, structural diffs,
+and the ``python -m repro.runs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runs import RunRegistry, diff_run_dirs, diff_runs
+from repro.runs.__main__ import main as runs_main
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+def fake_run(phi=100.0, iterations=5, stop="gap_closed", stage_s=1.0):
+    registry = MetricsRegistry()
+    for i in range(iterations):
+        registry.series("lam").record(i, 1.5 ** i)
+        registry.series("phi_upper").record(i, phi * (1.0 + 0.1 * (4 - i)))
+        registry.series("pi").record(i, 10.0 / (i + 1))
+    registry.counter("cg_solves").inc()
+    registry.gauge("stage_cg_solve_total_s").set(stage_s)
+    registry.meta["stop_reason"] = stop
+    registry.meta["netlist"] = "fake"
+    return registry
+
+
+class TestCapture:
+    def test_layout_manifest_and_index(self, tmp_path):
+        root = tmp_path / "runs"
+        registry = RunRegistry(str(root))
+        run_dir = registry.capture(fake_run(), name="smoke",
+                                   report_html="<html>r</html>")
+        assert run_dir.endswith("smoke-0001")
+        assert (root / "smoke-0001" / "metrics.json").exists()
+        assert (root / "smoke-0001" / "report.html").read_text() \
+            == "<html>r</html>"
+        manifest = registry.manifest("smoke-0001")
+        assert manifest["run_id"] == "smoke-0001"
+        assert manifest["iterations"] == 5
+        assert manifest["finals"]["phi_upper"] == pytest.approx(100.0)
+        assert "recovery_events" not in manifest["meta"]
+        assert manifest["artifacts"] == ["metrics.json", "report.html"]
+        index = json.loads((root / "index.json").read_text())
+        assert index["smoke-0001"]["stop_reason"] == "gap_closed"
+
+    def test_ordinals_increment_per_name(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        registry.capture(fake_run(), name="smoke")
+        registry.capture(fake_run(), name="smoke")
+        registry.capture(fake_run(), name="other design!")
+        assert registry.run_ids() == ["other-design-0001", "smoke-0001",
+                                      "smoke-0002"]
+
+    def test_trace_artifact(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        tracer = Tracer()
+        tracer.record_span("cg_solve", 0.0, 1.0)
+        run_dir = registry.capture(fake_run(), name="traced", tracer=tracer)
+        trace = json.loads((tmp_path / "traced-0001" / "trace.json")
+                           .read_text())
+        assert any(e.get("name") == "cg_solve"
+                   for e in trace["traceEvents"])
+        assert "trace.json" in registry.manifest("traced-0001")["artifacts"]
+        assert run_dir == registry.path("traced-0001")
+
+    def test_metrics_round_trip(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        registry.capture(fake_run(), name="rt")
+        loaded = registry.load_metrics("rt-0001")
+        assert loaded.series("lam").values == fake_run().series("lam").values
+        assert loaded.meta["netlist"] == "fake"
+
+    def test_describe_lists_runs(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        assert "no runs" in registry.describe()
+        registry.capture(fake_run(), name="smoke")
+        assert "smoke-0001: 5 iterations" in registry.describe()
+
+
+class TestDiff:
+    def test_series_counter_stage_and_meta_deltas(self):
+        a = fake_run(phi=100.0, stage_s=1.0)
+        b = fake_run(phi=110.0, iterations=6, stop="max_iterations",
+                     stage_s=2.0)
+        b.series("extra_series").record(0, 1.0)
+        diff = diff_runs(a, b, label_a="base", label_b="cand")
+        by_name = {d.name: d for d in diff.series}
+        phi = by_name["phi_upper"]
+        assert phi.final_a == pytest.approx(100.0)
+        assert phi.final_b == pytest.approx(99.0)
+        assert phi.final_pct == pytest.approx(-1.0)
+        assert phi.points_a == 5 and phi.points_b == 6
+        assert phi.max_abs_delta == pytest.approx(14.0)
+        assert diff.stages["cg_solve"] == (1.0, 2.0)
+        assert diff.meta_changes["stop_reason"] == \
+            ("gap_closed", "max_iterations")
+        assert diff.only_b == ["extra_series"]
+        text = diff.render()
+        assert "base -> cand" in text
+        assert "phi_upper" in text
+
+    def test_identical_runs_render_quiet(self):
+        diff = diff_runs(fake_run(), fake_run())
+        assert "no significant final-value changes" in diff.render()
+        assert not diff.meta_changes and not diff.only_a and not diff.only_b
+
+    def test_histogram_series_are_skipped(self):
+        a = fake_run()
+        b = fake_run()
+        a.series("legalize_abacus_displacement_hist").record(0, 3.0)
+        b.series("legalize_abacus_displacement_hist").record(0, 9.0)
+        diff = diff_runs(a, b)
+        assert "legalize_abacus_displacement_hist" not in \
+            {d.name for d in diff.series}
+
+    def test_diff_run_dirs(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        registry.capture(fake_run(phi=100.0), name="smoke")
+        registry.capture(fake_run(phi=120.0), name="smoke")
+        diff = diff_run_dirs(str(tmp_path), "smoke-0001", "smoke-0002")
+        assert diff.label_a == "smoke-0001"
+        by_name = {d.name: d for d in diff.series}
+        assert by_name["phi_upper"].final_delta == pytest.approx(20.0)
+        payload = diff.to_json()
+        assert payload["a"] == "smoke-0001"
+        json.dumps(payload)  # must be serializable
+
+
+class TestRunsCli:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "runs"))
+        registry.capture(fake_run(phi=100.0), name="smoke")
+        registry.capture(fake_run(phi=105.0), name="smoke")
+        return str(tmp_path / "runs")
+
+    def test_list(self, populated, capsys):
+        assert runs_main(["--runs-dir", populated, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-0001" in out and "smoke-0002" in out
+
+    def test_show(self, populated, capsys):
+        assert runs_main(["--runs-dir", populated, "show",
+                          "smoke-0002"]) == 0
+        assert json.loads(capsys.readouterr().out)["run_id"] == "smoke-0002"
+
+    def test_diff_text_and_json(self, populated, capsys):
+        assert runs_main(["--runs-dir", populated, "diff",
+                          "smoke-0001", "smoke-0002"]) == 0
+        assert "smoke-0001 -> smoke-0002" in capsys.readouterr().out
+        assert runs_main(["--runs-dir", populated, "diff",
+                          "smoke-0001", "smoke-0002", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["b"] == "smoke-0002"
+
+    def test_missing_run_exits_2(self, populated, capsys):
+        assert runs_main(["--runs-dir", populated, "show", "nope-0001"]) == 2
+        assert "error" in capsys.readouterr().err

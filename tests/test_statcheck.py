@@ -371,6 +371,51 @@ class TestScatterAdd:
 
 
 # ----------------------------------------------------------------------
+# R10 rendering
+# ----------------------------------------------------------------------
+class TestRendering:
+    REPORT = "src/repro/report/render.py"
+
+    def test_fires_on_matplotlib_import_anywhere(self):
+        for filename in (COLD, HOT, CLI):
+            findings = check_source("import matplotlib.pyplot as plt\n",
+                                    filename=filename, enable=["R10"])
+            assert len(findings) == 1, filename
+            assert "repro.viz" in findings[0].message
+
+    def test_fires_on_from_import(self):
+        src = "from PIL import Image\n"
+        findings = check_source(src, filename=COLD, enable=["R10"])
+        assert len(findings) == 1
+
+    def test_quiet_on_relative_import_named_like_a_stack(self):
+        # `from .plotly import x` is a local module, not the stack.
+        src = "from .plotly import helper\n"
+        assert check_source(src, filename=COLD, enable=["R10"]) == []
+
+    def test_fires_on_chained_open_write_in_library_code(self):
+        src = "open(path, 'w').write(render(doc))\n"
+        findings = check_source(src, filename=COLD, enable=["R10"])
+        assert len(findings) == 1
+        assert "open(...)" in findings[0].message
+
+    def test_open_write_exempt_in_cli_and_report_modules(self):
+        src = "open(path, 'w').write(render(doc))\n"
+        for filename in (CLI, self.REPORT):
+            assert check_source(src, filename=filename,
+                                enable=["R10"]) == [], filename
+
+    def test_quiet_on_context_managed_write(self):
+        src = ("with open(path, 'w') as handle:\n"
+               "    handle.write(doc)\n")
+        assert check_source(src, filename=COLD, enable=["R10"]) == []
+
+    def test_pragma_suppresses(self):
+        src = "import seaborn  # statcheck: ignore[R10] optional extra\n"
+        assert check_source(src, filename=COLD, enable=["R10"]) == []
+
+
+# ----------------------------------------------------------------------
 # engine: classification, pragmas, rule selection
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -393,7 +438,8 @@ class TestEngine:
 
     def test_registry_has_the_shipped_rules(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+                       "R10"]
 
     def test_select_rules_enable_disable(self):
         assert [r.id for r in select_rules(enable=["R1", "R3"])] == ["R1", "R3"]

@@ -183,10 +183,15 @@ class TestTracer:
         tracer.write_chrome_trace(str(path))
         doc = json.loads(path.read_text())
         events = doc["traceEvents"]
-        phases = {e["name"]: e["ph"] for e in events}
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {
+            "process_name", "thread_name", "thread_sort_index"}
+        main = next(e for e in meta if e["name"] == "thread_name")
+        assert main["args"]["name"] == "main" and main["tid"] == 1
+        phases = {e["name"]: e["ph"] for e in events if e["ph"] != "M"}
         assert phases == {"stage": "X", "mark": "i"}
         stage = next(e for e in events if e["name"] == "stage")
-        assert stage["dur"] >= 0.0 and "ts" in stage
+        assert stage["dur"] >= 0.0 and "ts" in stage and stage["tid"] == 1
 
     def test_traced_decorator_records(self):
         tracer = Tracer()
