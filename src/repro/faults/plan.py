@@ -17,6 +17,7 @@ variable parsed at import time (``REPRO_FAULTS="cg.stall@3,primal.nan@2"``).
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -89,31 +90,40 @@ class FaultSpec:
 
 @dataclass
 class FaultPlan:
-    """A set of specs plus the per-site hit counters of the current run."""
+    """A set of specs plus the per-site hit counters of the current run.
+
+    The counters are lock-guarded: hooks fire from the threaded per-axis
+    solves, so ``hit`` is a concurrent read-modify-write on ``_hits``.
+    """
 
     specs: Sequence[FaultSpec] = ()
     _hits: dict = field(default_factory=dict, repr=False)
     _fired: list = field(default_factory=list, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def hit(self, site: str) -> FaultSpec | None:
         """Register one hit at ``site``; returns the armed spec, if any."""
-        n = self._hits.get(site, 0) + 1
-        self._hits[site] = n
-        for spec in self.specs:
-            if spec.site == site and spec.at <= n < spec.at + spec.count:
-                self._fired.append((site, n))
-                return spec
-        return None
+        with self._lock:
+            n = self._hits.get(site, 0) + 1
+            self._hits[site] = n
+            for spec in self.specs:
+                if spec.site == site and spec.at <= n < spec.at + spec.count:
+                    self._fired.append((site, n))
+                    return spec
+            return None
 
     def reset(self) -> None:
         """Zero the hit counters (reuse the plan for a fresh run)."""
-        self._hits.clear()
-        self._fired.clear()
+        with self._lock:
+            self._hits.clear()
+            self._fired.clear()
 
     @property
     def fired(self) -> list:
         """``(site, hit ordinal)`` pairs that actually triggered."""
-        return list(self._fired)
+        with self._lock:
+            return list(self._fired)
 
 
 def parse_plan(text: str) -> FaultPlan:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..netlist import Netlist
+from ..netlist import Netlist, Placement
 
 
 @dataclass
@@ -164,7 +164,8 @@ def snap_row_to_sites(
     return out
 
 
-def snap_placement_to_sites(netlist: Netlist, placement, rowmap: "RowMap"):
+def snap_placement_to_sites(netlist: Netlist, placement: Placement,
+                            rowmap: "RowMap") -> Placement:
     """Snap all movable standard cells of a legal placement onto sites.
 
     Cells are grouped per (row, segment) in x order and each group is

@@ -121,7 +121,7 @@ def scipy_cg(
     precond = spla.LinearOperator((n, n), matvec=lambda v: v / diag)
     iters = 0
 
-    def count(_):
+    def count(_: np.ndarray) -> None:
         nonlocal iters
         iters += 1
 
@@ -157,7 +157,8 @@ def _stalled_result(rhs: np.ndarray, x0: np.ndarray | None) -> CGResult:
     return CGResult(stalled, 0, float("inf"), False)
 
 
-def record_cg_solve(registry, result: CGResult) -> None:
+def record_cg_solve(registry: telemetry.MetricsRegistry,
+                    result: CGResult) -> None:
     """Fold one solve's diagnostics into a metrics registry.
 
     Besides the run totals, each solve appends to per-solve series
@@ -182,6 +183,31 @@ def record_cg_solve(registry, result: CGResult) -> None:
         history.values = [float(v) for v in result.residual_history]
 
 
+def solve_spd_quiet(
+    matrix: sp.csr_matrix,
+    rhs: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-6,
+    max_iter: int | None = None,
+    backend: str = "own",
+    collect_residuals: bool = False,
+) -> CGResult:
+    """Thread-safe solve core: fault hooks + backend dispatch only.
+
+    This is the entry point for code running off the main thread (the
+    parallel per-axis solver): it contains no telemetry at all, so the
+    worker-reachable call graph stays clear of the tracer's
+    main-thread-only span stack and of the metrics registry.  The
+    fault-plan hit counters it does touch are lock-guarded
+    (:meth:`repro.faults.plan.FaultPlan.hit`).
+    """
+    fault_hooks.maybe_raise("cg.non_spd")
+    if fault_hooks.fire("cg.stall") is not None:
+        return _stalled_result(rhs, x0)
+    return _dispatch(matrix, rhs, x0, tol, max_iter, backend,
+                     collect_residuals=collect_residuals)
+
+
 def solve_spd(
     matrix: sp.csr_matrix,
     rhs: np.ndarray,
@@ -194,22 +220,21 @@ def solve_spd(
 ) -> CGResult:
     """Solve an SPD system with the selected backend (``own``/``scipy``).
 
-    ``quiet`` skips the telemetry span and metric updates — required when
-    the call runs off the main thread (the tracer's span stack is not
-    thread-safe); the parallel per-axis solver wraps the pair of quiet
-    solves in a single main-thread span and records their metrics from
-    the main thread via :func:`record_cg_solve`.  ``collect_residuals``
+    ``quiet=True`` delegates to :func:`solve_spd_quiet` — no telemetry
+    span or metric updates, required when the call runs off the main
+    thread; the parallel per-axis solver wraps the pair of quiet solves
+    in a single main-thread span and records their metrics from the
+    main thread via :func:`record_cg_solve`.  ``collect_residuals``
     asks the own backend for the residual trajectory; instrumented
     non-quiet solves turn it on automatically when a metrics registry is
     installed.
     """
+    if quiet:
+        return solve_spd_quiet(matrix, rhs, x0=x0, tol=tol,
+                               max_iter=max_iter, backend=backend,
+                               collect_residuals=collect_residuals)
     fault_hooks.maybe_raise("cg.non_spd")
     stalled = fault_hooks.fire("cg.stall") is not None
-    if quiet:
-        if stalled:
-            return _stalled_result(rhs, x0)
-        return _dispatch(matrix, rhs, x0, tol, max_iter, backend,
-                         collect_residuals=collect_residuals)
     registry = telemetry.get_metrics()
     collect = collect_residuals or registry is not None
     with telemetry.span("cg_solve", backend=backend,

@@ -50,7 +50,10 @@ def minimize_nlcg(
     * Armijo backtracking line search starts from a Barzilai-Borwein-style
       step estimate carried between iterations.
     """
-    with telemetry.span("nlcg", n=int(np.asarray(x0).shape[0])) as sp:
+    # Converted once up front: _minimize_nlcg copies to float64 anyway,
+    # and the span argument stays a cheap shape lookup (G2 gating).
+    x0 = np.asarray(x0, dtype=np.float64)
+    with telemetry.span("nlcg", n=int(x0.shape[0])) as sp:
         result = _minimize_nlcg(
             objective, x0, max_iter=max_iter, grad_tol=grad_tol,
             initial_step=initial_step, armijo_c=armijo_c,

@@ -1,12 +1,18 @@
-"""Committed baseline of accepted pre-existing findings.
+"""Committed baseline of accepted pre-existing findings (format v2).
 
 The baseline lets the lint pass gate *new* regressions while known,
 deliberate exceptions (e.g. the documented macro slow path that trips
 the hot-loop rule) stay recorded in version control.  Matching is by
-**fingerprint** — a hash of the rule id, the file path and the stripped
-source line text (plus an occurrence counter for duplicate lines) — so
-baselined findings survive unrelated line-number drift but die when the
-flagged code itself changes.
+**fingerprint** — a hash of the rule id, the *dotted module*, and the
+stripped source line text (plus an occurrence counter for duplicate
+lines) — so baselined findings survive unrelated line-number drift
+*and* path spelling differences (``src/repro/x.py`` vs an absolute
+path) but die when the flagged code itself changes.
+
+Format v2 keys fingerprints on the module instead of the scan path (the
+v1 scheme made the same finding hash differently depending on the
+working directory).  v1 files are rejected with a pointer to the
+one-shot ``--migrate-baseline`` command.
 
 Rules with ``allow_baseline = False`` (R1 float-eq, R5 no-print) are
 never suppressed even when a fingerprint matches: those classes of bugs
@@ -21,34 +27,44 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from .engine import Finding, Rule
+from .engine import Finding, Rule, dotted_module
 
 __all__ = [
     "Baseline",
+    "BaselineVersionError",
     "apply_baseline",
     "fingerprint_findings",
+    "migrate_baseline",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-def _digest(rule: str, path: str, line_text: str, occurrence: int) -> str:
+class BaselineVersionError(ValueError):
+    """A baseline file in an unsupported (e.g. v1) format."""
+
+
+def _module_of(path: str) -> str:
+    module = dotted_module(Path(path))
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    return module
+
+
+def _digest(rule: str, module: str, line_text: str, occurrence: int) -> str:
+    payload = f"{rule}|{module}|{line_text.strip()}|{occurrence}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _digest_v1(rule: str, path: str, line_text: str, occurrence: int) -> str:
     payload = f"{rule}|{path}|{line_text.strip()}|{occurrence}"
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
-def fingerprint_findings(
+def _line_texts(
     findings: Iterable[Finding],
-    line_text_of: dict[tuple[str, int], str] | None = None,
-) -> list[tuple[Finding, str]]:
-    """Pair every finding with its stable fingerprint.
-
-    ``line_text_of`` maps ``(path, line)`` to the source line; when a
-    file cannot be re-read (unit tests on virtual paths) the finding's
-    message is used as the text component instead.
-    """
-    counters: dict[tuple[str, str, str], int] = {}
-    out: list[tuple[Finding, str]] = []
+    line_text_of: dict[tuple[str, int], str] | None,
+) -> Iterable[tuple[Finding, str]]:
     cache: dict[str, list[str]] = {}
     for finding in findings:
         text = None
@@ -66,11 +82,43 @@ def fingerprint_findings(
                 text = lines[finding.line - 1]
             else:
                 text = finding.message
+        yield finding, text
+
+
+def fingerprint_findings(
+    findings: Iterable[Finding],
+    line_text_of: dict[tuple[str, int], str] | None = None,
+) -> list[tuple[Finding, str]]:
+    """Pair every finding with its stable v2 fingerprint.
+
+    ``line_text_of`` maps ``(path, line)`` to the source line; when a
+    file cannot be re-read (unit tests on virtual paths) the finding's
+    message is used as the text component instead.
+    """
+    counters: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding, text in _line_texts(findings, line_text_of):
+        module = _module_of(finding.path)
+        key = (finding.rule, module, text.strip())
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        out.append((finding, _digest(finding.rule, module,
+                                     text, occurrence)))
+    return out
+
+
+def _fingerprint_findings_v1(
+    findings: Iterable[Finding],
+) -> list[tuple[Finding, str]]:
+    """Legacy v1 fingerprints (path-keyed) — migration only."""
+    counters: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding, text in _line_texts(findings, None):
         key = (finding.rule, finding.path, text.strip())
         occurrence = counters.get(key, 0)
         counters[key] = occurrence + 1
-        out.append((finding, _digest(finding.rule, finding.path,
-                                     text, occurrence)))
+        out.append((finding, _digest_v1(finding.rule, finding.path,
+                                        text, occurrence)))
     return out
 
 
@@ -84,8 +132,14 @@ class Baseline:
     def load(cls, path: str | Path) -> "Baseline":
         raw = json.loads(Path(path).read_text())
         version = raw.get("version")
+        if version == 1:
+            raise BaselineVersionError(
+                f"{path} is a v1 baseline; run "
+                "`python -m repro.statcheck --migrate-baseline` once to "
+                "convert it to the v2 fingerprint format"
+            )
         if version != _FORMAT_VERSION:
-            raise ValueError(
+            raise BaselineVersionError(
                 f"unsupported baseline version {version!r} in {path}"
             )
         entries = {e["fingerprint"]: e for e in raw.get("findings", [])}
@@ -98,6 +152,7 @@ class Baseline:
             entries[fp] = {
                 "fingerprint": fp,
                 "rule": finding.rule,
+                "module": _module_of(finding.path),
                 "path": finding.path,
                 "message": finding.message,
             }
@@ -110,7 +165,7 @@ class Baseline:
                 self.entries[fp]
                 for fp in sorted(
                     self.entries,
-                    key=lambda f: (self.entries[f]["path"],
+                    key=lambda f: (self.entries[f].get("module", ""),
                                    self.entries[f]["rule"], f),
                 )
             ],
@@ -122,6 +177,34 @@ class Baseline:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+def migrate_baseline(
+    path: str | Path,
+    findings: list[Finding],
+) -> tuple[Baseline, int]:
+    """One-shot v1 -> v2 conversion.
+
+    Re-runs the match against the *current* findings: every finding the
+    v1 file suppressed gets a fresh v2 fingerprint; v1 entries that no
+    longer match anything are dropped (the code they pointed at is
+    gone).  Returns the new baseline and the number of v1 entries that
+    did not survive.
+    """
+    raw = json.loads(Path(path).read_text())
+    if raw.get("version") != 1:
+        raise BaselineVersionError(
+            f"{path} is not a v1 baseline (version={raw.get('version')!r})"
+        )
+    old = {e["fingerprint"] for e in raw.get("findings", [])}
+    still_matched = [
+        finding
+        for finding, fp in _fingerprint_findings_v1(findings)
+        if fp in old
+    ]
+    migrated = Baseline.from_findings(still_matched)
+    dropped = len(old) - len(migrated)
+    return migrated, dropped
 
 
 def apply_baseline(

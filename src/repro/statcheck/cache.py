@@ -1,0 +1,98 @@
+"""Per-file content-hash cache for the phase-1 scan.
+
+The cache stores, per scanned file, the content hash plus the phase-1
+products (local-rule findings and the :class:`FileSummary`).  A file is
+re-scanned only when its bytes change or when the *signature* — the
+enabled rule set and the analysis version — changes, so an incremental
+run touches only edited files while the project pass (phase 2) always
+re-runs on the full summary set.
+
+The cache is a plain JSON file, safe to delete at any time; the driver
+treats a missing/corrupt/mismatched cache as empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from .engine import Finding
+from .project import FileSummary
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE"]
+
+DEFAULT_CACHE = ".statcheck-cache.json"
+
+_CACHE_VERSION = 1
+
+
+class AnalysisCache:
+    """Content-addressed store of phase-1 scan results."""
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: str | Path, signature: str) -> "AnalysisCache":
+        cache = cls(path, signature)
+        try:
+            raw = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return cache
+        if raw.get("version") != _CACHE_VERSION \
+                or raw.get("signature") != signature:
+            return cache
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def get(self, path: str, digest: str
+            ) -> tuple[list[Finding], FileSummary] | None:
+        entry = self.entries.get(path)
+        if entry is None or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(**f) for f in entry["findings"]]
+            summary = FileSummary.from_json(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, summary
+
+    def put(self, path: str, digest: str, findings: list[Finding],
+            summary: FileSummary) -> None:
+        self.entries[path] = {
+            "hash": digest,
+            "findings": [asdict(f) for f in findings],
+            "summary": summary.to_json(),
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer part of the scan."""
+        stale = [p for p in self.entries if p not in live_paths]
+        for path in stale:
+            del self.entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        doc = {
+            "version": _CACHE_VERSION,
+            "signature": self.signature,
+            "entries": {p: self.entries[p]
+                        for p in sorted(self.entries)},
+        }
+        self.path.write_text(json.dumps(doc) + "\n")
+        self._dirty = False

@@ -1,4 +1,4 @@
-"""Command-line front end: ``python -m repro.statcheck src/``.
+"""Command-line front end: ``python -m repro.statcheck src/ --jobs 4``.
 
 Exit status: 0 when no active (non-baselined) findings, 1 when findings
 remain or files failed to parse, 2 on usage errors.
@@ -10,9 +10,17 @@ import argparse
 import sys
 from pathlib import Path
 
-from .baseline import Baseline, apply_baseline
-from .engine import all_rules, run_paths, select_rules
+from .baseline import (
+    Baseline,
+    BaselineVersionError,
+    apply_baseline,
+    migrate_baseline,
+)
+from .cache import DEFAULT_CACHE
+from .driver import analyze_paths
+from .engine import all_rules, select_rules
 from .reporters import render_json, render_text
+from .sarif import render_sarif
 
 __all__ = ["main"]
 
@@ -33,7 +41,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="additionally write a SARIF 2.1.0 report of "
+                             "the active findings to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scan files with N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--cache", nargs="?", const=DEFAULT_CACHE,
+                        default=None, metavar="PATH",
+                        help="reuse per-file scan results from PATH "
+                             f"(default path: {DEFAULT_CACHE})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache (force a full re-scan)")
     parser.add_argument("--baseline", default=None,
                         help=f"baseline file (default: {DEFAULT_BASELINE} "
                              "when it exists)")
@@ -42,6 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write all current findings to the baseline "
                              "file and exit 0")
+    parser.add_argument("--migrate-baseline", action="store_true",
+                        help="one-shot: convert a v1 baseline file to the "
+                             "v2 fingerprint format and exit")
     parser.add_argument("--enable", action="append", default=[],
                         metavar="IDS", help="only run these rule ids")
     parser.add_argument("--disable", action="append", default=[],
@@ -58,7 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             marker = "" if rule.allow_baseline else "  [no baseline]"
-            print(f"{rule.id}  {rule.name:16s} {rule.description}{marker}")
+            scope = "project" if rule.scope == "project" else "module "
+            print(f"{rule.id:3s} {scope} {rule.name:22s} "
+                  f"{rule.description}{marker}")
         return 0
 
     enable = _split_ids(args.enable)
@@ -67,16 +93,35 @@ def main(argv: list[str] | None = None) -> int:
         rules = select_rules(enable=enable or None, disable=disable or None)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"no such path: {', '.join(missing)}")
 
-    findings, errors = run_paths(
-        args.paths, enable=enable or None, disable=disable or None
+    cache_path = None if args.no_cache else args.cache
+    result = analyze_paths(
+        args.paths,
+        enable=enable or None,
+        disable=disable or None,
+        jobs=args.jobs,
+        cache_path=cache_path,
     )
+    findings, errors = result.findings, result.errors
 
     baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.migrate_baseline:
+        try:
+            migrated, dropped = migrate_baseline(baseline_path, findings)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot migrate {baseline_path}: {exc}")
+        migrated.write(baseline_path)
+        print(f"migrated {baseline_path} to v2: {len(migrated)} entr"
+              f"{'y' if len(migrated) == 1 else 'ies'} kept, "
+              f"{dropped} dropped")
+        return 0
+
     if args.write_baseline:
         Baseline.from_findings(findings).write(baseline_path)
         print(f"wrote {len(findings)} finding(s) to {baseline_path}")
@@ -97,11 +142,19 @@ def main(argv: list[str] | None = None) -> int:
             except (OSError, ValueError) as exc:
                 parser.error(f"cannot load baseline {args.baseline}: {exc}")
         elif Path(DEFAULT_BASELINE).exists():
-            baseline = Baseline.load(DEFAULT_BASELINE)
+            try:
+                baseline = Baseline.load(DEFAULT_BASELINE)
+            except BaselineVersionError as exc:
+                parser.error(str(exc))
 
     active, suppressed = apply_baseline(findings, baseline, rules)
 
-    if args.format == "json":
+    if args.sarif is not None:
+        Path(args.sarif).write_text(render_sarif(active, rules, errors))
+
+    if args.format == "sarif":
+        print(render_sarif(active, rules, errors))
+    elif args.format == "json":
         print(render_json(active, suppressed, errors, rules))
     else:
         print(render_text(active, suppressed, errors, rules))

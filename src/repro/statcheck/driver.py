@@ -1,0 +1,207 @@
+"""Two-phase analysis driver: parallel per-file scan + project pass.
+
+Phase 1 scans each file independently — parse, run the local (module-
+scope) rules, build the :class:`FileSummary` — which makes it both
+cacheable (:mod:`repro.statcheck.cache`) and embarrassingly parallel
+(``--jobs N`` fans files out over a process pool).  Phase 2 assembles
+the summaries into a :class:`ProjectModel` and runs the interprocedural
+D/T/G rules; it is cheap and always serial, so findings are identical
+for any worker count and any cache state — the driver's core
+determinism contract, locked in by the test suite.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .cache import AnalysisCache
+from .engine import (
+    Finding,
+    Rule,
+    build_context,
+    iter_python_files,
+    local_rules,
+    project_rules,
+    select_rules,
+)
+from .project import FileSummary, ProjectModel, content_hash, summarize
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "AnalysisResult",
+    "analyze_paths",
+    "analyze_sources",
+    "rules_signature",
+]
+
+#: Bump when the summarizer or any rule changes behaviour: invalidates
+#: every cache entry built by older code.
+ANALYSIS_VERSION = 2
+
+_PARSE_ERRORS = (SyntaxError, UnicodeDecodeError, OSError)
+
+
+def rules_signature(rules: Sequence[Rule]) -> str:
+    ids = ",".join(sorted(r.id for r in rules))
+    return f"v{ANALYSIS_VERSION}|{ids}"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    summaries: list[FileSummary] = field(default_factory=list)
+    model: ProjectModel | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _scan_source(path: Path, source: str, rules: Sequence[Rule]
+                 ) -> tuple[list[Finding], FileSummary]:
+    """Phase 1 for one file: local findings + summary."""
+    ctx = build_context(path, source=source)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(ctx))
+    return findings, summarize(ctx)
+
+
+def _scan_worker(args: tuple[str, tuple[str, ...]]
+                 ) -> tuple[str, str | None, list[Finding],
+                            FileSummary | None]:
+    """Process-pool entry point; must stay module-level picklable."""
+    path_str, rule_ids = args
+    path = Path(path_str)
+    rules = local_rules(select_rules(enable=rule_ids))
+    try:
+        source = path.read_text()
+        findings, summary = _scan_source(path, source, rules)
+    except _PARSE_ERRORS as exc:
+        return path_str, f"{path_str}: {exc}", [], None
+    return path_str, None, findings, summary
+
+
+def _project_pass(summaries: Iterable[FileSummary],
+                  rules: Sequence[Rule]) -> tuple[list[Finding],
+                                                  ProjectModel]:
+    model = ProjectModel(summaries)
+    findings: list[Finding] = []
+    for rule in project_rules(rules):
+        findings.extend(rule.run_project(model))
+    return findings, model
+
+
+def _sort(findings: list[Finding]) -> list[Finding]:
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+    jobs: int = 1,
+    cache_path: str | Path | None = None,
+) -> AnalysisResult:
+    """Run the full two-phase analysis over files/directories."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    rules = select_rules(enable=enable, disable=disable)
+    lrules = local_rules(rules)
+    files = list(iter_python_files(paths))
+    result = AnalysisResult()
+
+    cache: AnalysisCache | None = None
+    if cache_path is not None:
+        cache = AnalysisCache.load(cache_path, rules_signature(rules))
+
+    by_path: dict[str, tuple[list[Finding], FileSummary]] = {}
+    pending: list[tuple[Path, str]] = []
+    for path in files:
+        key = path.as_posix()
+        try:
+            source = path.read_text()
+        except _PARSE_ERRORS as exc:
+            result.errors.append(f"{key}: {exc}")
+            continue
+        if cache is not None:
+            hit = cache.get(key, content_hash(source))
+            if hit is not None:
+                by_path[key] = hit
+                continue
+        pending.append((path, source))
+
+    if jobs > 1 and len(pending) > 1:
+        rule_ids = tuple(sorted(r.id for r in lrules))
+        work = [(p.as_posix(), rule_ids) for p, _ in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for key, error, findings, summary in pool.map(
+                    _scan_worker, work):
+                if error is not None or summary is None:
+                    result.errors.append(error or f"{key}: scan failed")
+                    continue
+                by_path[key] = (findings, summary)
+    else:
+        for path, source in pending:
+            key = path.as_posix()
+            try:
+                by_path[key] = _scan_source(path, source, lrules)
+            except _PARSE_ERRORS as exc:
+                result.errors.append(f"{key}: {exc}")
+
+    if cache is not None:
+        for key, (findings, summary) in by_path.items():
+            if key not in cache.entries \
+                    or cache.entries[key].get("hash") != summary.content_hash:
+                cache.put(key, summary.content_hash, findings, summary)
+        cache.prune(set(by_path))
+        cache.save()
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+
+    for key in sorted(by_path):
+        findings, summary = by_path[key]
+        result.findings.extend(findings)
+        result.summaries.append(summary)
+
+    project_findings, model = _project_pass(result.summaries, rules)
+    result.findings.extend(project_findings)
+    result.model = model
+    result.errors.sort()
+    _sort(result.findings)
+    return result
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    enable: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """Analyze in-memory sources keyed by virtual path.
+
+    The multi-file counterpart of :func:`repro.statcheck.check_source`:
+    fixture tests for the interprocedural rules feed several virtual
+    modules and get the full two-phase findings back.
+    """
+    rules = select_rules(enable=enable, disable=disable)
+    lrules = local_rules(rules)
+    result = AnalysisResult()
+    for filename in sorted(sources):
+        try:
+            findings, summary = _scan_source(
+                Path(filename), sources[filename], lrules)
+        except SyntaxError as exc:
+            result.errors.append(f"{filename}: {exc}")
+            continue
+        result.findings.extend(findings)
+        result.summaries.append(summary)
+    project_findings, model = _project_pass(result.summaries, rules)
+    result.findings.extend(project_findings)
+    result.model = model
+    _sort(result.findings)
+    return result

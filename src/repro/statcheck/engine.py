@@ -37,11 +37,13 @@ from typing import Iterable, Iterator
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "build_context",
     "check_source",
     "iter_python_files",
+    "local_rules",
     "register",
     "run_paths",
     "select_rules",
@@ -131,13 +133,16 @@ class Rule:
 
     Subclasses set the class attributes and implement :meth:`check`.
     ``allow_baseline = False`` marks a rule whose findings the baseline
-    mechanism must never suppress.
+    mechanism must never suppress.  ``scope`` distinguishes the per-file
+    rules (``"module"``) from the interprocedural D/T/G families
+    (``"project"``, see :class:`ProjectRule`).
     """
 
     id: str = "R0"
     name: str = "unnamed"
     description: str = ""
     allow_baseline: bool = True
+    scope: str = "module"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -148,7 +153,42 @@ class Rule:
                 yield finding
 
 
+class ProjectRule(Rule):
+    """A rule that runs once over the assembled project model.
+
+    Project rules see every file's :class:`~repro.statcheck.project.
+    FileSummary` plus the resolved call graph; they implement
+    :meth:`check_project` instead of :meth:`check`.  Inline pragmas
+    still apply — :meth:`run_project` drops findings whose flagged line
+    carries a ``# statcheck: ignore`` for this rule.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model) -> Iterator[Finding]:  # ProjectModel
+        raise NotImplementedError
+
+    def run_project(self, model) -> Iterator[Finding]:
+        for finding in self.check_project(model):
+            summary = model.summary_by_path.get(finding.path)
+            if summary is not None and summary.ignored(finding.line,
+                                                       self.id):
+                continue
+            yield finding
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
+
+#: Display/sort order of the rule families: the local placement rules
+#: first, then determinism, thread-safety, telemetry-gating.
+_FAMILY_ORDER = {"R": 0, "D": 1, "T": 2, "G": 3}
+
+
+def rule_sort_key(rule_id: str) -> tuple[int, int]:
+    return (_FAMILY_ORDER.get(rule_id[0], 9), int(rule_id[1:]))
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -160,14 +200,22 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules() -> list[Rule]:
-    """Fresh instances of every registered rule, sorted by numeric id
-    (R2 before R10)."""
-    # Importing the rules module populates the registry lazily so the
+    """Fresh instances of every registered rule in family order
+    (R1..R10, then D, T, G)."""
+    # Importing the rule modules populates the registry lazily so the
     # engine stays importable on its own.
-    from . import rules  # noqa: F401
+    from . import rules, rules_project  # noqa: F401
 
     return [_REGISTRY[rid]()
-            for rid in sorted(_REGISTRY, key=lambda r: int(r[1:]))]
+            for rid in sorted(_REGISTRY, key=rule_sort_key)]
+
+
+def local_rules(rules: Iterable[Rule]) -> list[Rule]:
+    return [r for r in rules if r.scope == "module"]
+
+
+def project_rules(rules: Iterable[Rule]) -> list[ProjectRule]:
+    return [r for r in rules if isinstance(r, ProjectRule)]
 
 
 def select_rules(
@@ -273,22 +321,15 @@ def run_paths(
     enable: Iterable[str] | None = None,
     disable: Iterable[str] | None = None,
 ) -> tuple[list[Finding], list[str]]:
-    """Lint files/directories.
+    """Lint files/directories with the full two-phase analysis.
 
     Returns ``(findings, errors)`` where ``errors`` are human-readable
     messages for files that could not be parsed (syntax errors do not
-    abort the whole run).
+    abort the whole run).  This is a thin compatibility wrapper over
+    :func:`repro.statcheck.driver.analyze_paths` (serial, uncached);
+    use the driver directly for ``--jobs`` / caching.
     """
-    rules = select_rules(enable=enable, disable=disable)
-    findings: list[Finding] = []
-    errors: list[str] = []
-    for path in iter_python_files(paths):
-        try:
-            ctx = build_context(path)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            errors.append(f"{path}: {exc}")
-            continue
-        for rule in rules:
-            findings.extend(rule.run(ctx))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, errors
+    from .driver import analyze_paths
+
+    result = analyze_paths(paths, enable=enable, disable=disable)
+    return result.findings, result.errors

@@ -1,0 +1,285 @@
+"""The interprocedural rule families: D (determinism), T
+(thread-safety), G (telemetry gating).
+
+All seven rules run on the assembled :class:`~repro.statcheck.project.
+ProjectModel` — they see the resolved call graph, so a finding can say
+*how* a bad site is reached ("via place -> solve_spd -> fire"), and a
+fact that looks harmless locally (a lone ``self.x += 1``) becomes a
+finding only when the model proves a worker thread can reach it.
+
+Family contracts
+----------------
+* **D — determinism.**  ComPLx's reproducibility story (bit-exact
+  checkpoints, byte-identical threaded solves) dies the moment hidden
+  global RNG state, set iteration order, or a wall-clock reading leaks
+  into numeric placement state.
+* **T — thread-safety.**  The PR 4 per-axis solve runs user code on
+  worker threads; anything those workers can reach must not write
+  shared state unlocked or touch the (main-thread-only) tracer span
+  stack.
+* **G — telemetry gating.**  PRs 3/5 promise zero overhead when
+  telemetry is off: every probe computes behind a single ``is None``
+  check, and telemetry-call arguments stay trivially cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .engine import Finding, ProjectRule, register
+from .project import ProjectModel
+
+__all__ = [
+    "EagerProbeRule",
+    "IterationOrderRule",
+    "ThreadSharedWriteRule",
+    "ThreadTelemetryRule",
+    "UngatedTelemetryArgsRule",
+    "UnseededRandomRule",
+    "WallClockNumericRule",
+]
+
+_MAX_CHAIN = 6
+
+
+def _chain_str(chain: tuple[str, ...]) -> str:
+    quals = [node.split(":", 1)[1] for node in chain]
+    if len(quals) > _MAX_CHAIN:
+        quals = quals[:2] + ["..."] + quals[-(_MAX_CHAIN - 3):]
+    return " -> ".join(quals)
+
+
+@register
+class UnseededRandomRule(ProjectRule):
+    id = "D1"
+    name = "unseeded-rng"
+    description = (
+        "global-state RNG (np.random.*, random.*) reachable from a "
+        "placement entry point, or default_rng() without an explicit "
+        "seed anywhere: both make runs irreproducible"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        chains = model.reachable(model.entry_nodes())
+        for node in sorted(chains):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for site in fn.rng_calls:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"global-state RNG call {site.detail}(...) is "
+                    f"reachable from a placement entry point "
+                    f"({_chain_str(chains[node])}); pass a seeded "
+                    "np.random.Generator down explicitly",
+                )
+        for node in sorted(model.functions):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for site in fn.unseeded_rng_calls:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    "default_rng() without an explicit seed draws "
+                    "entropy from the OS; thread a seed through so the "
+                    "stream is reproducible",
+                )
+
+
+@register
+class IterationOrderRule(ProjectRule):
+    id = "D2"
+    name = "iteration-order"
+    description = (
+        "set iteration order leaking into an order-sensitive sink "
+        "(np.array/list/tuple/enumerate/join), directly or via a "
+        "function that returns a set: wrap the iterable in sorted()"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for node in sorted(model.functions):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for site in fn.order_sites:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"{site.detail}: set iteration order is "
+                    "hash-randomized across processes; wrap in sorted()",
+                )
+            for callee, site in fn.order_call_sites:
+                for target in model.resolve_name(node, callee):
+                    if model.functions[target].returns_set:
+                        yield Finding(
+                            self.id, path, site.line, site.col,
+                            f"{site.detail}: {callee}() (defined in "
+                            f"{model.module_of(target)}) returns a set, "
+                            "so the element order is unstable; wrap in "
+                            "sorted()",
+                        )
+                        break
+
+
+@register
+class WallClockNumericRule(ProjectRule):
+    id = "D3"
+    name = "wallclock-numeric"
+    description = (
+        "a clock reading (time.time, perf_counter, datetime.now, or a "
+        "function returning one) flowing into numeric placement state: "
+        "seeds, arrays, or coordinate variables"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        clock_sources = model.clock_sources()
+        for node in sorted(model.functions):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for site in fn.clock_sinks:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"{site.detail}: clock values in numeric state make "
+                    "every run different; derive seeds/coordinates from "
+                    "configuration instead",
+                )
+            for callee, site in fn.call_result_sinks:
+                for target in model.resolve_name(node, callee):
+                    if target in clock_sources:
+                        yield Finding(
+                            self.id, path, site.line, site.col,
+                            f"{site.detail}; {callee}() (defined in "
+                            f"{model.module_of(target)}) returns a "
+                            "wall-clock-derived value",
+                        )
+                        break
+
+
+@register
+class ThreadSharedWriteRule(ProjectRule):
+    id = "T1"
+    name = "thread-shared-write"
+    description = (
+        "unsynchronized write to shared state (instance attribute or "
+        "module global) in a function reachable from a thread-pool "
+        "submission; guard with a lock or keep the state thread-local"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        roots = model.thread_entry_nodes()
+        chains = model.reachable(roots)
+        for node in sorted(chains):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            root = chains[node][0]
+            launch_path, launch = roots[root]
+            for site in fn.shared_writes:
+                if site.guarded:
+                    continue
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"unsynchronized shared-state write ({site.detail}) "
+                    f"runs on a worker thread: submitted at "
+                    f"{launch_path}:{launch.line} "
+                    f"({_chain_str(chains[node])}); hold a lock or "
+                    "keep the state thread-local",
+                )
+
+
+@register
+class ThreadTelemetryRule(ProjectRule):
+    id = "T2"
+    name = "thread-telemetry"
+    description = (
+        "telemetry span/instant use (or an @traced decoration) in a "
+        "function reachable from a worker thread: the tracer span "
+        "stack is main-thread-only; use Tracer.record_span from the "
+        "main thread for off-thread timings"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        roots = model.thread_entry_nodes()
+        chains = model.reachable(roots)
+        for node in sorted(chains):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            root = chains[node][0]
+            launch_path, launch = roots[root]
+            for site in fn.telemetry_calls:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"telemetry call {site.detail}(...) can run on a "
+                    f"worker thread (submitted at "
+                    f"{launch_path}:{launch.line}, "
+                    f"{_chain_str(chains[node])}); the span stack is "
+                    "not thread-safe — record externally-timed spans "
+                    "from the main thread",
+                )
+            if any(d.split(".")[-1] == "traced" for d in fn.decorators):
+                yield Finding(
+                    self.id, path, fn.line, 0,
+                    f"@traced on {fn.qualname} which is reachable from "
+                    f"a worker thread (submitted at "
+                    f"{launch_path}:{launch.line}); the decorator "
+                    "pushes onto the main-thread span stack",
+                )
+
+
+@register
+class EagerProbeRule(ProjectRule):
+    id = "G1"
+    name = "eager-probe"
+    description = (
+        "probe work (loops, comprehensions, non-trivial calls) "
+        "executed between get_metrics()/get_tracer() and the `is "
+        "None` gate: it runs even when telemetry is disabled"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for node in sorted(model.functions):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for offender, site in fn.pregate_sites:
+                where = self._resolve_note(model, node, offender)
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"{site.detail}{where}; move it below the gate so "
+                    "disabled-telemetry runs pay nothing",
+                )
+
+    @staticmethod
+    def _resolve_note(model: ProjectModel, node: str,
+                      offender: str) -> str:
+        if not offender.startswith("a call to "):
+            return ""
+        callee = offender[len("a call to "):].removesuffix("(...)")
+        targets = model.resolve_name(node, callee)
+        if targets:
+            return f" (defined in {model.module_of(targets[0])})"
+        return ""
+
+
+@register
+class UngatedTelemetryArgsRule(ProjectRule):
+    id = "G2"
+    name = "ungated-telemetry-args"
+    description = (
+        "non-trivial expression in telemetry span/instant/annotate "
+        "arguments outside an `is not None` gate: the arguments are "
+        "evaluated even when the call is a no-op"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for node in sorted(model.functions):
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for offender, site in fn.telemetry_arg_sites:
+                where = ""
+                callee = offender.removesuffix("(...)")
+                if callee != offender:
+                    targets = model.resolve_name(node, callee)
+                    if targets:
+                        where = (f" (defined in "
+                                 f"{model.module_of(targets[0])})")
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"{site.detail}{where}, evaluated even when "
+                    "telemetry is disabled; guard with `if tracer is "
+                    "not None:` or precompute cheaply",
+                )

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+The document is deliberately minimal but schema-valid: one run, the
+full rule catalogue under ``tool.driver.rules``, one ``result`` per
+finding with a physical location and the statcheck baseline fingerprint
+under ``partialFingerprints`` so code-scanning deduplicates findings
+across pushes the same way the local baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .baseline import fingerprint_findings
+from .engine import Finding, Rule
+
+__all__ = ["render_sarif", "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: partialFingerprints key; the version suffix tracks the baseline
+#: fingerprint format so stale fingerprints never collide.
+FINGERPRINT_KEY = "statcheckFingerprint/v2"
+
+
+def _level(rule: Rule | None) -> str:
+    # Never-baselinable rules are hard errors; the rest annotate as
+    # warnings (the exit code, not the level, gates CI).
+    if rule is not None and not rule.allow_baseline:
+        return "error"
+    return "warning"
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    rules: Iterable[Rule] = (),
+    errors: Sequence[str] = (),
+) -> dict:
+    """The SARIF log as a plain dict (rendered by :func:`render_sarif`)."""
+    rule_list = list(rules)
+    by_id = {r.id: r for r in rule_list}
+    rule_index = {r.id: i for i, r in enumerate(rule_list)}
+
+    results = []
+    for finding, fingerprint in fingerprint_findings(findings):
+        rule = by_id.get(finding.rule)
+        result = {
+            "ruleId": finding.rule,
+            "level": _level(rule),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; Finding.col is the
+                        # 0-based AST col_offset.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+
+    invocation = {
+        "executionSuccessful": True,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}}
+            for err in errors
+        ],
+    }
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "statcheck",
+                    "semanticVersion": "2.0.0",
+                    "rules": [
+                        {
+                            "id": r.id,
+                            "name": r.name,
+                            "shortDescription": {"text": r.description},
+                            "defaultConfiguration": {"level": _level(r)},
+                        }
+                        for r in rule_list
+                    ],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Iterable[Rule] = (),
+    errors: Sequence[str] = (),
+) -> str:
+    return json.dumps(sarif_document(findings, rules, errors), indent=2)

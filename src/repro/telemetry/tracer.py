@@ -366,7 +366,7 @@ def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
         set_tracer(previous)
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> "_Span | _NullSpan":
     """Open a span on the active tracer; a shared no-op when disabled."""
     tracer = _ACTIVE
     if tracer is None:
@@ -388,7 +388,7 @@ def traced(name: str | None = None) -> Callable:
         span_name = name or func.__qualname__
 
         @functools.wraps(func)
-        def wrapper(*args: Any, **kwargs: Any):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             tracer = _ACTIVE
             if tracer is None:
                 return func(*args, **kwargs)

@@ -1,0 +1,159 @@
+"""Driver-level tests: per-file caching, cache invalidation, parallel
+scans, and the guarantee that findings are identical no matter how the
+phase-1 scan is executed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.statcheck import analyze_paths
+from repro.statcheck.cache import AnalysisCache
+from repro.statcheck.driver import rules_signature
+from repro.statcheck.engine import select_rules
+
+CLEAN = "def helper(x):\n    return x + 1\n"
+# One deterministic D1 finding: unseeded default_rng fires anywhere.
+DIRTY = (
+    "import numpy as np\n"
+    "def helper():\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+def write_tree(root, files):
+    for name, source in files.items():
+        target = root / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+@pytest.fixture
+def tree(tmp_path):
+    return write_tree(tmp_path / "proj", {
+        "a.py": CLEAN,
+        "b.py": DIRTY,
+        "sub/c.py": CLEAN,
+    })
+
+
+def normalized(findings):
+    return [(f.rule, f.path.rsplit("/", 1)[-1], f.line, f.col, f.message)
+            for f in findings]
+
+
+class TestParallelScan:
+    def test_jobs_produce_identical_findings(self, tree):
+        serial = analyze_paths([tree], jobs=1)
+        threaded = analyze_paths([tree], jobs=4)
+        assert normalized(serial.findings) == normalized(threaded.findings)
+        assert serial.errors == threaded.errors
+
+    def test_parallel_scan_finds_the_planted_finding(self, tree):
+        result = analyze_paths([tree], jobs=2, enable=["D1"])
+        assert [f.rule for f in result.findings] == ["D1"]
+        assert result.findings[0].path.endswith("b.py")
+
+    def test_syntax_errors_are_reported_not_raised(self, tree):
+        (tree / "broken.py").write_text("def oops(:\n")
+        for jobs in (1, 2):
+            result = analyze_paths([tree], jobs=jobs)
+            assert len(result.errors) == 1
+            assert "broken.py" in result.errors[0]
+
+    def test_jobs_must_be_positive(self, tree):
+        with pytest.raises(ValueError):
+            analyze_paths([tree], jobs=0)
+
+
+class TestCaching:
+    def test_warm_cache_hits_every_file(self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cold = analyze_paths([tree], cache_path=cache_file)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 3
+        assert cache_file.exists()
+
+        warm = analyze_paths([tree], cache_path=cache_file)
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        assert normalized(warm.findings) == normalized(cold.findings)
+
+    def test_content_change_invalidates_only_that_file(self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache_file)
+
+        # a.py becomes dirty: exactly one re-scan, one new finding.
+        (tree / "a.py").write_text(DIRTY)
+        result = analyze_paths([tree], cache_path=cache_file,
+                               enable=["D1"])
+        # enable changed the signature -> full rescan; warm it first.
+        result = analyze_paths([tree], cache_path=cache_file,
+                               enable=["D1"])
+        assert result.cache_hits == 3
+
+        (tree / "a.py").write_text(CLEAN)
+        result = analyze_paths([tree], cache_path=cache_file,
+                               enable=["D1"])
+        assert result.cache_misses == 1
+        assert result.cache_hits == 2
+
+    def test_rule_selection_change_invalidates_whole_cache(
+            self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache_file)
+        result = analyze_paths([tree], cache_path=cache_file,
+                               disable=["R1"])
+        assert result.cache_hits == 0
+        assert result.cache_misses == 3
+
+    def test_cached_run_equals_uncached_run(self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        uncached = analyze_paths([tree])
+        analyze_paths([tree], cache_path=cache_file)
+        cached = analyze_paths([tree], cache_path=cache_file)
+        assert normalized(cached.findings) == normalized(uncached.findings)
+
+    def test_deleted_files_are_pruned_from_cache(self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        analyze_paths([tree], cache_path=cache_file)
+        (tree / "sub" / "c.py").unlink()
+        analyze_paths([tree], cache_path=cache_file)
+        payload = json.loads(cache_file.read_text())
+        assert not any(path.endswith("c.py") for path in payload["entries"])
+
+    def test_corrupt_cache_is_discarded(self, tree, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        result = analyze_paths([tree], cache_path=cache_file)
+        assert result.cache_misses == 3
+        assert normalized(result.findings) == normalized(
+            analyze_paths([tree]).findings)
+
+
+class TestCacheUnit:
+    def test_signature_mismatch_resets_entries(self, tmp_path):
+        from pathlib import Path
+
+        from repro.statcheck.engine import build_context
+        from repro.statcheck.project import summarize
+
+        summary = summarize(build_context(Path("x.py"), "x = 1\n"))
+        cache_file = tmp_path / "cache.json"
+        cache = AnalysisCache.load(cache_file, signature="sig-a")
+        cache.put("x.py", "hash1", [], summary)
+        cache.save()
+
+        again = AnalysisCache.load(cache_file, signature="sig-a")
+        assert again.get("x.py", "hash1") is not None
+
+        other = AnalysisCache.load(cache_file, signature="sig-b")
+        assert other.get("x.py", "hash1") is None
+
+    def test_rules_signature_is_order_insensitive(self):
+        rules = select_rules()
+        assert rules_signature(rules) == rules_signature(
+            list(reversed(rules)))

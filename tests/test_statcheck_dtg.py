@@ -1,0 +1,551 @@
+"""Positive + negative fixture pairs for the interprocedural D/T/G
+rule families.
+
+Each fixture is a dict of virtual modules fed through
+``analyze_sources`` so the project model (imports, call graph,
+reachability) is exercised exactly as on a real tree.
+"""
+
+from __future__ import annotations
+
+from repro.statcheck import analyze_sources
+
+
+def rules_of(result):
+    return sorted({f.rule for f in result.findings})
+
+
+def dtg(sources, enable):
+    return analyze_sources(sources, enable=enable)
+
+
+# ----------------------------------------------------------------------
+# D1 unseeded-rng
+# ----------------------------------------------------------------------
+class TestUnseededRng:
+    def test_fires_on_np_random_reachable_from_entry(self):
+        result = dtg({
+            "src/repro/core/flow.py": (
+                "from .noise import jitter\n"
+                "def global_place(netlist):\n"
+                "    return jitter(netlist)\n"
+            ),
+            "src/repro/core/noise.py": (
+                "import numpy as np\n"
+                "def jitter(netlist):\n"
+                "    return np.random.rand(3)\n"
+            ),
+        }, enable=["D1"])
+        assert rules_of(result) == ["D1"]
+        [finding] = result.findings
+        assert finding.path == "src/repro/core/noise.py"
+        assert "reachable from a placement entry" in finding.message
+
+    def test_fires_on_stdlib_random_reachable_from_entry(self):
+        result = dtg({
+            "src/repro/core/flow.py": (
+                "import random\n"
+                "def place(netlist):\n"
+                "    return random.shuffle(netlist)\n"
+            ),
+        }, enable=["D1"])
+        assert rules_of(result) == ["D1"]
+
+    def test_quiet_when_unreachable_from_entries(self):
+        # The same RNG call without a path from place/global_place.
+        result = dtg({
+            "src/repro/core/noise.py": (
+                "import numpy as np\n"
+                "def jitter(netlist):\n"
+                "    return np.random.rand(3)\n"
+            ),
+        }, enable=["D1"])
+        assert result.findings == []
+
+    def test_fires_on_unseeded_default_rng_anywhere(self):
+        result = dtg({
+            "src/repro/workloads/gen.py": (
+                "import numpy as np\n"
+                "def helper():\n"
+                "    rng = np.random.default_rng()\n"
+                "    return rng\n"
+            ),
+        }, enable=["D1"])
+        assert rules_of(result) == ["D1"]
+        assert "without an explicit seed" in result.findings[0].message
+
+    def test_quiet_on_seeded_default_rng(self):
+        result = dtg({
+            "src/repro/core/flow.py": (
+                "import numpy as np\n"
+                "def global_place(netlist, seed):\n"
+                "    rng = np.random.default_rng(seed)\n"
+                "    return rng.random(3)\n"
+            ),
+        }, enable=["D1"])
+        assert result.findings == []
+
+    def test_pragma_suppresses(self):
+        result = dtg({
+            "src/repro/workloads/gen.py": (
+                "import numpy as np\n"
+                "def helper():\n"
+                "    return np.random.default_rng()"
+                "  # statcheck: ignore[D1]\n"
+            ),
+        }, enable=["D1"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# D2 iteration-order
+# ----------------------------------------------------------------------
+class TestIterationOrder:
+    def test_fires_on_set_into_list(self):
+        result = dtg({
+            "src/repro/core/ids.py": (
+                "import numpy as np\n"
+                "def pack(cells):\n"
+                "    ids = {c.name for c in cells}\n"
+                "    return np.array(list(ids))\n"
+            ),
+        }, enable=["D2"])
+        assert rules_of(result) == ["D2"]
+        assert "sorted()" in result.findings[0].message
+
+    def test_fires_on_set_literal_into_np_array(self):
+        result = dtg({
+            "src/repro/core/ids.py": (
+                "import numpy as np\n"
+                "def pack():\n"
+                "    return np.fromiter({3, 1, 2}, dtype=float)\n"
+            ),
+        }, enable=["D2"])
+        assert rules_of(result) == ["D2"]
+
+    def test_fires_interprocedurally_on_set_returning_function(self):
+        result = dtg({
+            "src/repro/core/ids.py": (
+                "def get_ids(n):\n"
+                "    return {i for i in range(n)}\n"
+            ),
+            "src/repro/core/use.py": (
+                "import numpy as np\n"
+                "from .ids import get_ids\n"
+                "def pack(n):\n"
+                "    return np.array(get_ids(n))\n"
+            ),
+        }, enable=["D2"])
+        assert rules_of(result) == ["D2"]
+        [finding] = result.findings
+        assert finding.path == "src/repro/core/use.py"
+        assert "returns a set" in finding.message
+
+    def test_quiet_on_sorted_wrapper(self):
+        result = dtg({
+            "src/repro/core/ids.py": (
+                "import numpy as np\n"
+                "def pack(cells):\n"
+                "    ids = {c.name for c in cells}\n"
+                "    return np.array(sorted(ids))\n"
+            ),
+        }, enable=["D2"])
+        assert result.findings == []
+
+    def test_quiet_on_list_typed_local(self):
+        result = dtg({
+            "src/repro/core/ids.py": (
+                "import numpy as np\n"
+                "def pack(cells):\n"
+                "    ids = [c.name for c in cells]\n"
+                "    return np.array(ids)\n"
+            ),
+        }, enable=["D2"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# D3 wallclock-numeric
+# ----------------------------------------------------------------------
+class TestWallClockNumeric:
+    def test_fires_on_clock_into_coordinate(self):
+        result = dtg({
+            "src/repro/core/init.py": (
+                "import time\n"
+                "def spread(netlist):\n"
+                "    x0 = time.time()\n"
+                "    return x0\n"
+            ),
+        }, enable=["D3"])
+        assert rules_of(result) == ["D3"]
+
+    def test_fires_on_clock_seed(self):
+        result = dtg({
+            "src/repro/core/init.py": (
+                "import time\n"
+                "import numpy as np\n"
+                "def make_rng():\n"
+                "    return np.random.default_rng("
+                "seed=int(time.time()))\n"
+            ),
+        }, enable=["D3"])
+        assert rules_of(result) == ["D3"]
+
+    def test_fires_interprocedurally_via_clock_source(self):
+        result = dtg({
+            "src/repro/core/clock.py": (
+                "import time\n"
+                "def now():\n"
+                "    return time.time()\n"
+            ),
+            "src/repro/core/init.py": (
+                "from .clock import now\n"
+                "def place(netlist):\n"
+                "    x0 = now()\n"
+                "    return x0\n"
+            ),
+        }, enable=["D3"])
+        assert rules_of(result) == ["D3"]
+        [finding] = result.findings
+        assert finding.path == "src/repro/core/init.py"
+        assert "wall-clock-derived" in finding.message
+
+    def test_transitive_clock_sources_converge(self):
+        result = dtg({
+            "src/repro/core/clock.py": (
+                "import time\n"
+                "def now():\n"
+                "    return time.time()\n"
+                "def stamp():\n"
+                "    return now()\n"
+            ),
+            "src/repro/core/init.py": (
+                "from .clock import stamp\n"
+                "def place(netlist):\n"
+                "    y0 = stamp()\n"
+                "    return y0\n"
+            ),
+        }, enable=["D3"])
+        assert rules_of(result) == ["D3"]
+
+    def test_quiet_on_duration_measurement(self):
+        result = dtg({
+            "src/repro/core/timing.py": (
+                "import time\n"
+                "def measure(run):\n"
+                "    t0 = time.perf_counter()\n"
+                "    run()\n"
+                "    elapsed = time.perf_counter() - t0\n"
+                "    return elapsed\n"
+            ),
+        }, enable=["D3"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# T1 thread-shared-write
+# ----------------------------------------------------------------------
+THREADED_ACC = (
+    "from concurrent.futures import ThreadPoolExecutor\n"
+    "class Acc:\n"
+    "    def __init__(self):\n"
+    "        self.total = 0\n"
+    "    def bump(self, v):\n"
+    "{body}"
+    "def run(acc):\n"
+    "    with ThreadPoolExecutor(max_workers=2) as pool:\n"
+    "        futures = [pool.submit(acc.bump, i) for i in range(4)]\n"
+    "    return [f.result() for f in futures]\n"
+)
+
+
+class TestThreadSharedWrite:
+    def test_fires_on_unlocked_attribute_accumulation(self):
+        result = dtg({
+            "src/repro/core/par.py": THREADED_ACC.format(
+                body="        self.total += v\n"),
+        }, enable=["T1"])
+        assert rules_of(result) == ["T1"]
+        [finding] = result.findings
+        assert "self.total" in finding.message
+        assert "worker thread" in finding.message
+
+    def test_fires_on_container_mutation(self):
+        result = dtg({
+            "src/repro/core/par.py": THREADED_ACC.format(
+                body="        self.items.append(v)\n"),
+        }, enable=["T1"])
+        assert rules_of(result) == ["T1"]
+
+    def test_quiet_under_a_lock(self):
+        result = dtg({
+            "src/repro/core/par.py": THREADED_ACC.format(
+                body="        with self._lock:\n"
+                     "            self.total += v\n"),
+        }, enable=["T1"])
+        assert result.findings == []
+
+    def test_quiet_when_not_thread_reachable(self):
+        result = dtg({
+            "src/repro/core/seq.py": (
+                "class Acc:\n"
+                "    def __init__(self):\n"
+                "        self.total = 0\n"
+                "    def bump(self, v):\n"
+                "        self.total += v\n"
+                "def run(acc):\n"
+                "    acc.bump(1)\n"
+            ),
+        }, enable=["T1"])
+        assert result.findings == []
+
+    def test_fires_on_module_global_write(self):
+        result = dtg({
+            "src/repro/core/par.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "_COUNT = 0\n"
+                "def work(i):\n"
+                "    global _COUNT\n"
+                "    _COUNT += i\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        pool.submit(work, 1).result()\n"
+            ),
+        }, enable=["T1"])
+        assert rules_of(result) == ["T1"]
+        assert "module global" in result.findings[0].message
+
+    def test_init_writes_are_exempt(self):
+        # Object construction on a worker thread owns its instance.
+        result = dtg({
+            "src/repro/core/par.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "class Box:\n"
+                "    def __init__(self, v):\n"
+                "        self.v = v\n"
+                "def work(i):\n"
+                "    return Box(i)\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 1).result()\n"
+            ),
+        }, enable=["T1"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# T2 thread-telemetry
+# ----------------------------------------------------------------------
+class TestThreadTelemetry:
+    def test_fires_on_span_in_worker(self):
+        result = dtg({
+            "src/repro/core/tpar.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "from .. import telemetry\n"
+                "def work(i):\n"
+                "    with telemetry.span('w', idx=i):\n"
+                "        return i\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 1).result()\n"
+            ),
+        }, enable=["T2"])
+        assert rules_of(result) == ["T2"]
+        assert "span stack" in result.findings[0].message
+
+    def test_fires_on_traced_decorator_in_worker(self):
+        result = dtg({
+            "src/repro/core/tpar.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "from ..telemetry import traced\n"
+                "@traced('work')\n"
+                "def work(i):\n"
+                "    return i\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 1).result()\n"
+            ),
+        }, enable=["T2"])
+        assert rules_of(result) == ["T2"]
+        assert "@traced" in result.findings[0].message
+
+    def test_fires_transitively_through_a_helper(self):
+        result = dtg({
+            "src/repro/core/tpar.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "from .helper import instrumented\n"
+                "def work(i):\n"
+                "    return instrumented(i)\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 1).result()\n"
+            ),
+            "src/repro/core/helper.py": (
+                "from .. import telemetry\n"
+                "def instrumented(i):\n"
+                "    with telemetry.span('h'):\n"
+                "        return i\n"
+            ),
+        }, enable=["T2"])
+        assert rules_of(result) == ["T2"]
+        assert result.findings[0].path == "src/repro/core/helper.py"
+
+    def test_quiet_on_main_thread_telemetry(self):
+        result = dtg({
+            "src/repro/core/tpar.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "from .. import telemetry\n"
+                "def work(i):\n"
+                "    return i * 2\n"
+                "def run():\n"
+                "    with telemetry.span('solve'):\n"
+                "        with ThreadPoolExecutor() as pool:\n"
+                "            return pool.submit(work, 1).result()\n"
+            ),
+        }, enable=["T2"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# G1 eager-probe
+# ----------------------------------------------------------------------
+class TestEagerProbe:
+    def test_fires_on_work_before_gate(self):
+        result = dtg({
+            "src/repro/telemetry/probes.py": (
+                "from .metrics import get_metrics\n"
+                "def record(grid):\n"
+                "    registry = get_metrics()\n"
+                "    hist = [b.count() for b in grid.bins]\n"
+                "    if registry is None:\n"
+                "        return\n"
+                "    registry.gauge('bins').set(len(hist))\n"
+            ),
+        }, enable=["G1"])
+        assert rules_of(result) == ["G1"]
+        assert "before the telemetry" in result.findings[0].message
+
+    def test_fires_on_helper_call_before_gate(self):
+        result = dtg({
+            "src/repro/telemetry/probes.py": (
+                "from .metrics import get_metrics\n"
+                "from .shape import histogram\n"
+                "def record(grid):\n"
+                "    registry = get_metrics()\n"
+                "    hist = histogram(grid)\n"
+                "    if registry is None:\n"
+                "        return\n"
+                "    registry.gauge('bins').set(hist)\n"
+            ),
+            "src/repro/telemetry/shape.py": (
+                "def histogram(grid):\n"
+                "    return [b for b in grid.bins]\n"
+            ),
+        }, enable=["G1"])
+        assert rules_of(result) == ["G1"]
+        # The interprocedural note points at the helper's module.
+        assert "repro.telemetry.shape" in result.findings[0].message
+
+    def test_quiet_when_gate_comes_first(self):
+        result = dtg({
+            "src/repro/telemetry/probes.py": (
+                "from .metrics import get_metrics\n"
+                "def record(grid):\n"
+                "    registry = get_metrics()\n"
+                "    if registry is None:\n"
+                "        return\n"
+                "    hist = [b.count() for b in grid.bins]\n"
+                "    registry.gauge('bins').set(len(hist))\n"
+            ),
+        }, enable=["G1"])
+        assert result.findings == []
+
+    def test_trailing_is_not_none_block_is_not_a_gate(self):
+        # The solver idiom: real work, then `if registry is not None:`
+        # to record — the work before it is the point of the function.
+        result = dtg({
+            "src/repro/solvers/s.py": (
+                "from ..telemetry import get_metrics\n"
+                "def solve(system):\n"
+                "    registry = get_metrics()\n"
+                "    result = heavy_solve(system)\n"
+                "    if registry is not None:\n"
+                "        registry.counter('solves').inc()\n"
+                "    return result\n"
+                "def heavy_solve(system):\n"
+                "    return system\n"
+            ),
+        }, enable=["G1"])
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# G2 ungated-telemetry-args
+# ----------------------------------------------------------------------
+class TestUngatedTelemetryArgs:
+    def test_fires_on_sum_in_span_args(self):
+        result = dtg({
+            "src/repro/core/g2.py": (
+                "from .. import telemetry\n"
+                "def solve(xs):\n"
+                "    with telemetry.span('s', total=sum(xs)) as sp:\n"
+                "        return xs\n"
+            ),
+        }, enable=["G2"])
+        assert rules_of(result) == ["G2"]
+        assert "sum(...)" in result.findings[0].message
+
+    def test_fires_on_comprehension_in_annotate(self):
+        result = dtg({
+            "src/repro/core/g2.py": (
+                "from .. import telemetry\n"
+                "def solve(xs):\n"
+                "    with telemetry.span('s') as sp:\n"
+                "        sp.annotate('sq', [x * x for x in xs])\n"
+                "        return xs\n"
+            ),
+        }, enable=["G2"])
+        assert rules_of(result) == ["G2"]
+
+    def test_fires_on_project_helper_and_names_its_module(self):
+        result = dtg({
+            "src/repro/core/g2.py": (
+                "from .. import telemetry\n"
+                "from .stats import spread\n"
+                "def solve(xs):\n"
+                "    with telemetry.span('s', w=spread(xs)) as sp:\n"
+                "        return xs\n"
+            ),
+            "src/repro/core/stats.py": (
+                "def spread(xs):\n"
+                "    return max(xs) - min(xs)\n"
+            ),
+        }, enable=["G2"])
+        assert rules_of(result) == ["G2"]
+        assert "repro.core.stats" in result.findings[0].message
+
+    def test_quiet_on_cheap_args(self):
+        result = dtg({
+            "src/repro/core/g2.py": (
+                "from .. import telemetry\n"
+                "def solve(xs, backend):\n"
+                "    with telemetry.span('s', backend=backend,\n"
+                "                        n=int(len(xs))) as sp:\n"
+                "        return xs\n"
+            ),
+        }, enable=["G2"])
+        assert result.findings == []
+
+    def test_quiet_inside_is_not_none_gate(self):
+        result = dtg({
+            "src/repro/core/g2.py": (
+                "from .. import telemetry\n"
+                "def solve(xs):\n"
+                "    tracer = telemetry.get_tracer()\n"
+                "    with telemetry.span('s') as sp:\n"
+                "        if tracer is not None:\n"
+                "            sp.annotate('total', sum(xs))\n"
+                "        return xs\n"
+            ),
+        }, enable=["G2"])
+        assert result.findings == []

@@ -1,0 +1,290 @@
+"""Unit tests for the statcheck project model: symbol tables, import
+resolution, call-graph edges, reachability, and derived fact sets —
+all on small synthetic packages.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.statcheck import analyze_sources
+from repro.statcheck.engine import build_context
+from repro.statcheck.project import (
+    FileSummary,
+    ProjectModel,
+    content_hash,
+    summarize,
+)
+
+
+def model_of(sources: dict[str, str]) -> ProjectModel:
+    return analyze_sources(sources).model
+
+
+def summary_of(source: str, path: str = "src/repro/pkg/mod.py") -> FileSummary:
+    return summarize(build_context(Path(path), source))
+
+
+# ----------------------------------------------------------------------
+# File summaries / symbol tables
+# ----------------------------------------------------------------------
+class TestFileSummary:
+    def test_qualnames_cover_methods_and_nested_functions(self):
+        summary = summary_of(
+            "class C:\n"
+            "    def m(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+            "        return inner\n"
+            "def top():\n"
+            "    pass\n"
+        )
+        assert set(summary.functions) == {
+            "C.m", "C.m.<locals>.inner", "top",
+        }
+        assert summary.functions["C.m"].cls == "C"
+        assert summary.functions["top"].cls is None
+        assert summary.classes == {"C": ["m"]}
+
+    def test_module_name_from_path(self):
+        assert summary_of("x = 1").module == "repro.pkg.mod"
+        pkg = summary_of("x = 1", path="src/repro/pkg/__init__.py")
+        assert pkg.module == "repro.pkg"
+        assert pkg.is_package
+
+    def test_import_table_records_aliases_and_symbols(self):
+        summary = summary_of(
+            "import numpy as np\n"
+            "import repro.pkg.util as u\n"
+            "from .other import helper\n"
+            "from ..telemetry import span as sp\n"
+        )
+        assert summary.imports["np"] == ("numpy", None)
+        assert summary.imports["u"] == ("repro.pkg.util", None)
+        assert summary.imports["helper"] == ("repro.pkg.other", "helper")
+        assert summary.imports["sp"] == ("repro.telemetry", "span")
+
+    def test_call_sites_are_recorded_with_locations(self):
+        summary = summary_of(
+            "def f():\n"
+            "    g()\n"
+            "    obj.method()\n"
+        )
+        names = {site.name for site in summary.functions["f"].calls}
+        assert {"g", "obj.method"} <= names
+
+    def test_json_round_trip_preserves_everything(self):
+        summary = summary_of(
+            "import time\n"
+            "import numpy as np\n"
+            "def f(cells):\n"
+            "    ids = {c for c in cells}\n"
+            "    x0 = time.time()\n"
+            "    arr = np.array(list(ids))\n"
+            "    return x0, arr\n"
+        )
+        clone = FileSummary.from_json(summary.to_json())
+        assert clone == summary
+
+    def test_content_hash_is_stable_and_content_sensitive(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash("abc") != content_hash("abd")
+
+
+# ----------------------------------------------------------------------
+# Call-graph resolution
+# ----------------------------------------------------------------------
+class TestCallResolution:
+    def test_bare_name_resolves_to_same_module_function(self):
+        model = model_of({
+            "src/repro/pkg/a.py": "def f():\n    g()\ndef g():\n    pass\n",
+        })
+        assert list(model.callees("repro.pkg.a:f")) == ["repro.pkg.a:g"]
+
+    def test_imported_symbol_resolves_across_modules(self):
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "from .b import g\n"
+                "def f():\n    g()\n"
+            ),
+            "src/repro/pkg/b.py": "def g():\n    pass\n",
+        })
+        assert list(model.callees("repro.pkg.a:f")) == ["repro.pkg.b:g"]
+
+    def test_module_alias_attribute_resolves(self):
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "import repro.pkg.util as u\n"
+                "def f():\n    u.helper()\n"
+            ),
+            "src/repro/pkg/util.py": "def helper():\n    pass\n",
+        })
+        assert list(model.callees("repro.pkg.a:f")) == ["repro.pkg.util:helper"]
+
+    def test_known_alias_never_falls_to_duck_typing(self):
+        # np.linalg.norm must NOT resolve to a project method named
+        # "norm" — numpy is a known import, not a project object.
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "import numpy as np\n"
+                "def f(v):\n    return np.linalg.norm(v)\n"
+            ),
+            "src/repro/pkg/b.py": (
+                "class Vec:\n"
+                "    def norm(self):\n        return 0.0\n"
+            ),
+        })
+        assert list(model.callees("repro.pkg.a:f")) == []
+
+    def test_class_instantiation_resolves_to_init(self):
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "class C:\n"
+                "    def __init__(self):\n        self.x = 1\n"
+                "def f():\n    return C()\n"
+            ),
+        })
+        assert list(model.callees("repro.pkg.a:f")) == ["repro.pkg.a:C.__init__"]
+
+    def test_self_method_resolves_within_class(self):
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "class C:\n"
+                "    def run(self):\n        return self.step()\n"
+                "    def step(self):\n        return 1\n"
+            ),
+        })
+        assert list(model.callees("repro.pkg.a:C.run")) == ["repro.pkg.a:C.step"]
+
+    def test_duck_typed_method_fallback(self):
+        model = model_of({
+            "src/repro/pkg/a.py": (
+                "def f(solver):\n    return solver.factorize()\n"
+            ),
+            "src/repro/pkg/b.py": (
+                "class LU:\n"
+                "    def factorize(self):\n        return self\n"
+            ),
+        })
+        assert list(model.callees("repro.pkg.a:f")) == ["repro.pkg.b:LU.factorize"]
+
+    def test_ubiquitous_method_names_are_not_duck_typed(self):
+        # `.copy()` matches too many things to create edges.
+        model = model_of({
+            "src/repro/pkg/a.py": "def f(arr):\n    return arr.copy()\n",
+            "src/repro/pkg/b.py": (
+                "class Grid:\n"
+                "    def copy(self):\n        return self\n"
+            ),
+        })
+        assert list(model.callees("repro.pkg.a:f")) == []
+
+
+# ----------------------------------------------------------------------
+# Reachability and roots
+# ----------------------------------------------------------------------
+class TestReachability:
+    SOURCES = {
+        "src/repro/core/flow.py": (
+            "from .inner import step\n"
+            "def global_place(netlist):\n"
+            "    return step(netlist)\n"
+            "def dead_code(netlist):\n"
+            "    return netlist\n"
+        ),
+        "src/repro/core/inner.py": (
+            "def step(netlist):\n"
+            "    return leaf(netlist)\n"
+            "def leaf(netlist):\n"
+            "    return netlist\n"
+        ),
+    }
+
+    def test_entry_nodes_pick_up_placement_entries(self):
+        model = model_of(self.SOURCES)
+        assert "repro.core.flow:global_place" in model.entry_nodes()
+
+    def test_bfs_reaches_transitive_callees_with_chains(self):
+        model = model_of(self.SOURCES)
+        chains = model.reachable(model.entry_nodes())
+        assert "repro.core.inner:leaf" in chains
+        assert chains["repro.core.inner:leaf"] == (
+            "repro.core.flow:global_place",
+            "repro.core.inner:step",
+            "repro.core.inner:leaf",
+        )
+
+    def test_unreferenced_functions_stay_unreachable(self):
+        model = model_of(self.SOURCES)
+        chains = model.reachable(model.entry_nodes())
+        assert "repro.core.flow:dead_code" not in chains
+
+    def test_thread_entry_nodes_resolve_submit_targets(self):
+        model = model_of({
+            "src/repro/core/par.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "def work(i):\n"
+                "    return i\n"
+                "def run():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(work, 1).result()\n"
+            ),
+        })
+        entries = model.thread_entry_nodes()
+        assert "repro.core.par:work" in entries
+
+    def test_thread_entry_nodes_resolve_thread_targets(self):
+        model = model_of({
+            "src/repro/core/par.py": (
+                "import threading\n"
+                "def work():\n"
+                "    return 1\n"
+                "def run():\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+            ),
+        })
+        assert "repro.core.par:work" in model.thread_entry_nodes()
+
+
+# ----------------------------------------------------------------------
+# Derived fact sets
+# ----------------------------------------------------------------------
+class TestDerivedFacts:
+    def test_clock_sources_fixpoint_is_transitive(self):
+        model = model_of({
+            "src/repro/core/clock.py": (
+                "import time\n"
+                "def now():\n"
+                "    return time.time()\n"
+                "def stamp():\n"
+                "    return now()\n"
+                "def shape(x):\n"
+                "    return x\n"
+            ),
+        })
+        sources = model.clock_sources()
+        assert "repro.core.clock:now" in sources
+        assert "repro.core.clock:stamp" in sources
+        assert "repro.core.clock:shape" not in sources
+
+    def test_import_graph_edges(self):
+        model = model_of({
+            "src/repro/pkg/a.py": "from .b import g\n",
+            "src/repro/pkg/b.py": "def g():\n    pass\n",
+        })
+        assert "repro.pkg.b" in model.import_graph["repro.pkg.a"]
+
+    def test_shared_writes_flag_lock_guards(self):
+        summary = summary_of(
+            "class C:\n"
+            "    def unsafe(self, v):\n"
+            "        self.total += v\n"
+            "    def safe(self, v):\n"
+            "        with self._lock:\n"
+            "            self.total += v\n"
+        )
+        unsafe = summary.functions["C.unsafe"].shared_writes
+        safe = summary.functions["C.safe"].shared_writes
+        assert [w.guarded for w in unsafe] == [False]
+        assert [w.guarded for w in safe] == [True]

@@ -1,0 +1,139 @@
+"""SARIF 2.1.0 output: structural schema checks, fingerprint parity
+with the baseline format, and the CLI emission paths.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.statcheck import analyze_paths, render_sarif, sarif_document
+from repro.statcheck.baseline import fingerprint_findings
+from repro.statcheck.engine import select_rules
+from repro.statcheck.sarif import FINGERPRINT_KEY
+
+REPO = Path(__file__).resolve().parent.parent
+
+DIRTY = (
+    "import numpy as np\n"
+    "def helper():\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+@pytest.fixture
+def scan(tmp_path):
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "a.py").write_text(DIRTY)
+    (tree / "b.py").write_text("def f(x):\n    return x\n")
+    result = analyze_paths([tree])
+    assert result.findings, "fixture must produce findings"
+    return tree, result
+
+
+def document_of(result):
+    return sarif_document(result.findings, select_rules(), result.errors)
+
+
+class TestDocumentStructure:
+    def test_round_trips_through_json(self, scan):
+        _, result = scan
+        text = render_sarif(result.findings, select_rules(), result.errors)
+        doc = json.loads(text)
+        assert doc == document_of(result)
+
+    def test_top_level_shape(self, scan):
+        _, result = scan
+        doc = document_of(result)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_driver_lists_the_full_rule_catalogue(self, scan):
+        _, result = scan
+        driver = document_of(result)["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "statcheck"
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == [r.id for r in select_rules()]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "warning", "error")
+
+    def test_results_reference_rules_by_index(self, scan):
+        _, result = scan
+        run = document_of(result)["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"]
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_result_locations_are_one_based(self, scan):
+        _, result = scan
+        run = document_of(result)["runs"][0]
+        for res in run["results"]:
+            region = res["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            uri = res["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"]
+            assert uri.endswith(".py")
+
+    def test_fingerprints_match_the_baseline_format(self, scan):
+        _, result = scan
+        run = document_of(result)["runs"][0]
+        expected = [fp for _, fp in fingerprint_findings(result.findings)]
+        got = [res["partialFingerprints"][FINGERPRINT_KEY]
+               for res in run["results"]]
+        assert got == expected
+
+    def test_scan_errors_become_tool_notifications(self, scan):
+        tree, _ = scan
+        (tree / "broken.py").write_text("def oops(:\n")
+        result = analyze_paths([tree])
+        doc = sarif_document(result.findings, select_rules(), result.errors)
+        notes = doc["runs"][0]["invocations"][0][
+            "toolExecutionNotifications"]
+        assert len(notes) == 1
+        assert notes[0]["level"] == "error"
+        assert "broken.py" in notes[0]["message"]["text"]
+
+    def test_empty_scan_is_still_valid(self):
+        doc = sarif_document([], select_rules(), [])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["invocations"][0]["executionSuccessful"]
+
+
+def run_cli(*argv, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.statcheck", *argv],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCliEmission:
+    def test_format_sarif_prints_a_document(self, scan, tmp_path):
+        tree, _ = scan
+        proc = run_cli(str(tree), "--format", "sarif", "--no-baseline",
+                       cwd=tmp_path)
+        assert proc.returncode == 1  # findings present
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_sarif_flag_writes_alongside_text(self, scan, tmp_path):
+        tree, _ = scan
+        out = tmp_path / "report.sarif"
+        proc = run_cli(str(tree), "--sarif", str(out), "--no-baseline",
+                       cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "D1" in proc.stdout  # text report still on stdout
+        doc = json.loads(out.read_text())
+        ids = {res["ruleId"] for res in doc["runs"][0]["results"]}
+        assert "D1" in ids
