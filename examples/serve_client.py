@@ -1,0 +1,124 @@
+"""Client walkthrough for the placement service (`python -m repro.serve`).
+
+Boots a service in-process on an ephemeral port (so the example is
+self-contained), then exercises the full client protocol over plain
+HTTP — submit, stream progress events, poll to completion, fetch the
+result and report, and show what backpressure looks like:
+
+    python examples/serve_client.py
+
+Point ``BASE`` at an already-running server to use it as a template
+for a real client; everything below the service boot is stdlib-only
+HTTP/JSON.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve import PlacementService, ServeConfig
+
+TENANT = "example"
+
+
+def call(method: str, url: str, payload=None):
+    """One API call; returns (status, headers, parsed body)."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"X-Tenant": TENANT, "Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            raw, headers, status = (response.read(),
+                                    dict(response.headers),
+                                    response.status)
+    except urllib.error.HTTPError as exc:
+        raw, headers, status = exc.read(), dict(exc.headers), exc.code
+    if headers.get("Content-Type", "").startswith("application/json"):
+        return status, headers, json.loads(raw or b"{}")
+    return status, headers, raw.decode()
+
+
+def main() -> None:
+    # Self-contained: boot the service in-process.  For a real
+    # deployment this is `python -m repro.serve --port 8760` instead.
+    service = PlacementService(ServeConfig(
+        port=0, workers=2, queue_capacity=8,
+        registry_root="serve-example-runs",
+        # Generous rate limit so the saturation demo below hits the
+        # bounded queue, not the per-tenant token bucket.
+        tenant_rate=100.0, tenant_burst=100,
+    )).start()
+    host, port = service.address
+    base = f"http://{host}:{port}"
+    print(f"service up at {base}")
+
+    try:
+        # --- submit ---------------------------------------------------
+        status, _, job = call("POST", f"{base}/v1/jobs", {
+            "name": "walkthrough",
+            "priority": 3,
+            "workload": {"kind": "synthetic", "num_cells": 300, "seed": 7},
+            "config": {"max_iterations": 40, "seed": 1},
+            "legalizer": "abacus",
+            "deadline_seconds": 60,
+        })
+        print(f"POST /v1/jobs -> {status}: "
+              f"{job['job_id']} ({job['state']})")
+
+        # --- stream progress events while polling ---------------------
+        job_id, cursor = job["job_id"], 0
+        while True:
+            status, _, chunk = call(
+                "GET", f"{base}/v1/jobs/{job_id}/events?since={cursor}")
+            for event in chunk["events"]:
+                if event.get("stage") == "iteration":
+                    print(f"  iter {event['iteration']:>3}  "
+                          f"HPWL={event['hpwl_upper']:.0f}")
+                else:
+                    print(f"  {event.get('stage')}")
+            cursor = chunk["next_since"]
+            if chunk["done"]:
+                break
+            time.sleep(0.2)
+
+        # --- result + report ------------------------------------------
+        status, _, outcome = call("GET",
+                                  f"{base}/v1/jobs/{job_id}/result")
+        result = outcome["result"]
+        print(f"result: {outcome['status']}, "
+              f"HPWL {result['hpwl_legal']:.0f} "
+              f"({result['iterations']} iterations, "
+              f"stop={result['stop_reason']}, "
+              f"legalizer={result['legalizer']})")
+        print(f"archived at {outcome['job']['run_dir']}")
+        _, _, html = call("GET", f"{base}/v1/jobs/{job_id}/report")
+        print(f"report: {len(html)} bytes of standalone HTML")
+
+        # --- what backpressure looks like -----------------------------
+        # Saturate the queue; the first rejected submission shows the
+        # 429 + Retry-After contract a well-behaved client obeys.
+        print("saturating the queue ...")
+        for _ in range(12):
+            status, headers, body = call("POST", f"{base}/v1/jobs", {
+                "name": "filler",
+                "workload": {"kind": "synthetic", "num_cells": 2000,
+                             "seed": 1},
+                "config": {"max_iterations": 300},
+            })
+            if status == 429:
+                print(f"  429: {body['error']} "
+                      f"(Retry-After: {headers['Retry-After']}s)")
+                break
+        _, _, metrics = call("GET", f"{base}/metricz")
+        counters = {c["name"]: c["value"] for c in metrics["counters"]}
+        print(f"service counters: {counters}")
+    finally:
+        # drain=False: don't wait for the filler jobs on the way out.
+        service.stop(drain=False, timeout=10.0)
+        print("service stopped")
+
+
+if __name__ == "__main__":
+    main()

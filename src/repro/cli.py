@@ -301,6 +301,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # Forwarded verbatim to the service's own parser (lazy import:
+        # the serve stack pulls in multiprocessing plumbing the other
+        # commands never need).  argparse.REMAINDER mangles leading
+        # dashed options, hence the manual dispatch.
+        from .serve.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="ComPLx placement flows over Bookshelf designs.",
@@ -330,6 +340,11 @@ def main(argv: list[str] | None = None) -> int:
                                 help="write a density/quality report "
                                      "(.md Markdown, else HTML)")
     analyze_parser.set_defaults(func=cmd_analyze)
+
+    # Shown in --help only; "serve" is dispatched before parsing above.
+    sub.add_parser(
+        "serve", help="run the placement job service "
+                      "(python -m repro.serve for the full option set)")
 
     args = parser.parse_args(argv)
     if args.verbose:

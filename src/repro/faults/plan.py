@@ -58,6 +58,13 @@ KNOWN_SITES = {
     "cg.non_spd": "CG solve raises on a non-SPD system",
     "legalize.abacus": "abacus legalizer raises mid-run",
     "legalize.tetris": "tetris legalizer raises mid-run",
+    # Service-level sites, fired by the repro.serve runtime in the
+    # *parent* process at attempt dispatch (never inside the worker, so
+    # retried attempts see a fresh ordinal and recovery is
+    # deterministic).  ``seed`` carries the payload: the iteration the
+    # worker dies at (crash, default 2) / the stall in seconds (hang).
+    "serve.worker.crash": "worker process dies mid-job (simulated SIGKILL)",
+    "serve.worker.hang": "worker process stalls until the deadline kills it",
 }
 
 

@@ -13,18 +13,64 @@ Layout (everything plain JSON/HTML so runs diff and archive cleanly)::
 Run ids are deterministic — ``<name>-NNNN`` with the next free ordinal
 — so repeated captures of the same flow sort chronologically without
 embedding wall-clock timestamps.
+
+Captures are safe under concurrent writers (the serve runtime archives
+jobs from several monitor threads, and parallel service processes may
+share one root): every file lands via tmp-file + ``os.replace``, the
+run directory itself is the id-allocation token (``mkdir`` is atomic,
+so two writers can never claim the same ordinal), and the
+read-modify-write of ``index.json`` happens under an advisory
+``flock`` on ``index.lock``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
-from typing import Any
+import tempfile
+from typing import Any, Callable, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..telemetry import MetricsRegistry, Tracer
 
 __all__ = ["RunRegistry"]
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=os.path.basename(path))
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    finally:
+        # After a successful replace the tmp name is gone and the
+        # unlink is a suppressed FileNotFoundError; on any failure it
+        # removes the partial file.
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+
+
+@contextlib.contextmanager
+def _advisory_lock(path: str) -> Iterator[None]:
+    """Block on an exclusive ``flock`` of ``path`` (no-op without fcntl)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(path, "a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 #: Series whose finals go into the manifest / index summary.
 SUMMARY_SERIES = ("phi_upper", "phi_lower", "pi", "lam", "overflow_percent",
@@ -51,6 +97,10 @@ class RunRegistry:
     def index_path(self) -> str:
         return os.path.join(self.root, "index.json")
 
+    @property
+    def lock_path(self) -> str:
+        return os.path.join(self.root, "index.lock")
+
     def path(self, run_id: str) -> str:
         return os.path.join(self.root, run_id)
 
@@ -65,12 +115,36 @@ class RunRegistry:
                     taken = max(taken, int(match.group("ordinal")))
         return f"{name}-{taken + 1:04d}"
 
+    def _claim_run_dir(self, name: str) -> str:
+        """Atomically allocate the next free id by creating its directory.
+
+        ``os.makedirs(..., exist_ok=False)`` either claims the ordinal or
+        fails because a concurrent writer got there first, in which case
+        the scan is repeated — no two writers can ever share a run dir.
+        """
+        while True:
+            run_id = self.new_run_id(name)
+            try:
+                os.makedirs(self.path(run_id), exist_ok=False)
+            except FileExistsError:
+                continue
+            return run_id
+
+    def _update_index(self, mutate: Callable[[dict[str, Any]], None]) -> None:
+        """Read-modify-write ``index.json`` under the advisory lock."""
+        os.makedirs(self.root, exist_ok=True)
+        with _advisory_lock(self.lock_path):
+            index = self._read_index()
+            mutate(index)
+            _write_atomic(self.index_path,
+                          json.dumps(index, indent=2, sort_keys=True))
+
     # ------------------------------------------------------------------
     # capture
     # ------------------------------------------------------------------
     def capture(
         self,
-        registry: MetricsRegistry,
+        registry: "MetricsRegistry | dict[str, Any]",
         name: str = "run",
         run_id: str | None = None,
         report_html: str | None = None,
@@ -79,55 +153,63 @@ class RunRegistry:
     ) -> str:
         """Archive one run; returns the run directory path.
 
+        ``registry`` is either a live :class:`MetricsRegistry` or its
+        serialized ``to_dict()`` form — the serve runtime archives the
+        dict its worker process shipped back without rehydrating it.
         ``report_html`` is the rendered report document (a string, not a
         path) so the capture stays a pure write.  The index is updated
         in place.
         """
+        doc = registry if isinstance(registry, dict) else registry.to_dict()
         if run_id is None:
-            run_id = self.new_run_id(name)
+            run_id = self._claim_run_dir(name)
         run_dir = self.path(run_id)
         os.makedirs(run_dir, exist_ok=True)
 
-        registry.write_json(os.path.join(run_dir, "metrics.json"))
+        _write_atomic(os.path.join(run_dir, "metrics.json"),
+                      json.dumps(doc, indent=2, sort_keys=True))
 
+        series = {item["name"]: item["values"]
+                  for item in doc.get("series", [])}
+        meta = dict(doc.get("meta", {}))
         finals: dict[str, float] = {}
         for series_name in SUMMARY_SERIES:
-            if registry.has_series(series_name) and \
-                    len(registry.series(series_name)):
-                finals[series_name] = registry.series(series_name).last
-        iterations = len(registry.series("lam")) \
-            if registry.has_series("lam") else 0
+            if series.get(series_name):
+                finals[series_name] = series[series_name][-1]
+        iterations = len(series.get("lam", ()))
         manifest: dict[str, Any] = {
             "run_id": run_id,
             "name": _sanitize(name),
             "iterations": iterations,
             "finals": finals,
-            "counters": registry.counters(),
-            "meta": {k: v for k, v in sorted(registry.meta.items())
+            "counters": {item["name"]: item["value"]
+                         for item in doc.get("counters", [])},
+            "meta": {k: v for k, v in sorted(meta.items())
                      if k != "recovery_events"},
             "artifacts": ["metrics.json"],
         }
         if report_html is not None:
-            with open(os.path.join(run_dir, "report.html"), "w") as handle:
-                handle.write(report_html)
+            _write_atomic(os.path.join(run_dir, "report.html"), report_html)
             manifest["artifacts"].append("report.html")
         if tracer is not None:
             tracer.write_chrome_trace(os.path.join(run_dir, "trace.json"))
             manifest["artifacts"].append("trace.json")
         if manifest_extra:
             manifest.update(manifest_extra)
-        with open(os.path.join(run_dir, "manifest.json"), "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
+        _write_atomic(os.path.join(run_dir, "manifest.json"),
+                      json.dumps(manifest, indent=2, sort_keys=True))
 
-        index = self._read_index()
-        index[run_id] = {
+        entry = {
             "name": manifest["name"],
             "iterations": iterations,
             "finals": finals,
-            "stop_reason": registry.meta.get("stop_reason", ""),
+            "stop_reason": meta.get("stop_reason", ""),
         }
-        with open(self.index_path, "w") as handle:
-            json.dump(index, handle, indent=2, sort_keys=True)
+
+        def _put(index: dict[str, Any]) -> None:
+            index[run_id] = entry
+
+        self._update_index(_put)
         return run_dir
 
     # ------------------------------------------------------------------

@@ -1,0 +1,86 @@
+"""``python -m repro.serve`` — run the placement service (or its smoke).
+
+Examples::
+
+    python -m repro.serve --port 8760 --workers 4
+    python -m repro.serve --smoke --registry-root serve-smoke-runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+from .api import serve_forever
+from .config import ServeConfig, default_start_method
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="placement-as-a-service: crash-isolated job runtime",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8760,
+                        help="listen port (0 picks an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent worker processes")
+    parser.add_argument("--queue-capacity", type=int, default=16,
+                        help="bounded queue size (full -> HTTP 429)")
+    parser.add_argument("--registry-root", default="serve-runs",
+                        help="run-registry root (tenant namespaces below)")
+    parser.add_argument("--aux-root", default=None,
+                        help="allow Bookshelf aux workloads under this dir")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="crash retries per job before it fails")
+    parser.add_argument("--default-deadline", type=float, default=120.0,
+                        help="per-job deadline seconds when unspecified")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method for workers")
+    parser.add_argument("--tenant-rate", type=float, default=5.0,
+                        help="per-tenant submissions per second")
+    parser.add_argument("--tenant-burst", type=int, default=10,
+                        help="per-tenant submission burst")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the end-to-end self-test and exit")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    if args.smoke:
+        from .smoke import SmokeFailure, run_smoke
+
+        try:
+            return run_smoke(registry_root=args.registry_root)
+        except SmokeFailure as exc:
+            print(f"serve smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        registry_root=args.registry_root,
+        max_retries=args.max_retries,
+        default_deadline_seconds=args.default_deadline,
+        start_method=args.start_method or default_start_method(),
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+    )
+    print(f"serving placement jobs on http://{config.host}:{config.port} "
+          f"({config.workers} workers, queue {config.queue_capacity}, "
+          f"registry {config.registry_root})")
+    serve_forever(config, aux_root=args.aux_root)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Configuration of the placement service.
+
+Everything an operator tunes lives here: queue bounds, worker count,
+retry budgets, per-tenant rate limits, and the load-shedding
+degradation ladder.  The defaults are sized for a small shared box; the
+``python -m repro.serve`` CLI exposes the common knobs as flags.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "DegradationTier",
+    "ServeConfig",
+    "default_start_method",
+]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (fast), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class DegradationTier:
+    """One rung of the load-shedding ladder.
+
+    A tier activates when the estimated queue wait at dispatch time
+    reaches ``activate_wait_seconds``.  Its overrides trade placement
+    quality for throughput on the job being dispatched:
+
+    * ``max_iterations_factor`` scales the job's iteration budget,
+    * ``legalizer`` forces a (cheaper) legalizer, e.g. ``"tetris"``,
+    * ``skip_detailed`` drops detailed placement entirely.
+
+    Tier 0 must be the no-override tier (healthy service).
+    """
+
+    name: str
+    activate_wait_seconds: float = 0.0
+    max_iterations_factor: float = 1.0
+    legalizer: str | None = None
+    skip_detailed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.activate_wait_seconds < 0:
+            raise ValueError("activate_wait_seconds must be >= 0")
+        if not 0.0 < self.max_iterations_factor <= 1.0:
+            raise ValueError("max_iterations_factor must lie in (0, 1]")
+        if self.legalizer not in (None, "tetris", "abacus"):
+            raise ValueError(f"unknown tier legalizer {self.legalizer!r}")
+
+
+#: The default ladder: full quality, then halved iteration budgets,
+#: then survival mode (quartered budget, tetris-only, no detailed
+#: placement).  Thresholds are estimated queue wait in seconds.
+DEFAULT_TIERS = (
+    DegradationTier("full"),
+    DegradationTier("reduced", activate_wait_seconds=15.0,
+                    max_iterations_factor=0.5),
+    DegradationTier("survival", activate_wait_seconds=60.0,
+                    max_iterations_factor=0.25, legalizer="tetris",
+                    skip_detailed=True),
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All knobs of the job runtime and its HTTP front end.
+
+    Admission and backpressure
+    --------------------------
+    * ``queue_capacity`` — bound on queued (not yet running) jobs;
+      submissions beyond it get HTTP 429 with a ``Retry-After``.
+    * ``tenant_rate`` / ``tenant_burst`` — per-tenant token bucket:
+      sustained submissions per second and the burst allowance.
+
+    Workers and isolation
+    ---------------------
+    * ``workers`` — concurrent worker processes; each job attempt runs
+      in its own process so a crash never touches the service.
+    * ``start_method`` — multiprocessing start method for workers.
+    * ``max_retries`` — extra attempts after a crashed/hung attempt.
+    * ``retry_backoff_seconds`` / ``retry_backoff_factor`` — exponential
+      backoff between attempts (deterministic, no jitter: the service
+      preserves the repo's reproducibility story).
+    * ``default_deadline_seconds`` — per-job soft deadline handed to the
+      in-worker Supervisor (graceful best-so-far exit); jobs may lower
+      or raise it per submission up to ``max_deadline_seconds``.
+    * ``deadline_grace_factor`` — the parent hard-kills a worker that
+      overruns ``deadline * factor`` (covers hangs before/outside the
+      supervised loop).
+    * ``no_deadline_kill_seconds`` — hard-kill budget for jobs submitted
+      without any deadline.
+
+    Degradation and shutdown
+    ------------------------
+    * ``tiers`` — the load-shedding ladder (see
+      :class:`DegradationTier`); selected per dispatch from the
+      estimated queue wait.
+    * ``drain_timeout_seconds`` — how long a draining shutdown waits for
+      accepted work before cancelling the remainder.
+
+    Artifacts
+    ---------
+    * ``registry_root`` — run-registry root; every finished job lands
+      under ``<root>/<tenant>/`` with its metrics and HTML report.
+    * ``keep_events`` — per-job bound on retained progress events.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8760
+
+    workers: int = 2
+    queue_capacity: int = 16
+    start_method: str = field(default_factory=default_start_method)
+
+    max_retries: int = 2
+    retry_backoff_seconds: float = 0.25
+    retry_backoff_factor: float = 2.0
+
+    default_deadline_seconds: float | None = 120.0
+    max_deadline_seconds: float = 600.0
+    deadline_grace_factor: float = 1.5
+    no_deadline_kill_seconds: float = 900.0
+
+    tenant_rate: float = 5.0
+    tenant_burst: int = 10
+
+    tiers: tuple[DegradationTier, ...] = DEFAULT_TIERS
+    drain_timeout_seconds: float = 30.0
+
+    registry_root: str = "serve-runs"
+    keep_events: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if self.default_deadline_seconds is not None \
+                and self.default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be positive")
+        if self.max_deadline_seconds <= 0:
+            raise ValueError("max_deadline_seconds must be positive")
+        if self.deadline_grace_factor < 1.0:
+            raise ValueError("deadline_grace_factor must be >= 1")
+        if self.no_deadline_kill_seconds <= 0:
+            raise ValueError("no_deadline_kill_seconds must be positive")
+        if self.tenant_rate <= 0:
+            raise ValueError("tenant_rate must be positive")
+        if self.tenant_burst < 1:
+            raise ValueError("tenant_burst must be >= 1")
+        if self.drain_timeout_seconds < 0:
+            raise ValueError("drain_timeout_seconds must be >= 0")
+        if self.keep_events < 10:
+            raise ValueError("keep_events must be >= 10")
+        if not self.tiers:
+            raise ValueError("at least one degradation tier is required")
+        if self.tiers[0].activate_wait_seconds > 0 \
+                or self.tiers[0].max_iterations_factor < 1.0 \
+                or self.tiers[0].legalizer is not None \
+                or self.tiers[0].skip_detailed:
+            raise ValueError("tier 0 must be the no-override tier")
+        waits = [tier.activate_wait_seconds for tier in self.tiers]
+        if waits != sorted(waits):
+            raise ValueError("tier thresholds must be non-decreasing")
+        if self.start_method not in \
+                multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {self.start_method!r} not available here"
+            )
+
+    def with_overrides(self, **kwargs) -> "ServeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,316 @@
+"""Job model: validated submissions and lock-guarded job records.
+
+A :class:`JobSpec` is the immutable, validated form of one submission
+payload; a :class:`JobRecord` is the service's mutable view of that job
+as it moves through ``queued -> running -> {succeeded, failed,
+cancelled}``.  Records are mutated from the dispatcher, per-job monitor
+threads and HTTP handler threads, so every mutator holds the record's
+lock and readers only ever see consistent snapshots.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CONFIG_OVERRIDES",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobValidationError",
+    "TERMINAL_STATES",
+]
+
+
+class JobValidationError(ValueError):
+    """A submission payload the service refuses (HTTP 400)."""
+
+
+class JobState:
+    """The job lifecycle states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+#: ComPLx config fields a submission may override, with validators.
+CONFIG_OVERRIDES = {
+    "max_iterations": int,
+    "gamma": float,
+    "seed": int,
+    "net_model": str,
+    "projection_method": str,
+    "gap_tol": float,
+    "pi_tol_fraction": float,
+    "lambda_init_ratio": float,
+    "lambda_growth_cap": float,
+}
+
+_WORKLOAD_KINDS = ("suite", "synthetic", "aux")
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,32}$")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobValidationError(message)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated placement job.
+
+    ``workload`` describes the netlist source (already validated):
+
+    * ``{"kind": "suite", "suite": <registered name>, "scale": f}`` —
+      a registered synthetic benchmark,
+    * ``{"kind": "synthetic", "num_cells": n, "seed": s, ...}`` — an ad
+      hoc synthetic design (extra keys go to ``SyntheticSpec``),
+    * ``{"kind": "aux", "path": p}`` — a Bookshelf ``.aux`` on the
+      server (only when the runtime was configured with an aux root).
+    """
+
+    job_id: str
+    tenant: str
+    name: str
+    priority: int
+    workload: dict[str, Any]
+    config: dict[str, Any]
+    legalizer: str
+    detailed: bool
+    deadline_seconds: float | None
+    max_retries: int | None
+    include_placement: bool
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict[str, Any],
+        job_id: str,
+        default_tenant: str = "default",
+    ) -> "JobSpec":
+        """Validate one submission payload into a spec.
+
+        Raises :class:`JobValidationError` with a client-appropriate
+        message on anything malformed.
+        """
+        _require(isinstance(payload, dict), "payload must be a JSON object")
+        known = {"tenant", "name", "priority", "workload", "config",
+                 "legalizer", "detailed", "deadline_seconds",
+                 "max_retries", "include_placement"}
+        unknown = sorted(set(payload) - known)
+        _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
+
+        tenant = payload.get("tenant", default_tenant)
+        _require(isinstance(tenant, str) and bool(_TENANT_RE.match(tenant)),
+                 "tenant must match [A-Za-z0-9._-]{1,32}")
+        name = payload.get("name", "job")
+        _require(isinstance(name, str) and bool(_NAME_RE.match(name)),
+                 "name must match [A-Za-z0-9._-]{1,64}")
+        priority = payload.get("priority", 5)
+        _require(isinstance(priority, int) and not isinstance(priority, bool)
+                 and 0 <= priority <= 9,
+                 "priority must be an integer in [0, 9] (0 = most urgent)")
+
+        workload = payload.get("workload")
+        _require(isinstance(workload, dict), "workload object is required")
+        kind = workload.get("kind")
+        _require(kind in _WORKLOAD_KINDS,
+                 f"workload.kind must be one of {', '.join(_WORKLOAD_KINDS)}")
+        if kind == "suite":
+            _require(isinstance(workload.get("suite"), str),
+                     "workload.suite (a registered suite name) is required")
+            scale = workload.get("scale", 1.0)
+            _require(isinstance(scale, (int, float)) and 0 < scale <= 1,
+                     "workload.scale must lie in (0, 1]")
+        elif kind == "synthetic":
+            cells = workload.get("num_cells")
+            _require(isinstance(cells, int) and 2 <= cells <= 200_000,
+                     "workload.num_cells must be an int in [2, 200000]")
+        else:
+            _require(isinstance(workload.get("path"), str),
+                     "workload.path is required for kind aux")
+
+        config = payload.get("config", {})
+        _require(isinstance(config, dict), "config must be an object")
+        clean_config: dict[str, Any] = {}
+        for key, value in config.items():
+            caster = CONFIG_OVERRIDES.get(key)
+            _require(caster is not None,
+                     f"config.{key} is not an overridable knob "
+                     f"(allowed: {', '.join(sorted(CONFIG_OVERRIDES))})")
+            try:
+                clean_config[key] = caster(value)
+            except (TypeError, ValueError):
+                raise JobValidationError(
+                    f"config.{key} must be a {caster.__name__}"
+                ) from None
+
+        legalizer = payload.get("legalizer", "abacus")
+        _require(legalizer in ("abacus", "tetris", "none"),
+                 "legalizer must be abacus, tetris or none")
+        detailed = payload.get("detailed", False)
+        _require(isinstance(detailed, bool), "detailed must be a boolean")
+
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            _require(isinstance(deadline, (int, float)) and deadline > 0,
+                     "deadline_seconds must be a positive number")
+            deadline = float(deadline)
+        retries = payload.get("max_retries")
+        if retries is not None:
+            _require(isinstance(retries, int) and 0 <= retries <= 10,
+                     "max_retries must be an int in [0, 10]")
+        include_placement = payload.get("include_placement", False)
+        _require(isinstance(include_placement, bool),
+                 "include_placement must be a boolean")
+
+        return cls(
+            job_id=job_id, tenant=tenant, name=name, priority=priority,
+            workload=dict(workload), config=clean_config,
+            legalizer=legalizer, detailed=detailed,
+            deadline_seconds=deadline, max_retries=retries,
+            include_placement=include_placement,
+        )
+
+
+@dataclass
+class JobRecord:
+    """The service-side mutable state of one job (lock-guarded)."""
+
+    spec: JobSpec
+    keep_events: int = 2000
+    state: str = JobState.QUEUED
+    attempts: int = 0
+    tier: str = "full"
+    error: str | None = None
+    result: dict[str, Any] | None = None
+    report_html: str | None = None
+    metrics: dict[str, Any] | None = None
+    run_dir: str | None = None
+    enqueued_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    recovery: list[dict[str, Any]] = field(default_factory=list)
+    _events: list[dict[str, Any]] = field(default_factory=list, repr=False)
+    _events_dropped: int = 0
+    _cancel: threading.Event = field(default_factory=threading.Event,
+                                     repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    # ------------------------------------------------------------------
+    # mutation (all under the lock)
+    # ------------------------------------------------------------------
+    def add_event(self, event: dict[str, Any]) -> None:
+        """Append one progress event (bounded; oldest dropped first)."""
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.keep_events:
+                drop = len(self._events) - self.keep_events
+                del self._events[:drop]
+                self._events_dropped += drop
+
+    def record_recovery(self, entry: dict[str, Any]) -> None:
+        """Append one service-level recovery action (attempt crash/retry)."""
+        with self._lock:
+            self.recovery.append(entry)
+
+    def transition(self, state: str, *, error: str | None = None,
+                   now: float | None = None) -> None:
+        with self._lock:
+            self.state = state
+            if error is not None:
+                self.error = error
+            if state == JobState.RUNNING and self.started_at is None:
+                self.started_at = now
+            if state in TERMINAL_STATES:
+                self.finished_at = now
+
+    def start_attempt(self, tier: str, now: float) -> int:
+        """Mark one worker attempt started; returns its 1-based ordinal."""
+        with self._lock:
+            self.attempts += 1
+            self.tier = tier
+            self.state = JobState.RUNNING
+            if self.started_at is None:
+                self.started_at = now
+            return self.attempts
+
+    def complete(self, result: dict[str, Any], report_html: str | None,
+                 metrics: dict[str, Any] | None, now: float) -> None:
+        with self._lock:
+            self.result = result
+            self.report_html = report_html
+            self.metrics = metrics
+            self.state = JobState.SUCCEEDED
+            self.finished_at = now
+
+    def set_run_dir(self, run_dir: str) -> None:
+        with self._lock:
+            self.run_dir = run_dir
+
+    # ------------------------------------------------------------------
+    # cancellation flag (Event is internally synchronized)
+    # ------------------------------------------------------------------
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def wait_cancel(self, timeout: float) -> bool:
+        """Sleep up to ``timeout`` seconds, waking early on cancel."""
+        return self._cancel.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self.state in TERMINAL_STATES
+
+    def events_since(self, since: int) -> tuple[list[dict[str, Any]], int]:
+        """Events with ordinal > ``since``; returns (events, next_since)."""
+        with self._lock:
+            total = self._events_dropped + len(self._events)
+            start = max(since - self._events_dropped, 0)
+            return list(self._events[start:]), total
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready consistent view for the status endpoint."""
+        with self._lock:
+            doc: dict[str, Any] = {
+                "job_id": self.spec.job_id,
+                "tenant": self.spec.tenant,
+                "name": self.spec.name,
+                "priority": self.spec.priority,
+                "state": self.state,
+                "attempts": self.attempts,
+                "tier": self.tier,
+                "events": self._events_dropped + len(self._events),
+                "cancel_requested": self._cancel.is_set(),
+            }
+            if self.error is not None:
+                doc["error"] = self.error
+            if self.run_dir is not None:
+                doc["run_dir"] = self.run_dir
+            if self.recovery:
+                doc["recovery"] = list(self.recovery)
+            if self.started_at is not None and self.enqueued_at:
+                doc["queue_wait_seconds"] = round(
+                    self.started_at - self.enqueued_at, 6)
+            if self.finished_at is not None and self.started_at is not None:
+                doc["run_seconds"] = round(
+                    self.finished_at - self.started_at, 6)
+            return doc

@@ -1,0 +1,131 @@
+"""End-to-end self-test of the service, used by the CI smoke job.
+
+Boots a real :class:`~repro.serve.api.PlacementService` on an ephemeral
+port, then talks to it exclusively over HTTP like a client would:
+
+1. submits a small synthetic placement and polls it to completion,
+2. asserts the archived run (registry entry, manifest, HTML report)
+   exists under the tenant's namespace,
+3. arms a ``serve.worker.crash`` fault, submits again, and asserts the
+   job still succeeds (on the retry) with the crash recorded in its
+   recovery log — while ``/healthz`` answered 200 throughout.
+
+Returns 0 on success; raises :class:`SmokeFailure` with a specific
+message otherwise.  All output goes through :mod:`logging` — the
+``__main__`` wrapper owns the exit code and user-facing text.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from .. import faults
+from ..runs import RunRegistry
+from .api import PlacementService
+from .config import ServeConfig
+
+__all__ = ["SmokeFailure", "run_smoke"]
+
+logger = logging.getLogger(__name__)
+
+
+class SmokeFailure(AssertionError):
+    """One smoke assertion failed (the message says which)."""
+
+
+def _request(method: str, url: str, payload: dict[str, Any] | None = None,
+             tenant: str = "smoke") -> tuple[int, dict[str, Any]]:
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method=method,
+                                     headers={"X-Tenant": tenant})
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _submit_and_wait(base: str, payload: dict[str, Any],
+                     timeout: float = 120.0) -> dict[str, Any]:
+    status, body = _request("POST", f"{base}/v1/jobs", payload)
+    _check(status == 202, f"submit returned {status}: {body}")
+    job_id = body["job_id"]
+    logger.info("submitted %s", job_id)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        health, _ = _request("GET", f"{base}/healthz")
+        _check(health == 200, "/healthz went down while a job ran")
+        status, body = _request("GET", f"{base}/v1/jobs/{job_id}")
+        _check(status == 200, f"status poll returned {status}")
+        if body["state"] in ("succeeded", "failed", "cancelled"):
+            return body
+        time.sleep(0.2)
+    raise SmokeFailure(f"job {job_id} did not finish within {timeout}s")
+
+
+def run_smoke(registry_root: str = "serve-smoke-runs") -> int:
+    """The smoke scenario; returns 0 so ``__main__`` can exit with it."""
+    config = ServeConfig(port=0, workers=2, queue_capacity=8,
+                         registry_root=registry_root,
+                         retry_backoff_seconds=0.05)
+    service = PlacementService(config).start()
+    host, port = service.address
+    base = f"http://{host}:{port}"
+    payload = {
+        "name": "smoke",
+        "workload": {"kind": "synthetic", "num_cells": 60, "seed": 7},
+        "config": {"max_iterations": 20},
+        "legalizer": "tetris",
+    }
+    try:
+        # Clean run first.
+        final = _submit_and_wait(base, payload)
+        _check(final["state"] == "succeeded",
+               f"clean job ended {final['state']}: {final.get('error')}")
+        run_dir = final.get("run_dir")
+        _check(bool(run_dir), "finished job has no run_dir")
+        _check(os.path.exists(os.path.join(run_dir, "manifest.json")),
+               "archived run is missing manifest.json")
+        _check(os.path.exists(os.path.join(run_dir, "report.html")),
+               "archived run is missing report.html")
+        registry = RunRegistry(os.path.join(registry_root, "smoke"))
+        _check(len(registry.run_ids()) >= 1,
+               "run registry index has no entry for the smoke run")
+        logger.info("clean run archived at %s", run_dir)
+
+        # Now with one injected worker crash: must succeed on the retry.
+        faults.install(faults.FaultPlan((
+            faults.FaultSpec("serve.worker.crash", at=1),
+        )))
+        try:
+            final = _submit_and_wait(base, payload)
+        finally:
+            faults.clear()
+        _check(final["state"] == "succeeded",
+               f"crash-injected job ended {final['state']}: "
+               f"{final.get('error')}")
+        _check(final["attempts"] >= 2,
+               f"expected a retry after the crash, saw "
+               f"{final['attempts']} attempt(s)")
+        recovery = final.get("recovery", [])
+        _check(any(e.get("action") == "crash_detected" for e in recovery),
+               "recovery log does not record the injected crash")
+        logger.info("crash-injected run recovered in %d attempts",
+                    final["attempts"])
+    finally:
+        service.stop(drain=False, timeout=5.0)
+    logger.info("serve smoke passed")
+    return 0

@@ -1,0 +1,71 @@
+"""Per-tenant admission control: token buckets and namespaces.
+
+Each tenant gets an independent token bucket (``rate`` tokens/second,
+``burst`` capacity).  A submission consumes one token; an empty bucket
+means HTTP 429 with the exact ``Retry-After`` until the next token.
+Tenants also namespace the run registry — tenant ``acme``'s runs land
+under ``<registry_root>/acme/`` and are invisible to other tenants'
+listing calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["RateLimited", "TenantTable"]
+
+
+class RateLimited(Exception):
+    """Tenant over its submission rate; carries a ``retry_after``."""
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} over its submission rate; "
+            f"retry after {retry_after:.2f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class _Bucket:
+    """One token bucket (monotonic clock, lazily refilled)."""
+
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, burst: int, now: float) -> None:
+        self.tokens = float(burst)
+        self.stamp = now
+
+
+class TenantTable:
+    """All known tenants and their buckets (lock-guarded)."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _Bucket] = {}
+
+    def admit(self, tenant: str) -> None:
+        """Take one token for ``tenant`` or raise :class:`RateLimited`."""
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = _Bucket(self.burst, now)
+                self._buckets[tenant] = bucket
+            refill = (now - bucket.stamp) * self.rate
+            bucket.tokens = min(bucket.tokens + refill, float(self.burst))
+            bucket.stamp = now
+            if bucket.tokens < 1.0:
+                raise RateLimited(tenant, (1.0 - bucket.tokens) / self.rate)
+            bucket.tokens -= 1.0
+
+    def known_tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._buckets)

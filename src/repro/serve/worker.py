@@ -1,0 +1,220 @@
+"""The worker side of the service: one job attempt in one process.
+
+:func:`worker_entry` is the ``multiprocessing.Process`` target.  It
+rebuilds the netlist from the job's workload descriptor, runs the full
+supervised placement flow, and streams progress events followed by a
+single terminal message back over the pipe:
+
+* ``("event", {...})`` — progress (stages, per-iteration updates),
+* ``("result", {...})`` — success payload incl. metrics + report HTML,
+* ``("error", {...})`` — a *deterministic* failure (bad workload,
+  recovery exhausted); the runtime does not retry these, because the
+  same inputs would fail the same way.
+
+Crashes are deliberately *not* reported: an injected
+:class:`~repro.faults.SimulatedCrash` hard-exits the process with
+status 137, exactly like the OOM-killer would, and the parent's monitor
+classifies any abnormal exit as a crash and applies the retry policy.
+The ``serve.worker.*`` fault sites are fired by the *parent* at
+dispatch (see :mod:`repro.serve.runtime`); the payload's ``_inject``
+entry is how the armed fault reaches this process.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Any, Callable
+
+from .. import telemetry
+from ..cli import _fingerprints
+from ..core import ComPLxConfig, ComPLxPlacer
+from ..core.config import ResilienceConfig
+from ..diagnostics import diagnose
+from ..faults import FaultPlan, FaultSpec, SimulatedCrash, install
+from ..legalize import abacus_legalize, tetris_legalize
+from ..models import hpwl
+from ..netlist import Netlist, Placement
+from ..netlist.bookshelf import read_aux
+from ..projection.grid import DensityGrid, default_grid_shape
+from ..report import build_report, record_stage_totals, render_html
+from ..resilience import legalize_with_fallback
+from ..workloads import SyntheticSpec, generate, load_suite
+from .jobs import JobSpec
+
+__all__ = ["CRASH_EXIT_CODE", "build_netlist", "run_job", "worker_entry"]
+
+logger = logging.getLogger(__name__)
+
+#: Exit status of a simulated worker kill (mirrors 128 + SIGKILL).
+CRASH_EXIT_CODE = 137
+
+_LEGALIZERS = {"abacus": abacus_legalize, "tetris": tetris_legalize}
+
+
+def build_netlist(workload: dict[str, Any],
+                  aux_root: str | None = None) -> Netlist:
+    """Materialize the netlist a workload descriptor names."""
+    kind = workload["kind"]
+    if kind == "suite":
+        design = load_suite(workload["suite"],
+                            scale=float(workload.get("scale", 1.0)))
+        return design.netlist
+    if kind == "synthetic":
+        fields = {key: value for key, value in workload.items()
+                  if key not in ("kind", "name")}
+        spec = SyntheticSpec(name=workload.get("name", "adhoc"), **fields)
+        return generate(spec).netlist
+    if kind == "aux":
+        if aux_root is None:
+            raise ValueError("aux workloads are disabled on this server")
+        path = os.path.normpath(os.path.join(aux_root, workload["path"]))
+        if not path.startswith(os.path.abspath(aux_root) + os.sep) \
+                and path != os.path.abspath(aux_root):
+            path = os.path.abspath(path)
+            root = os.path.abspath(aux_root)
+            if not path.startswith(root + os.sep):
+                raise ValueError("aux path escapes the configured root")
+        netlist, _ = read_aux(path)
+        return netlist
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _install_injected_faults(inject: dict[str, Any] | None) -> None:
+    """Arm the in-worker plan for a parent-dispatched fault."""
+    if not inject:
+        return
+    if inject.get("mode") == "crash":
+        # Die between iterations via the existing loop.kill site; the
+        # SimulatedCrash is caught only by worker_entry's hard-exit.
+        install(FaultPlan((
+            FaultSpec("loop.kill", at=max(int(inject.get("at", 2)), 1)),
+        )))
+    elif inject.get("mode") == "hang":
+        # Stall before any placement work so the parent's hard-kill
+        # timeout is what reclaims the worker.
+        time.sleep(float(inject.get("seconds", 3600.0)))
+
+
+def _make_config(spec: JobSpec, tier: dict[str, Any]) -> ComPLxConfig:
+    knobs = dict(spec.config)
+    factor = float(tier.get("max_iterations_factor", 1.0))
+    if factor < 1.0:
+        base = int(knobs.get("max_iterations",
+                             ComPLxConfig.max_iterations))
+        knobs["max_iterations"] = max(int(base * factor), 1)
+    knobs["resilience"] = ResilienceConfig(
+        deadline_seconds=spec.deadline_seconds,
+    )
+    return ComPLxConfig(**knobs)
+
+
+def _legalize(netlist: Netlist, placement: Placement,
+              legalizer: str) -> tuple[Placement, str]:
+    if legalizer == "none":
+        return placement, "none"
+    chain = [(legalizer, _LEGALIZERS[legalizer])]
+    if legalizer != "tetris":
+        chain.append(("tetris", tetris_legalize))
+    return legalize_with_fallback(netlist, placement, chain)
+
+
+def run_job(payload: dict[str, Any],
+            emit: Callable[[dict[str, Any]], None]) -> dict[str, Any]:
+    """Run one attempt end to end; returns the result message body."""
+    spec = JobSpec(**payload["spec"])
+    tier = payload.get("tier", {})
+    netlist = build_netlist(spec.workload, payload.get("aux_root"))
+    emit({"stage": "loaded", "cells": netlist.num_cells,
+          "nets": netlist.num_nets})
+
+    config = _make_config(spec, tier)
+    with telemetry.tracing() as tracer, telemetry.metrics() as registry:
+        placer = ComPLxPlacer(netlist, config)
+
+        def progress(k: int, lower: Placement, upper: Placement) -> None:
+            emit({"stage": "iteration", "iteration": k,
+                  "hpwl_upper": float(hpwl(netlist, upper))})
+
+        result = placer.place(callback=progress)
+        emit({"stage": "global_done",
+              "iterations": result.history.iterations,
+              "stop_reason": result.history.stop_reason})
+
+        legalizer = tier.get("legalizer") or spec.legalizer
+        final, used_legalizer = _legalize(netlist, result.upper, legalizer)
+        emit({"stage": "legalized", "legalizer": used_legalizer})
+        run_detailed = spec.detailed and not tier.get("skip_detailed")
+        if run_detailed:
+            from ..detailed import DetailedPlacer
+
+            final = DetailedPlacer(
+                netlist, legalizer=_LEGALIZERS.get(
+                    used_legalizer, tetris_legalize),
+            ).place(final)
+            emit({"stage": "detailed_done"})
+
+        registry.merge(result.metrics)
+        registry.meta["netlist"] = netlist.name
+        registry.meta["tenant"] = spec.tenant
+        registry.meta["job_id"] = spec.job_id
+        registry.meta.update(_fingerprints(netlist, placer))
+        record_stage_totals(registry, tracer)
+
+        resilience_report = result.extras.get("resilience") or {}
+        recovery_events = resilience_report.get("events", [])
+        bins = default_grid_shape(netlist.num_movable)
+        grid = DensityGrid(netlist, bins, bins)
+        density = grid.utilization(grid.usage(final), config.gamma)
+        diagnosis = diagnose(registry, config=config,
+                             recovery_events=recovery_events)
+        report_html = render_html(build_report(
+            registry,
+            title=f"{spec.tenant}/{spec.name} ({spec.job_id})",
+            diagnosis=diagnosis, density=density,
+            recovery_events=recovery_events,
+        ))
+
+        body: dict[str, Any] = {
+            "hpwl_legal": float(hpwl(netlist, final)),
+            "hpwl_upper": float(hpwl(netlist, result.upper)),
+            "iterations": result.history.iterations,
+            "stop_reason": result.history.stop_reason,
+            "legalizer": used_legalizer,
+            "detailed": run_detailed,
+            "netlist": {"name": netlist.name, "cells": netlist.num_cells,
+                        "nets": netlist.num_nets},
+            "recovery_events": recovery_events,
+            "metrics": registry.to_dict(),
+            "report_html": report_html,
+        }
+        if spec.include_placement:
+            body["placement"] = {"x": [float(v) for v in final.x],
+                                 "y": [float(v) for v in final.y]}
+    return body
+
+
+def worker_entry(payload: dict[str, Any], conn) -> None:
+    """Process target: run one attempt, stream messages, exit."""
+    try:
+        _install_injected_faults(payload.get("_inject"))
+
+        def emit(event: dict[str, Any]) -> None:
+            conn.send(("event", event))
+
+        body = run_job(payload, emit)
+        conn.send(("result", body))
+        conn.close()
+    except SimulatedCrash:
+        # Mirror a SIGKILL: no cleanup, no goodbye on the pipe.
+        os._exit(CRASH_EXIT_CODE)
+    except Exception as exc:  # deterministic failure -> report, no retry
+        logger.exception("job %s failed in worker",
+                         payload.get("spec", {}).get("job_id"))
+        try:
+            conn.send(("error", {"type": type(exc).__name__,
+                                 "message": str(exc)}))
+            conn.close()
+        except OSError:
+            pass

@@ -361,18 +361,21 @@ class BroadExceptRule(Rule):
     chaos fault caught by an over-broad handler never reaches the
     Supervisor and its typed retry policies.  Flow code must catch the
     specific exceptions it can actually handle.  Only
-    :mod:`repro.resilience` is exempt: the recovery layer is the single
-    place where catching everything is the point.
+    :mod:`repro.resilience` (the recovery layer, where catching
+    everything is the point) and :mod:`repro.serve` (the crash
+    barrier: a worker must report *any* deterministic failure over the
+    pipe rather than die silently) are exempt.
     """
 
     id = "R7"
     name = "broad-except"
-    description = "except Exception / bare except outside repro.resilience"
+    description = ("except Exception / bare except outside "
+                   "repro.resilience and repro.serve")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         parts = ctx.module.split(".")
         tail = parts[1:] if parts and parts[0] == "repro" else parts
-        if tail and tail[0] == "resilience":
+        if tail and tail[0] in ("resilience", "serve"):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):

@@ -26,6 +26,7 @@ from __future__ import annotations
 import contextlib
 import csv
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -48,9 +49,14 @@ class Counter:
 
     name: str
     value: float = 0.0
+    # Counters are bumped from worker threads (the per-axis solves, the
+    # serve runtime's job monitors), so the increment is locked.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_json(self) -> dict[str, Any]:
         return {"kind": "counter", "name": self.name, "value": self.value}
@@ -63,10 +69,13 @@ class Gauge:
     name: str
     value: float = 0.0
     updates: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.updates += 1
+        with self._lock:
+            self.value = float(value)
+            self.updates += 1
 
     def to_json(self) -> dict[str, Any]:
         return {"kind": "gauge", "name": self.name, "value": self.value,

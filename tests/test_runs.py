@@ -4,6 +4,8 @@ and the ``python -m repro.runs`` CLI."""
 from __future__ import annotations
 
 import json
+import multiprocessing
+import threading
 
 import pytest
 
@@ -76,6 +78,72 @@ class TestCapture:
         assert "no runs" in registry.describe()
         registry.capture(fake_run(), name="smoke")
         assert "smoke-0001: 5 iterations" in registry.describe()
+
+
+class TestConcurrentCapture:
+    """Regression: parallel job completions must not corrupt the index."""
+
+    def test_threaded_writers_all_land_in_index(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        errors = []
+
+        def writer(ordinal):
+            try:
+                for _ in range(4):
+                    registry.capture(fake_run(), name=f"job{ordinal % 3}",
+                                     report_html="<html></html>")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert len(index) == 24
+        for run_id in index:
+            manifest = registry.manifest(run_id)
+            assert manifest["run_id"] == run_id
+            assert (tmp_path / run_id / "metrics.json").exists()
+            assert (tmp_path / run_id / "report.html").exists()
+        # ids are unique per name and densely numbered
+        for name in ("job0", "job1", "job2"):
+            ordinals = sorted(int(r.rsplit("-", 1)[1]) for r in index
+                              if r.startswith(f"{name}-"))
+            assert ordinals == list(range(1, len(ordinals) + 1))
+
+    def test_process_writers_all_land_in_index(self, tmp_path):
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        procs = [ctx.Process(target=_capture_some, args=(str(tmp_path),))
+                 for _ in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert len(index) == 12
+        registry = RunRegistry(str(tmp_path))
+        for run_id in index:
+            assert registry.manifest(run_id)["run_id"] == run_id
+
+    def test_no_tmp_litter_after_capture(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        registry.capture(fake_run(), name="clean", report_html="<html/>")
+        litter = [p for p in tmp_path.rglob(".tmp-*")]
+        assert litter == []
+
+
+def _capture_some(root):
+    registry = RunRegistry(root)
+    for _ in range(3):
+        registry.capture(fake_run(), name="proc")
 
 
 class TestDiff:

@@ -1,0 +1,295 @@
+"""Runtime-level tests: dispatch, retries, deadlines, degradation, drain.
+
+These drive :class:`repro.serve.JobRuntime` directly (no HTTP) so each
+scenario controls exactly one service behavior.  Jobs are tiny
+synthetic designs and every timeout is generous on the wait side but
+tight on the work side, keeping the suite fast without flaking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runs import RunRegistry
+from repro.serve import (
+    JobRuntime,
+    JobState,
+    JobValidationError,
+    QueueFull,
+    RateLimited,
+    ServeConfig,
+    ServiceUnavailable,
+)
+from repro.serve.config import DEFAULT_TIERS, DegradationTier
+
+POLL = 0.05
+
+
+def wait_until(predicate, timeout: float = 60.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(POLL)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def payload(cells: int = 40, iterations: int = 10, **overrides):
+    base = {
+        "name": "rt",
+        "workload": {"kind": "synthetic", "num_cells": cells, "seed": 3},
+        "config": {"max_iterations": iterations, "seed": 1},
+        "legalizer": "tetris",
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture
+def runtime_factory(tmp_path):
+    """Build runtimes that are always shut down, even on failure."""
+    built = []
+
+    def build(**overrides) -> JobRuntime:
+        settings = {
+            "port": 0,
+            "workers": 2,
+            "queue_capacity": 8,
+            "registry_root": str(tmp_path / "runs"),
+            "retry_backoff_seconds": 0.05,
+            "drain_timeout_seconds": 60.0,
+        }
+        settings.update(overrides)
+        runtime = JobRuntime(ServeConfig(**settings)).start()
+        built.append(runtime)
+        return runtime
+
+    yield build
+    for runtime in built:
+        runtime.shutdown(drain=False, timeout=5.0)
+
+
+class TestSuccessPath:
+    def test_job_runs_and_is_archived(self, runtime_factory, tmp_path):
+        runtime = runtime_factory()
+        record = runtime.submit(payload(), tenant_hint="acme")
+        assert record.spec.job_id == "j-000001"
+        wait_until(lambda: record.done, message="job completion")
+        assert record.state == JobState.SUCCEEDED
+        assert record.result["hpwl_legal"] > 0
+        assert record.result["iterations"] >= 1
+        assert record.result["legalizer"] == "tetris"
+        assert record.report_html and "<html" in record.report_html.lower()
+
+        # Archived under the tenant namespace with a consistent index.
+        assert record.run_dir is not None
+        assert os.path.exists(os.path.join(record.run_dir, "manifest.json"))
+        assert os.path.exists(os.path.join(record.run_dir, "report.html"))
+        registry = RunRegistry(str(tmp_path / "runs" / "acme"))
+        assert len(registry.run_ids()) == 1
+        manifest = registry.manifest(registry.run_ids()[0])
+        assert manifest["job_id"] == "j-000001"
+        assert manifest["tenant"] == "acme"
+        assert manifest["attempts"] == 1
+
+        # Progress events streamed through the record.
+        events, _ = record.events_since(0)
+        stages = [e.get("stage") for e in events]
+        assert "queued" in stages
+        assert "iteration" in stages
+        assert "succeeded" in stages
+        assert runtime.stats.value("completed") == 1
+
+    def test_deterministic_failure_is_not_retried(self, runtime_factory,
+                                                  tmp_path):
+        aux_root = tmp_path / "aux"
+        aux_root.mkdir()
+        runtime = runtime_factory()
+        runtime.aux_root = str(aux_root)
+        record = runtime.submit(payload(
+            workload={"kind": "aux", "path": "missing.aux"}))
+        wait_until(lambda: record.done, message="job failure")
+        assert record.state == JobState.FAILED
+        assert record.attempts == 1  # no retry for deterministic errors
+        assert record.error
+        assert runtime.stats.value("failed") == 1
+        assert runtime.stats.value("retries") == 0
+
+    def test_aux_rejected_when_disabled(self, runtime_factory):
+        runtime = runtime_factory()
+        with pytest.raises(JobValidationError, match="aux"):
+            runtime.submit(payload(
+                workload={"kind": "aux", "path": "x.aux"}))
+
+    def test_deadline_over_server_cap_rejected(self, runtime_factory):
+        runtime = runtime_factory(max_deadline_seconds=10.0)
+        with pytest.raises(JobValidationError, match="cap"):
+            runtime.submit(payload(deadline_seconds=11.0))
+
+
+class TestBackpressure:
+    def test_queue_full_and_rate_limits(self, runtime_factory):
+        runtime = runtime_factory(workers=1, queue_capacity=1,
+                                  tenant_rate=1000.0, tenant_burst=1000)
+        blocker = runtime.submit(payload(cells=200, iterations=400))
+        wait_until(lambda: blocker.state == JobState.RUNNING,
+                   message="blocker to start")
+        runtime.submit(payload())  # fills the single queue slot
+        with pytest.raises(QueueFull) as info:
+            runtime.submit(payload())
+        assert info.value.retry_after > 0
+        assert runtime.stats.value("rejected_queue_full") == 1
+        runtime.cancel(blocker.spec.job_id)
+
+    def test_tenant_rate_limit(self, runtime_factory):
+        runtime = runtime_factory(tenant_rate=0.001, tenant_burst=1)
+        runtime.submit(payload(), tenant_hint="acme")
+        with pytest.raises(RateLimited):
+            runtime.submit(payload(), tenant_hint="acme")
+        # Another tenant is unaffected.
+        runtime.submit(payload(), tenant_hint="globex")
+        assert runtime.stats.value("rejected_rate_limited") == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, runtime_factory):
+        runtime = runtime_factory(workers=1)
+        blocker = runtime.submit(payload(cells=200, iterations=400))
+        wait_until(lambda: blocker.state == JobState.RUNNING,
+                   message="blocker to start")
+        queued = runtime.submit(payload())
+        assert runtime.cancel(queued.spec.job_id)
+        assert queued.state == JobState.CANCELLED
+        assert runtime.queue.depth() == 0
+        runtime.cancel(blocker.spec.job_id)
+
+    def test_cancel_running_job_mid_iteration(self, runtime_factory):
+        runtime = runtime_factory(workers=1)
+        record = runtime.submit(payload(cells=200, iterations=400))
+
+        def iterating():
+            events, _ = record.events_since(0)
+            return any(e.get("stage") == "iteration" for e in events)
+
+        wait_until(iterating, message="first iteration event")
+        assert runtime.cancel(record.spec.job_id)
+        wait_until(lambda: record.done, timeout=30.0,
+                   message="cancellation to land")
+        assert record.state == JobState.CANCELLED
+        # The worker slot is free again: a follow-up job runs.
+        follow_up = runtime.submit(payload())
+        wait_until(lambda: follow_up.done, message="follow-up job")
+        assert follow_up.state == JobState.SUCCEEDED
+
+    def test_cancel_unknown_or_done_job_is_a_noop(self, runtime_factory):
+        runtime = runtime_factory()
+        assert not runtime.cancel("j-999999")
+        record = runtime.submit(payload())
+        wait_until(lambda: record.done, message="job completion")
+        assert not runtime.cancel(record.spec.job_id)
+
+
+class TestDeadline:
+    def test_deadline_returns_best_so_far(self, runtime_factory):
+        # Generous hard-kill grace: the test asserts the *graceful*
+        # best-so-far path, so the parent must not race the worker's
+        # post-deadline legalization/reporting.
+        runtime = runtime_factory(deadline_grace_factor=30.0)
+        # A design heavy enough that the deadline fires well before
+        # either convergence or the plateau detector (iteration 24)
+        # can stop the run on their own.
+        record = runtime.submit(payload(
+            cells=5000, iterations=5000, deadline_seconds=0.3,
+            config={"max_iterations": 5000, "seed": 1,
+                    "gap_tol": 1e-9, "pi_tol_fraction": 1e-9}))
+        wait_until(lambda: record.done, timeout=90.0,
+                   message="deadline job")
+        # The worker's Supervisor exits gracefully with the best
+        # placement found so far — the job *succeeds*.
+        assert record.state == JobState.SUCCEEDED
+        assert record.result["stop_reason"] == "deadline"
+        assert record.result["hpwl_legal"] > 0
+        assert record.result["iterations"] < 5000
+
+
+class TestDegradation:
+    def test_tier_selection_follows_queue_pressure(self, runtime_factory):
+        runtime = runtime_factory()
+        record = runtime.submit(payload())
+        wait_until(lambda: record.done, message="warm-up job")
+
+        fresh = runtime.submit(payload())
+        fresh.enqueued_at = time.monotonic()
+        assert runtime._select_tier(fresh).name == "full"
+        fresh.enqueued_at = time.monotonic() - 20.0
+        assert runtime._select_tier(fresh).name == "reduced"
+        fresh.enqueued_at = time.monotonic() - 120.0
+        assert runtime._select_tier(fresh).name == "survival"
+
+    def test_degraded_dispatch_cuts_iterations(self, runtime_factory):
+        tiers = (
+            DEFAULT_TIERS[0],
+            DegradationTier(name="reduced", activate_wait_seconds=0.05,
+                            max_iterations_factor=0.5, legalizer="tetris",
+                            skip_detailed=True),
+        )
+        runtime = runtime_factory(workers=1, tiers=tiers)
+        blocker = runtime.submit(payload(cells=120, iterations=150))
+        # Let the blocker dispatch at tier "full" (empty queue) before
+        # queueing the job that will wait > 0.05s and degrade.
+        wait_until(lambda: blocker.state == JobState.RUNNING,
+                   message="blocker to start")
+        degraded = runtime.submit(payload(iterations=40))
+        wait_until(lambda: degraded.done, timeout=90.0,
+                   message="degraded job")
+        assert degraded.state == JobState.SUCCEEDED
+        assert degraded.tier == "reduced"
+        assert degraded.result["iterations"] <= 20
+        assert runtime.stats.value("degraded_reduced") == 1
+        assert blocker.done
+
+
+class TestShutdown:
+    def test_draining_shutdown_finishes_in_flight_jobs(self, tmp_path):
+        runtime = JobRuntime(ServeConfig(
+            workers=2, queue_capacity=8,
+            registry_root=str(tmp_path / "runs"),
+        )).start()
+        records = [runtime.submit(payload(iterations=6)) for _ in range(3)]
+        runtime.shutdown(drain=True, timeout=120.0)
+        assert all(r.state == JobState.SUCCEEDED for r in records)
+        with pytest.raises(ServiceUnavailable):
+            runtime.submit(payload())
+
+    def test_immediate_shutdown_cancels_queued_jobs(self, tmp_path):
+        runtime = JobRuntime(ServeConfig(
+            workers=1, queue_capacity=8,
+            registry_root=str(tmp_path / "runs"),
+        )).start()
+        blocker = runtime.submit(payload(cells=200, iterations=400))
+        wait_until(lambda: blocker.state == JobState.RUNNING,
+                   message="blocker to start")
+        queued = [runtime.submit(payload()) for _ in range(2)]
+        runtime.shutdown(drain=False, timeout=10.0)
+        assert all(q.state == JobState.CANCELLED for q in queued)
+        wait_until(lambda: blocker.done, timeout=30.0,
+                   message="blocker to resolve")
+        assert blocker.state == JobState.CANCELLED
+
+
+class TestServiceStats:
+    def test_metrics_snapshot(self, runtime_factory):
+        runtime = runtime_factory()
+        record = runtime.submit(payload())
+        wait_until(lambda: record.done, message="job completion")
+        registry = runtime.stats.to_registry(runtime.queue.depth())
+        doc = registry.to_dict()
+        counters = {c["name"]: c["value"] for c in doc["counters"]}
+        assert counters["submitted"] == 1
+        assert counters["completed"] == 1
+        gauges = {g["name"]: g["value"] for g in doc["gauges"]}
+        assert gauges["queue_depth"] == 0
+        assert "queue_wait_avg_seconds" in gauges

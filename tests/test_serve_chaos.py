@@ -1,0 +1,192 @@
+"""Chaos tests for the service: killed workers, hangs, retry exhaustion.
+
+The ``serve.worker.*`` sites fire in the *parent* at attempt dispatch
+(the armed spec travels to the worker as a one-shot payload), so a
+retried attempt sees a fresh fault ordinal and the whole recovery
+sequence is deterministic — which is what lets these tests assert
+bit-identical results across an injected crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.runs import RunRegistry
+from repro.serve import JobRuntime, JobState, PlacementService, ServeConfig
+
+pytestmark = pytest.mark.chaos
+
+POLL = 0.05
+
+
+def wait_done(record, timeout=90.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if record.done:
+            return
+        time.sleep(POLL)
+    raise AssertionError(f"{record.spec.job_id} did not finish")
+
+
+def payload(**overrides):
+    base = {
+        "name": "chaos",
+        "workload": {"kind": "synthetic", "num_cells": 50, "seed": 9},
+        "config": {"max_iterations": 12, "seed": 2},
+        "legalizer": "tetris",
+        "include_placement": True,
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture
+def runtime(tmp_path):
+    rt = JobRuntime(ServeConfig(
+        port=0, workers=1, queue_capacity=4,
+        registry_root=str(tmp_path / "runs"),
+        retry_backoff_seconds=0.05,
+    )).start()
+    yield rt
+    faults.clear()
+    rt.shutdown(drain=False, timeout=5.0)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_retried_bit_identically(self, runtime):
+        # Reference run, no faults installed.
+        clean = runtime.submit(payload())
+        wait_done(clean)
+        assert clean.state == JobState.SUCCEEDED
+        assert clean.attempts == 1
+
+        # Same job with the first worker attempt killed mid-run.
+        with faults.injected(faults.FaultPlan((
+            faults.FaultSpec("serve.worker.crash", at=1, seed=3),
+        ))):
+            injected = runtime.submit(payload())
+            wait_done(injected)
+
+        assert injected.state == JobState.SUCCEEDED
+        assert injected.attempts == 2
+        actions = [e["action"] for e in injected.recovery]
+        assert "crash_detected" in actions
+        assert "retry" in actions
+        crash_events = [e for e in injected.recovery
+                        if e["action"] == "crash_detected"]
+        assert crash_events[0]["exitcode"] in (137, -9)
+
+        # The retried run is bit-identical to the uninjected one.
+        assert injected.result["placement"] == clean.result["placement"]
+        assert injected.result["hpwl_legal"] == clean.result["hpwl_legal"]
+        assert injected.result["iterations"] == clean.result["iterations"]
+
+    def test_sticky_crash_exhausts_retry_budget(self, runtime, tmp_path):
+        with faults.injected(faults.FaultPlan((
+            faults.FaultSpec("serve.worker.crash", at=1, count=10),
+        ))):
+            record = runtime.submit(payload(max_retries=1))
+            wait_done(record)
+        assert record.state == JobState.FAILED
+        assert record.attempts == 2  # initial + 1 retry, then give up
+        assert "2 attempt(s)" in record.error
+        crashes = [e for e in record.recovery
+                   if e["action"] == "crash_detected"]
+        assert len(crashes) == 2
+        assert runtime.stats.value("crashes") == 2
+        assert runtime.stats.value("failed") == 1
+        # Nothing half-written in the registry for the failed job.
+        registry = RunRegistry(str(tmp_path / "runs" / "default"))
+        assert registry.run_ids() == []
+
+    def test_crash_then_permanent_registry_consistent(self, runtime,
+                                                      tmp_path):
+        # One crash on the first attempt, clean on the second; the
+        # registry must hold exactly one fully-formed run.
+        with faults.injected(faults.FaultPlan((
+            faults.FaultSpec("serve.worker.crash", at=1),
+        ))):
+            record = runtime.submit(payload())
+            wait_done(record)
+        assert record.state == JobState.SUCCEEDED
+        registry = RunRegistry(str(tmp_path / "runs" / "default"))
+        run_ids = registry.run_ids()
+        assert len(run_ids) == 1
+        manifest = registry.manifest(run_ids[0])
+        assert manifest["attempts"] == 2
+        assert os.path.exists(os.path.join(registry.path(run_ids[0]),
+                                           "report.html"))
+        assert not [e for e in os.listdir(registry.root)
+                    if e.startswith(".tmp-")]
+
+
+class TestHangRecovery:
+    def test_hung_worker_is_hard_killed_and_retried(self, runtime):
+        # First attempt stalls forever; the parent kills it at
+        # deadline * grace and the second (uninjected) attempt wins.
+        with faults.injected(faults.FaultPlan((
+            faults.FaultSpec("serve.worker.hang", at=1, seed=3600),
+        ))):
+            record = runtime.submit(payload(deadline_seconds=0.5))
+            wait_done(record)
+        assert record.state == JobState.SUCCEEDED
+        assert record.attempts == 2
+        actions = [e["action"] for e in record.recovery]
+        assert "hard_kill" in actions
+        assert runtime.stats.value("timeouts") == 1
+
+
+class TestServiceStaysUp:
+    def test_healthz_up_and_registry_consistent_through_chaos(
+            self, tmp_path):
+        svc = PlacementService(ServeConfig(
+            port=0, workers=1, queue_capacity=4,
+            registry_root=str(tmp_path / "runs"),
+            retry_backoff_seconds=0.05,
+        )).start()
+        host, port = svc.address
+        base = f"http://{host}:{port}"
+
+        def get(path):
+            with urllib.request.urlopen(f"{base}{path}",
+                                        timeout=10.0) as r:
+                return r.status, json.loads(r.read())
+
+        try:
+            with faults.injected(faults.FaultPlan((
+                faults.FaultSpec("serve.worker.crash", at=1),
+            ))):
+                submit = urllib.request.Request(
+                    f"{base}/v1/jobs", method="POST",
+                    data=json.dumps(payload()).encode(),
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(submit, timeout=10.0) as r:
+                    job_id = json.loads(r.read())["job_id"]
+                deadline = time.monotonic() + 90.0
+                while time.monotonic() < deadline:
+                    # The service must answer its probes on every poll,
+                    # including while the worker is being killed.
+                    assert get("/healthz")[0] == 200
+                    status, body = get(f"/v1/jobs/{job_id}")
+                    assert status == 200
+                    if body["state"] in ("succeeded", "failed",
+                                         "cancelled"):
+                        break
+                    time.sleep(POLL)
+                assert body["state"] == "succeeded"
+                assert body["attempts"] == 2
+        finally:
+            faults.clear()
+            svc.stop(drain=False, timeout=5.0)
+
+        registry = RunRegistry(str(tmp_path / "runs" / "default"))
+        assert len(registry.run_ids()) == 1
+        manifest = registry.manifest(registry.run_ids()[0])
+        assert manifest["job_id"] == job_id
+        assert manifest["attempts"] == 2

@@ -1,0 +1,251 @@
+"""Unit tests for the serve building blocks: queue, tenants, config, jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.config import DEFAULT_TIERS, DegradationTier, ServeConfig
+from repro.serve.jobs import JobRecord, JobSpec, JobState, JobValidationError
+from repro.serve.queue import BoundedPriorityQueue, QueueFull
+from repro.serve.tenants import RateLimited, TenantTable
+
+
+def _payload(**overrides):
+    base = {
+        "name": "unit",
+        "workload": {"kind": "synthetic", "num_cells": 20, "seed": 1},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestBoundedPriorityQueue:
+    def test_priority_then_fifo_order(self):
+        q = BoundedPriorityQueue(capacity=8)
+        q.put("a", 5, "a")
+        q.put("b", 1, "b")
+        q.put("c", 5, "c")
+        q.put("d", 0, "d")
+        assert [q.get(0.1) for _ in range(4)] == ["d", "b", "a", "c"]
+
+    def test_full_queue_raises_with_retry_after(self):
+        q = BoundedPriorityQueue(capacity=2)
+        q.put("a", 5, "a")
+        q.put("b", 5, "b")
+        with pytest.raises(QueueFull) as info:
+            q.put("c", 5, "c", workers=2)
+        assert info.value.retry_after >= 0.5
+        assert q.depth() == 2
+
+    def test_remove_reclaims_slot_and_get_skips_tombstone(self):
+        q = BoundedPriorityQueue(capacity=2)
+        q.put("a", 1, "a")
+        q.put("b", 5, "b")
+        assert q.remove("a")
+        assert not q.remove("a")
+        q.put("c", 9, "c")  # slot freed immediately
+        assert q.get(0.1) == "b"
+        assert q.get(0.1) == "c"
+        assert q.get(0.05) is None
+
+    def test_close_unblocks_getters_and_rejects_puts(self):
+        q = BoundedPriorityQueue(capacity=2)
+        q.put("a", 5, "a")
+        q.close()
+        with pytest.raises(RuntimeError):
+            q.put("b", 5, "b")
+        assert q.get(0.1) == "a"  # close drains what is queued
+        assert q.get(0.1) is None
+
+    def test_drain_empties_and_skips_tombstones(self):
+        q = BoundedPriorityQueue(capacity=4)
+        q.put("a", 5, "a")
+        q.put("b", 5, "b")
+        q.remove("a")
+        assert q.drain() == ["b"]
+        assert q.depth() == 0
+
+    def test_wait_estimates_scale_with_backlog_and_service_time(self):
+        q = BoundedPriorityQueue(capacity=16)
+        for i in range(4):
+            q.put(f"j{i}", 5, i)
+        one_worker = q.estimated_wait_seconds(1)
+        assert one_worker == pytest.approx(4 * 1.0)  # EWMA starts at 1s
+        assert q.estimated_wait_seconds(4) == pytest.approx(one_worker / 4)
+        for _ in range(50):
+            q.note_service_seconds(10.0)
+        assert q.estimated_wait_seconds(1) > one_worker
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(capacity=0)
+
+
+class TestTenantTable:
+    def test_burst_exhaustion_rate_limits(self):
+        table = TenantTable(rate=0.001, burst=2)
+        table.admit("acme")
+        table.admit("acme")
+        with pytest.raises(RateLimited) as info:
+            table.admit("acme")
+        assert info.value.tenant == "acme"
+        assert info.value.retry_after > 0
+
+    def test_tenants_are_independent(self):
+        table = TenantTable(rate=0.001, burst=1)
+        table.admit("acme")
+        table.admit("globex")  # unaffected by acme's empty bucket
+        with pytest.raises(RateLimited):
+            table.admit("acme")
+        assert table.known_tenants() == ["acme", "globex"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantTable(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TenantTable(rate=1.0, burst=0)
+
+
+class TestServeConfig:
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.tiers == DEFAULT_TIERS
+        assert config.tiers[0].name == "full"
+
+    def test_with_overrides(self):
+        config = ServeConfig().with_overrides(workers=4, port=0)
+        assert config.workers == 4
+        assert config.port == 0
+
+    @pytest.mark.parametrize("bad", [
+        {"workers": 0},
+        {"queue_capacity": 0},
+        {"max_retries": -1},
+        {"retry_backoff_seconds": -0.1},
+        {"default_deadline_seconds": -1.0},
+        {"tenant_rate": 0.0},
+        {"drain_timeout_seconds": -1.0},
+    ])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            ServeConfig(**bad)
+
+    def test_first_tier_must_be_undegraded(self):
+        bad = (DegradationTier(name="half", activate_wait_seconds=0.0,
+                               max_iterations_factor=0.5),)
+        with pytest.raises(ValueError):
+            ServeConfig(tiers=bad)
+
+    def test_tier_thresholds_must_increase(self):
+        tiers = (
+            DEFAULT_TIERS[0],
+            DegradationTier(name="b", activate_wait_seconds=30.0,
+                            max_iterations_factor=0.5),
+            DegradationTier(name="c", activate_wait_seconds=10.0,
+                            max_iterations_factor=0.25),
+        )
+        with pytest.raises(ValueError):
+            ServeConfig(tiers=tiers)
+
+    def test_tier_validation(self):
+        with pytest.raises(ValueError):
+            DegradationTier(name="x", activate_wait_seconds=-1.0,
+                            max_iterations_factor=1.0)
+        with pytest.raises(ValueError):
+            DegradationTier(name="x", activate_wait_seconds=0.0,
+                            max_iterations_factor=1.5)
+        with pytest.raises(ValueError):
+            DegradationTier(name="x", activate_wait_seconds=0.0,
+                            max_iterations_factor=1.0, legalizer="magic")
+
+
+class TestJobSpec:
+    def test_valid_payload_round_trips(self):
+        spec = JobSpec.from_payload(_payload(
+            tenant="acme", priority=2, config={"max_iterations": 10},
+            legalizer="tetris", deadline_seconds=30, max_retries=1,
+        ), "j-000001")
+        assert spec.job_id == "j-000001"
+        assert spec.tenant == "acme"
+        assert spec.priority == 2
+        assert spec.config == {"max_iterations": 10}
+        assert spec.deadline_seconds == 30.0
+        assert spec.max_retries == 1
+
+    def test_default_tenant_comes_from_hint(self):
+        spec = JobSpec.from_payload(_payload(), "j-1",
+                                    default_tenant="globex")
+        assert spec.tenant == "globex"
+
+    @pytest.mark.parametrize("mutation, fragment", [
+        ({"bogus": 1}, "unknown field"),
+        ({"tenant": "no spaces"}, "tenant"),
+        ({"name": ""}, "name"),
+        ({"priority": 12}, "priority"),
+        ({"priority": True}, "priority"),
+        ({"workload": {"kind": "starlink"}}, "workload.kind"),
+        ({"workload": {"kind": "synthetic"}}, "num_cells"),
+        ({"workload": {"kind": "suite"}}, "workload.suite"),
+        ({"workload": {"kind": "aux"}}, "workload.path"),
+        ({"config": {"secret_knob": 1}}, "not an overridable knob"),
+        ({"config": {"max_iterations": "many"}}, "must be a int"),
+        ({"legalizer": "greedy"}, "legalizer"),
+        ({"deadline_seconds": -5}, "deadline_seconds"),
+        ({"max_retries": 99}, "max_retries"),
+    ])
+    def test_rejects_malformed_payloads(self, mutation, fragment):
+        with pytest.raises(JobValidationError, match=fragment):
+            JobSpec.from_payload(_payload(**mutation), "j-1")
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(JobValidationError):
+            JobSpec.from_payload(["nope"], "j-1")  # type: ignore[arg-type]
+
+
+class TestJobRecord:
+    def _record(self, keep_events: int = 2000) -> JobRecord:
+        spec = JobSpec.from_payload(_payload(), "j-1")
+        return JobRecord(spec=spec, keep_events=keep_events)
+
+    def test_event_cursor(self):
+        record = self._record()
+        for i in range(5):
+            record.add_event({"i": i})
+        events, cursor = record.events_since(0)
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        record.add_event({"i": 5})
+        events, cursor = record.events_since(cursor)
+        assert [e["i"] for e in events] == [5]
+        assert record.events_since(cursor) == ([], 6)
+
+    def test_event_buffer_is_bounded(self):
+        record = self._record(keep_events=3)
+        for i in range(10):
+            record.add_event({"i": i})
+        events, cursor = record.events_since(0)
+        assert [e["i"] for e in events] == [7, 8, 9]
+        assert cursor == 10
+        # A cursor pointing into the dropped range clamps cleanly.
+        events, _ = record.events_since(5)
+        assert [e["i"] for e in events] == [7, 8, 9]
+
+    def test_lifecycle_snapshot(self):
+        record = self._record()
+        record.enqueued_at = 100.0
+        assert not record.done
+        assert record.start_attempt("full", now=101.0) == 1
+        record.transition(JobState.SUCCEEDED, now=103.5)
+        assert record.done
+        snap = record.snapshot()
+        assert snap["state"] == "succeeded"
+        assert snap["attempts"] == 1
+        assert snap["queue_wait_seconds"] == pytest.approx(1.0)
+        assert snap["run_seconds"] == pytest.approx(2.5)
+
+    def test_cancel_flag(self):
+        record = self._record()
+        assert not record.cancel_requested
+        assert not record.wait_cancel(0.01)
+        record.request_cancel()
+        assert record.cancel_requested
+        assert record.wait_cancel(0.01)
