@@ -31,7 +31,7 @@ def _one_run(case: BenchCase, netlist) -> tuple[dict[str, Any], Any, Any, Any]:
     """One traced placement+legalization; returns (stage totals, result,
     legal placement, merged registry)."""
     placer = make_placer(case.placer, netlist, gamma=case.gamma,
-                         seed=case.seed)
+                         seed=case.seed, effort=case.effort)
     with telemetry.tracing() as tracer, telemetry.metrics() as registry:
         result = placer.place()
         legal = abacus_legalize(netlist, result.upper)
@@ -116,7 +116,7 @@ def run_case(
         for name in REQUIRED_SERIES
     }
 
-    return {
+    entry: dict[str, Any] = {
         "name": case.workload,
         "scale": case.scale,
         "placer": case.placer,
@@ -128,6 +128,11 @@ def run_case(
         "quality": quality,
         "series": series,
     }
+    # Only stamped when set, so documents from effort-free suites (and
+    # the committed smoke baseline) keep their exact shape.
+    if case.effort is not None:
+        entry["effort"] = case.effort
+    return entry
 
 
 def run_suite(

@@ -23,6 +23,9 @@ class BenchCase:
     placer: str = "complx"  # placer registry name (experiments.common)
     gamma: float = 1.0     # target density
     seed: int = 0
+    #: Optional Coloquinte-style effort preset (1..9) folded into the
+    #: placer config; None runs the paper's defaults.
+    effort: int | None = None
 
 
 SUITES: dict[str, tuple[BenchCase, ...]] = {
@@ -37,6 +40,15 @@ SUITES: dict[str, tuple[BenchCase, ...]] = {
         BenchCase(workload="newblue1_s", scale=0.3, gamma=0.8),
         BenchCase(workload="bigblue4_s", scale=0.2),
         BenchCase(workload="adaptec1_s", scale=0.1, placer="complx_lse"),
+    ),
+    # Effort-ladder sweep (local only, not wired into CI): how runtime
+    # and quality trade off across the racing portfolio's presets.
+    "effort": (
+        BenchCase(workload="adaptec1_s", scale=0.1, effort=1),
+        BenchCase(workload="adaptec1_s", scale=0.1, effort=3),
+        BenchCase(workload="adaptec1_s", scale=0.1, effort=5),
+        BenchCase(workload="adaptec1_s", scale=0.1, effort=7),
+        BenchCase(workload="adaptec1_s", scale=0.1, effort=9),
     ),
 }
 

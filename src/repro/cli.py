@@ -29,6 +29,7 @@ import time
 from . import telemetry
 from .analysis import analyze_placement
 from .core.config import ResilienceConfig
+from .core.effort import effort_preset
 from .detailed import DetailedPlacer
 from .diagnostics import diagnose
 from .experiments.common import make_placer
@@ -55,10 +56,19 @@ def _add_place_args(parser: argparse.ArgumentParser) -> None:
                              "simpl, rql, fastplace, nonlinear, gordian")
     parser.add_argument("--gamma", type=float, default=1.0,
                         help="target density in (0, 1]")
+    parser.add_argument("--effort", type=int, default=None,
+                        metavar="1..9",
+                        help="Coloquinte-style effort preset: one knob "
+                             "filling in iteration/CG budgets, the "
+                             "gap_tolerance finish line, and the "
+                             "legalizer/DP defaults; explicit flags win")
     parser.add_argument("--legalizer", choices=sorted(LEGALIZERS),
-                        default="abacus")
+                        default=None,
+                        help="legalizer (default: abacus, or the "
+                             "--effort preset's choice)")
     parser.add_argument("--skip-detailed", action="store_true",
-                        help="stop after legalization")
+                        help="stop after legalization (implied by "
+                             "--effort levels whose preset skips DP)")
     parser.add_argument("--svg", default=None,
                         help="also write a placement plot to this path")
     parser.add_argument("--seed", type=int, default=0)
@@ -136,6 +146,19 @@ def cmd_place(args: argparse.Namespace) -> int:
 def _place_flow(args: argparse.Namespace) -> int:
     netlist, initial = read_aux(args.aux)
     print(f"loaded {netlist}")
+    try:
+        preset = (
+            effort_preset(args.effort) if args.effort is not None else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    legalizer = args.legalizer or (
+        preset.legalizer if preset is not None else "abacus"
+    )
+    skip_detailed = args.skip_detailed or (
+        preset is not None and not preset.detailed
+    )
     checkpoint_path = args.checkpoint_path
     if args.checkpoint_every > 0 and checkpoint_path is None:
         checkpoint_path = os.path.join(args.out, f"{netlist.name}.ckpt.npz")
@@ -150,7 +173,8 @@ def _place_flow(args: argparse.Namespace) -> int:
                          seed=args.seed,
                          check_invariants=args.check_invariants,
                          resilience=resilience,
-                         solver_threads=args.threads)
+                         solver_threads=args.threads,
+                         effort=args.effort)
     if args.resume is not None and not hasattr(placer, "_run_iteration"):
         print(f"error: placer {args.placer!r} does not support --resume",
               file=sys.stderr)
@@ -176,15 +200,15 @@ def _place_flow(args: argparse.Namespace) -> int:
     if recovery_events:
         print(f"recovery: {resilience_report['summary']}")
 
-    chain = _legalizer_chain(args.legalizer)
+    chain = _legalizer_chain(legalizer)
     t1 = time.perf_counter()
-    if args.skip_detailed:
+    if skip_detailed:
         final, used = legalize_with_fallback(
             netlist, result.upper, chain,
             check_invariants=args.check_invariants,
         )
-        if used != args.legalizer:
-            print(f"legalizer degraded: {args.legalizer} -> {used}")
+        if used != legalizer:
+            print(f"legalizer degraded: {legalizer} -> {used}")
     else:
         def chained_legalizer(nl, placement, check_invariants=False):
             legal, _ = legalize_with_fallback(
@@ -311,6 +335,11 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.__main__ import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "race":
+        # Same manual dispatch for the racing runtime.
+        from .race.__main__ import main as race_main
+
+        return race_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="ComPLx placement flows over Bookshelf designs.",
@@ -341,10 +370,14 @@ def main(argv: list[str] | None = None) -> int:
                                      "(.md Markdown, else HTML)")
     analyze_parser.set_defaults(func=cmd_analyze)
 
-    # Shown in --help only; "serve" is dispatched before parsing above.
+    # Shown in --help only; "serve" and "race" are dispatched before
+    # parsing above.
     sub.add_parser(
         "serve", help="run the placement job service "
                       "(python -m repro.serve for the full option set)")
+    sub.add_parser(
+        "race", help="race a config portfolio with doctor-driven kills "
+                     "(python -m repro.race for the full option set)")
 
     args = parser.parse_args(argv)
     if args.verbose:

@@ -10,6 +10,13 @@ from .config import (
     simpl_config,
 )
 from .convergence import SelfConsistencyMonitor, StoppingRule, l1_distance
+from .effort import (
+    EFFORT_LEVELS,
+    EffortPreset,
+    apply_effort,
+    effort_overrides,
+    effort_preset,
+)
 from .history import IterationRecord, RunHistory
 from .invariants import InvariantSuite, InvariantViolation, assert_legal
 from .lagrangian import (
@@ -23,7 +30,12 @@ from .lagrangian import (
 __all__ = [
     "ComPLxConfig",
     "ComPLxPlacer",
+    "EFFORT_LEVELS",
+    "EffortPreset",
     "GlobalPlacementResult",
+    "apply_effort",
+    "effort_overrides",
+    "effort_preset",
     "InvariantSuite",
     "InvariantViolation",
     "IterationRecord",

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "ComPLxPlacer",
     "GlobalPlacementResult",
+    "HistoryObserver",
     "IterationCallback",
     "place",
 ]
@@ -61,6 +62,12 @@ logger = logging.getLogger(__name__)
 
 #: Observer invoked after every iteration: (iteration, lower, upper).
 IterationCallback = Callable[[int, Placement, Placement], None]
+
+#: Richer observer invoked after every iteration with the full history
+#: (the record for the current iteration is already appended).  Used by
+#: the racing runtime to stream checkpoint series without re-deriving
+#: them from placements.
+HistoryObserver = Callable[[int, RunHistory], None]
 
 
 @dataclass
@@ -171,6 +178,10 @@ class ComPLxPlacer:
         self.supervisor: "Supervisor | None" = None
         #: Per-run iteration observer; bound by :meth:`place`.
         self.callback: IterationCallback | None = None
+        #: Persistent history observer (survives across :meth:`place`
+        #: calls; set directly).  Invoked after ``callback`` with the
+        #: history including the current iteration's record.
+        self.observer: HistoryObserver | None = None
         self._last_cg_iterations = 0
         self._plan: AssemblyPlan | None = None
 
@@ -226,6 +237,27 @@ class ComPLxPlacer:
                 eps=self._b2b_eps,
             )
         return self._plan
+
+    def adopt_plan(self, plan: AssemblyPlan) -> None:
+        """Adopt a prebuilt :class:`AssemblyPlan` instead of building one.
+
+        The racing runtime builds the plan once per netlist and shares it
+        across all portfolio variants (fork inherits it copy-on-write),
+        so N variants pay one symbolic-analysis cost.  The plan must have
+        been built for this placer's model and epsilon — plan
+        construction is deterministic, so an adopted plan yields the
+        bit-identical trajectory a locally built one would.
+        """
+        if plan.model != self.config.net_model:
+            raise ValueError(
+                f"plan was built for net model {plan.model!r}, "
+                f"config wants {self.config.net_model!r}"
+            )
+        if plan.eps != self._b2b_eps:
+            raise ValueError(
+                f"plan eps {plan.eps!r} != config eps {self._b2b_eps!r}"
+            )
+        self._plan = plan
 
     def _solve_quadratic(
         self,
@@ -503,6 +535,8 @@ class ComPLxPlacer:
         sp.annotate("phi_upper", phi_ub)
         if self.callback is not None:
             self.callback(k, st.lower, st.upper)
+        if self.observer is not None:
+            self.observer(k, st.history)
         logger.debug(
             "iter %d: bins=%d Phi_lb=%.4g Phi_ub=%.4g Pi=%.4g "
             "lambda=%.4g ovf=%.1f%%",
@@ -580,6 +614,7 @@ class ComPLxPlacer:
             gap_tol=config.gap_tol,
             pi_tol_fraction=config.pi_tol_fraction,
             max_iterations=config.max_iterations,
+            gap_tolerance=config.gap_tolerance,
         )
 
         place_span = telemetry.span(

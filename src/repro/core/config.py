@@ -171,6 +171,14 @@ class ComPLxConfig:
     max_iterations: int = 100
     gap_tol: float = 0.08
     pi_tol_fraction: float = 0.02
+    #: Coloquinte-style early exit: when set, stop as soon as the
+    #: relative duality gap closes below this tolerance, recorded as
+    #: ``stop_reason="gap_closed"``.  Unlike ``gap_tol`` (the paper's
+    #: refined criterion, checked alongside Pi feasibility), this is an
+    #: aggressive portfolio/racing knob — healthy variants finish early
+    #: instead of burning their iteration budget.  ``None`` (default)
+    #: keeps the legacy trajectory bit-identical.
+    gap_tolerance: float | None = None
 
     # extensions
     per_macro_lambda: bool = True
@@ -205,6 +213,8 @@ class ComPLxConfig:
             raise ValueError("invariant_density_slack_bins must be positive")
         if self.solver_threads < 1:
             raise ValueError("solver_threads must be >= 1")
+        if self.gap_tolerance is not None and not 0.0 < self.gap_tolerance < 1.0:
+            raise ValueError("gap_tolerance must lie in (0, 1)")
 
     def with_overrides(self, **kwargs) -> "ComPLxConfig":
         """A copy with the given fields replaced."""

@@ -88,6 +88,11 @@ class StoppingRule:
     max_iterations: int = 60
     plateau_window: int = 12
     plateau_tol: float = 0.005
+    #: Optional Coloquinte-style early exit: when set, a relative gap at
+    #: or below this stops the run with reason ``"gap_closed"`` — checked
+    #: before the refined ``gap_tol`` criterion so races can configure an
+    #: aggressive finish line without touching the paper's default.
+    gap_tolerance: float | None = None
     _pi_initial: float | None = None
     _recent_ub: list[float] = field(default_factory=list)
 
@@ -103,6 +108,8 @@ class StoppingRule:
             return True, "max_iterations"
         if phi_ub > 0:
             gap = max(phi_ub - phi_lb, 0.0) / phi_ub
+            if self.gap_tolerance is not None and gap <= self.gap_tolerance:
+                return True, "gap_closed"
             if gap <= self.gap_tol:
                 return True, "duality_gap"
         if self._pi_initial is not None and pi <= self.pi_tol_fraction * self._pi_initial:

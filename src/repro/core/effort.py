@@ -1,0 +1,108 @@
+"""Coloquinte-style ``--effort 1..9`` presets.
+
+Coloquinte exposes its whole global-placement parameter soup behind a
+single integer effort knob (``GlobalPlacer::Parameters(effort)``); each
+effort level fills in iteration budgets, solver tolerances and the
+``gapTolerance`` finish line.  This module is the ComPLx equivalent: one
+frozen table mapping effort 1..9 to the config knobs that dominate the
+quality/runtime trade-off, so the CLI, the serve API and the racing
+portfolio builder all speak "effort 4" instead of raw-knob soup.
+
+The table is monotone by construction — iteration and CG budgets never
+shrink as effort rises, tolerances never loosen — which the test suite
+asserts, so adding a level cannot silently invert the trade-off.
+
+Only knobs of :class:`~repro.core.config.ComPLxConfig` are returned by
+:func:`effort_overrides`; the flow-level choices (which legalizer, run
+detailed placement?) live on the preset for callers that own those
+stages (CLI, serve worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ComPLxConfig
+
+__all__ = [
+    "EFFORT_LEVELS",
+    "EffortPreset",
+    "apply_effort",
+    "effort_overrides",
+    "effort_preset",
+]
+
+
+@dataclass(frozen=True)
+class EffortPreset:
+    """One row of the effort table.
+
+    ``gap_tolerance`` is the Coloquinte-style early exit: low efforts
+    accept a wide duality gap and stop as soon as it closes; high
+    efforts demand a tight sandwich.  ``legalizer`` / ``detailed`` are
+    flow-level defaults for callers that run the full place→legalize→DP
+    pipeline; explicit user choices always win over them.
+    """
+
+    effort: int
+    max_iterations: int
+    gap_tolerance: float
+    cg_tol: float
+    cg_max_iter: int
+    init_sweeps: int
+    refine_every: int
+    legalizer: str
+    detailed: bool
+
+
+#: The effort table.  Level 5 approximates the paper's default config
+#: with an early finish line; 9 is "burn the budget for quality"; 1 is
+#: "give me a floorplan sketch now".
+_EFFORT_TABLE: tuple[EffortPreset, ...] = (
+    EffortPreset(1, 20, 0.25, 1e-3, 100, 1, 2, "tetris", False),
+    EffortPreset(2, 30, 0.20, 5e-4, 150, 2, 3, "tetris", False),
+    EffortPreset(3, 40, 0.15, 1e-4, 250, 2, 3, "tetris", False),
+    EffortPreset(4, 50, 0.12, 5e-5, 300, 3, 4, "abacus", False),
+    EffortPreset(5, 60, 0.10, 2e-5, 400, 3, 4, "abacus", False),
+    EffortPreset(6, 80, 0.08, 1e-5, 500, 3, 4, "abacus", False),
+    EffortPreset(7, 100, 0.06, 5e-6, 600, 3, 5, "abacus", True),
+    EffortPreset(8, 140, 0.05, 2e-6, 700, 4, 5, "abacus", True),
+    EffortPreset(9, 180, 0.04, 1e-6, 800, 4, 5, "abacus", True),
+)
+
+#: Valid effort levels, lowest to highest.
+EFFORT_LEVELS: tuple[int, ...] = tuple(p.effort for p in _EFFORT_TABLE)
+
+
+def effort_preset(effort: int) -> EffortPreset:
+    """The preset row for an effort level; raises on out-of-range."""
+    if not isinstance(effort, int) or isinstance(effort, bool):
+        raise ValueError(f"effort must be an int, got {effort!r}")
+    if not EFFORT_LEVELS[0] <= effort <= EFFORT_LEVELS[-1]:
+        raise ValueError(
+            f"effort must lie in {EFFORT_LEVELS[0]}..{EFFORT_LEVELS[-1]}, "
+            f"got {effort}"
+        )
+    return _EFFORT_TABLE[effort - 1]
+
+
+def effort_overrides(effort: int) -> dict[str, float | int]:
+    """The :class:`ComPLxConfig` override dict for an effort level.
+
+    Excludes the flow-level ``legalizer`` / ``detailed`` choices — those
+    are not config fields.
+    """
+    p = effort_preset(effort)
+    return {
+        "max_iterations": p.max_iterations,
+        "gap_tolerance": p.gap_tolerance,
+        "cg_tol": p.cg_tol,
+        "cg_max_iter": p.cg_max_iter,
+        "init_sweeps": p.init_sweeps,
+        "refine_every": p.refine_every,
+    }
+
+
+def apply_effort(config: ComPLxConfig, effort: int) -> ComPLxConfig:
+    """A copy of ``config`` with the effort preset's knobs applied."""
+    return config.with_overrides(**effort_overrides(effort))

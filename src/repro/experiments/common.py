@@ -65,7 +65,8 @@ class FlowResult:
 
 def make_placer(name: str, netlist: Netlist, gamma: float,
                 seed: int = 0, check_invariants: bool = False,
-                resilience=None, solver_threads: int = 1):
+                resilience=None, solver_threads: int = 1,
+                effort: int | None = None):
     """Instantiate a registered placer by name.
 
     Names: ``complx`` (default config), ``complx_finest``, ``complx_dp``
@@ -84,6 +85,12 @@ def make_placer(name: str, netlist: Netlist, gamma: float,
     """
     knobs = dict(gamma=gamma, seed=seed, check_invariants=check_invariants,
                  resilience=resilience, solver_threads=solver_threads)
+    if effort is not None:
+        # The Coloquinte-style preset fills in iteration/CG budgets and
+        # the gap_tolerance finish line; only the ComPLx variants run
+        # the loop those knobs control.
+        from ..core import effort_overrides
+        knobs.update(effort_overrides(effort))
     if name == "complx":
         return ComPLxPlacer(netlist, ComPLxConfig(**knobs))
     if name == "complx_finest":

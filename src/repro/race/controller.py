@@ -1,0 +1,446 @@
+"""The race controller: run a portfolio concurrently, arbitrate, tune.
+
+One single-threaded poll loop owns all state — worker pipes are drained
+with :func:`multiprocessing.connection.wait`, so there are no threads
+and no locks.  The loop enforces the *round barrier* the arbiter's
+replay guarantee rests on: checkpoint round ``r`` is evaluated only
+once every variant still in the race has either streamed checkpoint
+``r + 1`` or finished.  At that point the data alone proves whether a
+variant was still mid-flight at checkpoint ``r``, so the arbiter's
+verdicts are independent of scheduling, poll jitter, and how fast
+results drain from the pipes.
+
+Kill decisions are applied in the arbiter's deterministic order; a
+variant whose result sneaks in after its kill verdict is *still*
+recorded as killed (the result is dropped), because the verdict — not
+the message race — is the ground truth.  Crashed workers get exactly
+one retry (their trajectory is deterministic, so the rerun re-streams
+identical series); deterministic errors are terminal.
+
+Wall-clock times appear in :class:`RaceResult` for reporting only —
+they never feed a decision.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any
+
+from ..core import ComPLxConfig
+from ..models.assembly import PLANNABLE_MODELS, AssemblyPlan
+from ..netlist import Netlist
+from ..serve.worker import CRASH_EXIT_CODE, build_netlist
+from .arbiter import KillDecision, RaceArbiter, VariantView, pick_winner
+from .portfolio import VariantSpec
+from .tuner import AutoTuner
+from .worker import clear_shared, race_worker_entry, share_prebuilt
+
+__all__ = ["RaceController", "RaceResult", "VariantOutcome"]
+
+logger = logging.getLogger(__name__)
+
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class VariantOutcome:
+    """Terminal record of one variant's race."""
+
+    spec: VariantSpec
+    status: str                     # finished | killed | crashed | error
+    kill: KillDecision | None = None
+    iterations: int = 0
+    stop_reason: str = ""
+    hpwl_upper: float | None = None
+    placement: dict[str, list[float]] | None = None
+    metrics: dict[str, Any] | None = None
+    error: str | None = None
+    retried: bool = False
+    wall_seconds: float = 0.0       # reporting only, never decisions
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "variant_id": self.spec.variant_id,
+            "origin": self.spec.origin,
+            "parent": self.spec.parent,
+            "effort": self.spec.effort,
+            "overrides": dict(self.spec.overrides),
+            "status": self.status,
+            "iterations": self.iterations,
+            "stop_reason": self.stop_reason,
+            "hpwl_upper": self.hpwl_upper,
+            "retried": self.retried,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.kill is not None:
+            doc["kill"] = self.kill.to_json()
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+@dataclass
+class RaceResult:
+    """What a race produced, in full."""
+
+    winner: str | None
+    outcomes: dict[str, VariantOutcome]
+    views: dict[str, VariantView]
+    decisions: list[KillDecision] = field(default_factory=list)
+    tuned: list[str] = field(default_factory=list)
+    rounds: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def winner_outcome(self) -> VariantOutcome | None:
+        return self.outcomes.get(self.winner) if self.winner else None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "winner": self.winner,
+            "rounds": self.rounds,
+            "wall_seconds": self.wall_seconds,
+            "tuned": list(self.tuned),
+            "decisions": [d.to_json() for d in self.decisions],
+            "outcomes": {vid: out.to_json()
+                         for vid, out in sorted(self.outcomes.items())},
+        }
+
+
+class _Runner:
+    """Parent-side handle for one live worker process."""
+
+    def __init__(self, spec: VariantSpec, process: mp.Process,
+                 conn, started_at: float,
+                 was_retry: bool = False) -> None:
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        self.started_at = started_at
+        self.was_retry = was_retry
+        self.terminal = False   # result or error already drained
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+class RaceController:
+    """Execute a portfolio race over crash-isolated workers."""
+
+    def __init__(
+        self,
+        portfolio: list[VariantSpec],
+        *,
+        netlist: Netlist | None = None,
+        workload: dict[str, Any] | None = None,
+        aux_root: str | None = None,
+        base_config: ComPLxConfig | None = None,
+        base_overrides: dict[str, Any] | None = None,
+        arbiter: RaceArbiter | None = None,
+        tuner: AutoTuner | None = None,
+        checkpoint_every: int = 1,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        inject: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
+        if not portfolio:
+            raise ValueError("portfolio is empty")
+        if netlist is None and workload is None:
+            raise ValueError("need a netlist or a workload descriptor")
+        self.portfolio = list(portfolio)
+        self.netlist = netlist
+        self.workload = dict(workload) if workload else None
+        self.aux_root = aux_root
+        self.base_overrides = dict(base_overrides or {})
+        self.base_config = base_config if base_config is not None \
+            else ComPLxConfig(**self.base_overrides)
+        self.arbiter = arbiter if arbiter is not None else RaceArbiter()
+        self.tuner = tuner if tuner is not None else AutoTuner()
+        self.checkpoint_every = max(int(checkpoint_every), 1)
+        self.max_workers = max_workers if max_workers is not None \
+            else max((os.cpu_count() or 2) - 1, 2)
+        self._ctx = mp.get_context(start_method) if start_method \
+            else mp.get_context()
+        # Chaos hook: variant_id -> serve-style ``_inject`` descriptor,
+        # armed on the first spawn only (retries run clean) unless the
+        # descriptor sets ``persist``.
+        self.inject = dict(inject or {})
+
+        self.views: dict[str, VariantView] = {}
+        self.outcomes: dict[str, VariantOutcome] = {}
+        self.decisions: list[KillDecision] = []
+        self.tuned: list[str] = []
+        self._specs: dict[str, VariantSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Named ``execute`` (not ``run``) so statcheck's conservative
+    # duck-typed call resolution cannot confuse it with unrelated
+    # ``.run()`` protocol methods; the controller is single-threaded.
+    def execute(self) -> RaceResult:
+        started = time.monotonic()
+        if self.netlist is None:
+            self.netlist = build_netlist(self.workload or {}, self.aux_root)
+        plan = self._prebuild_plan()
+        share_prebuilt(self.netlist, plan)
+        try:
+            result = self._race_loop(started)
+        finally:
+            clear_shared()
+        return result
+
+    def _prebuild_plan(self) -> AssemblyPlan | None:
+        """One shared plan when the base model can use it."""
+        model = self.base_config.net_model
+        if model not in PLANNABLE_MODELS:
+            return None
+        assert self.netlist is not None
+        row_h = self.netlist.core.row_height
+        eps = max(self.base_config.b2b_eps_rows * row_h, 1e-9)
+        return AssemblyPlan(self.netlist, model=model, eps=eps)
+
+    def _make_view(self, spec: VariantSpec) -> VariantView:
+        config = spec.config(self.base_config)
+        return VariantView(
+            variant_id=spec.variant_id,
+            gap_tol=config.gap_tol,
+            gap_tolerance=config.gap_tolerance,
+            lambda_growth_cap=config.lambda_growth_cap,
+        )
+
+    def _spawn(self, spec: VariantSpec, now: float,
+               was_retry: bool = False) -> _Runner:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        payload = {
+            "variant": {
+                "variant_id": spec.variant_id,
+                "overrides": dict(spec.overrides),
+                "effort": spec.effort,
+                "parent": spec.parent,
+                "origin": spec.origin,
+            },
+            "base_overrides": dict(self.base_overrides),
+            "workload": self.workload or {},
+            "aux_root": self.aux_root,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        fault = self.inject.get(spec.variant_id)
+        if fault is not None and (not was_retry or fault.get("persist")):
+            payload["_inject"] = dict(fault)
+        process = self._ctx.Process(
+            target=race_worker_entry, args=(payload, child_conn),
+            name=f"race-{spec.variant_id}", daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Runner(spec, process, parent_conn, now,
+                       was_retry=was_retry)
+
+    # ------------------------------------------------------------------
+    def _race_loop(self, started: float) -> RaceResult:
+        pending: list[VariantSpec] = list(self.portfolio)
+        running: dict[str, _Runner] = {}
+        retried: set[str] = set()
+        killed: set[str] = set()
+        round_no = 0
+
+        for spec in pending:
+            self.views[spec.variant_id] = self._make_view(spec)
+            self._specs[spec.variant_id] = spec
+            self.tuner.register(spec)
+
+        try:
+            while pending or running:
+                now = time.monotonic()
+                while pending and len(running) < self.max_workers:
+                    spec = pending.pop(0)
+                    running[spec.variant_id] = self._spawn(
+                        spec, now,
+                        was_retry=spec.variant_id in retried)
+
+                self._drain(running)
+                self._reap(running, pending, retried)
+
+                next_round = round_no + 1
+                while self._round_settled(next_round, pending, running,
+                                          killed):
+                    round_no = next_round
+                    new_kills = self.arbiter.decide(
+                        round_no, self._in_race_views(killed))
+                    for decision in new_kills:
+                        self._apply_kill(decision, running, pending,
+                                         killed)
+                    next_round = round_no + 1
+                if not (pending or running):
+                    break
+                connection_wait([r.conn for r in running.values()
+                                 if not r.terminal] or [],
+                                timeout=_POLL_SECONDS)
+        finally:
+            for runner in running.values():
+                runner.close()
+
+        winner = pick_winner(self._in_race_views(killed))
+        wall = time.monotonic() - started
+        return RaceResult(
+            winner=winner, outcomes=self.outcomes, views=self.views,
+            decisions=list(self.decisions), tuned=list(self.tuned),
+            rounds=round_no, wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------
+    def _in_race_views(self, killed: set[str]) -> dict[str, VariantView]:
+        """Views the arbiter/winner may look at: not killed, not dead."""
+        out = {}
+        for vid, view in self.views.items():
+            if vid in killed:
+                continue
+            outcome = self.outcomes.get(vid)
+            if outcome is not None and outcome.status in ("crashed",
+                                                          "error"):
+                continue
+            out[vid] = view
+        return out
+
+    def _round_settled(self, round_no: int, pending: list[VariantSpec],
+                       running: dict[str, _Runner],
+                       killed: set[str]) -> bool:
+        """True once round ``round_no`` is decidable from data alone.
+
+        Every in-race variant must have streamed checkpoint
+        ``round_no + 1`` or finished — then each variant's state *at*
+        checkpoint ``round_no`` is a property of its trajectory, not of
+        message timing.  Pending (not yet started) variants count as
+        in-race with zero checkpoints, so rounds simply lag until they
+        start; the arbiter sees the same prefixes either way.
+        """
+        if not (pending or running):
+            return False  # race over: no more decisions to make
+        views = self._in_race_views(killed)
+        unfinished = [v for v in views.values() if not v.finished]
+        if not unfinished:
+            return False  # nothing left to kill: stop counting rounds
+        for view in unfinished:
+            if view.checkpoints < round_no + 1:
+                return False
+        return True
+
+    def _drain(self, running: dict[str, _Runner]) -> None:
+        """Pull every queued message off every live pipe."""
+        for vid in sorted(running):
+            runner = running[vid]
+            while not runner.terminal and runner.conn.poll():
+                try:
+                    kind, body = runner.conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._on_message(runner, kind, body)
+
+    def _on_message(self, runner: _Runner, kind: str,
+                    body: dict[str, Any]) -> None:
+        vid = runner.spec.variant_id
+        view = self.views[vid]
+        if kind == "checkpoint":
+            view.record_checkpoint(body["iterations"], body["series"])
+        elif kind == "result":
+            view.record_finish(body.get("stop_reason", ""),
+                               body.get("tail", {}).get("iterations"),
+                               body.get("tail", {}).get("series"))
+            runner.terminal = True
+            self.outcomes[vid] = VariantOutcome(
+                spec=runner.spec, status="finished",
+                iterations=int(body.get("iterations", 0)),
+                stop_reason=body.get("stop_reason", ""),
+                hpwl_upper=body.get("hpwl_upper"),
+                placement=body.get("placement"),
+                metrics=body.get("metrics"),
+                retried=runner.was_retry,
+                wall_seconds=time.monotonic() - runner.started_at,
+            )
+        elif kind == "error":
+            runner.terminal = True
+            self.outcomes[vid] = VariantOutcome(
+                spec=runner.spec, status="error",
+                error=f"{body.get('type')}: {body.get('message')}",
+                wall_seconds=time.monotonic() - runner.started_at,
+            )
+            logger.warning("race variant %s errored: %s", vid,
+                           self.outcomes[vid].error)
+
+    def _reap(self, running: dict[str, _Runner],
+              pending: list[VariantSpec], retried: set[str]) -> None:
+        """Collect exited workers; classify crashes, retry once."""
+        for vid in sorted(running):
+            runner = running[vid]
+            if runner.process.is_alive():
+                continue
+            self._drain({vid: runner})  # racing final messages
+            del running[vid]
+            runner.close()
+            if runner.terminal or vid in self.outcomes:
+                continue
+            # Abnormal exit without a terminal message: a crash.
+            code = runner.process.exitcode
+            if vid not in retried:
+                retried.add(vid)
+                self.views[vid].reset()
+                logger.warning(
+                    "race variant %s crashed (exit %s); retrying once",
+                    vid, code)
+                pending.insert(0, runner.spec)
+                continue
+            self.outcomes[vid] = VariantOutcome(
+                spec=runner.spec, status="crashed", retried=True,
+                error=f"worker exited with status {code} "
+                      f"(crash code {CRASH_EXIT_CODE} means a kill)",
+                wall_seconds=time.monotonic() - runner.started_at,
+            )
+            logger.error("race variant %s crashed twice (exit %s); "
+                         "out of the race", vid, code)
+
+    def _apply_kill(self, decision: KillDecision,
+                    running: dict[str, _Runner],
+                    pending: list[VariantSpec],
+                    killed: set[str]) -> None:
+        vid = decision.variant_id
+        killed.add(vid)
+        self.decisions.append(decision)
+        spec = self._specs[vid]
+        runner = running.pop(vid, None)
+        if runner is not None:
+            runner.close()
+            wall = time.monotonic() - runner.started_at
+        else:
+            # A result raced in ahead of the verdict; the verdict is
+            # ground truth, the result is dropped.
+            prior = self.outcomes.get(vid)
+            wall = prior.wall_seconds if prior is not None else 0.0
+        self.outcomes[vid] = VariantOutcome(
+            spec=spec, status="killed", kill=decision,
+            iterations=self.views[vid].iterations[-1] + 1
+            if self.views[vid].iterations else 0,
+            stop_reason=f"killed:{decision.rule}",
+            wall_seconds=wall,
+        )
+        logger.info("race: killed %s at round %d (%s)", vid,
+                    decision.round, decision.rule)
+
+        tuned = self.tuner.propose(spec, decision, self.base_config)
+        if tuned is not None:
+            self.views[tuned.variant_id] = self._make_view(tuned)
+            self._specs[tuned.variant_id] = tuned
+            self.tuned.append(tuned.variant_id)
+            pending.append(tuned)
+            logger.info("race: tuned %s -> %s (%s)", vid,
+                        tuned.variant_id, tuned.overrides)
+

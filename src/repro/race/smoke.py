@@ -1,0 +1,203 @@
+"""End-to-end self-test of the racing runtime, used by the CI smoke job.
+
+Races four variants on a pinned-seed synthetic micro netlist:
+
+* three honest configs (base, an effort preset, a reseed) that finish
+  via the ``gap_tolerance`` early exit,
+* one rigged loser running ``lambda_mode="double"`` — the ablation
+  schedule that grows λ at its cap by construction, which is exactly
+  the pathology doctor rule D1 exists to catch.
+
+Asserts the acceptance criteria of the racing runtime end to end:
+
+1. the arbiter early-kills the loser mid-flight (doctor evidence),
+2. the auto-tuner re-queues a corrected copy of the killed config,
+3. the promoted winner's placement is **bit-identical** to running the
+   same config standalone in this process (shared-plan adoption and
+   worker streaming change nothing),
+4. the race finishes in less wall-clock than the four standalone runs
+   take back to back,
+5. the whole portfolio lands in the run registry with a
+   ``promotion.md`` justification on the winner.
+
+Returns 0 on success; raises :class:`SmokeFailure` with a specific
+message otherwise.  All output goes through :mod:`logging` — the
+``__main__`` wrapper owns the exit code and user-facing text.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core import ComPLxConfig, ComPLxPlacer
+from ..serve.worker import build_netlist
+from .arbiter import RaceArbiter
+from .controller import RaceController, RaceResult
+from .portfolio import VariantSpec, build_portfolio
+from .promotion import promote
+from .tuner import AutoTuner
+
+__all__ = ["SmokeFailure", "run_smoke", "smoke_portfolio"]
+
+logger = logging.getLogger(__name__)
+
+#: Pinned-seed micro netlist every smoke race runs on.  Large enough
+#: that iteration compute dominates process/poll overhead — the
+#: wall-clock assertion below is meaningless on toy sizes.
+SMOKE_WORKLOAD = {"kind": "synthetic", "num_cells": 600, "seed": 7}
+
+#: Knobs every honest variant shares: modest budget, aggressive
+#: Coloquinte-style finish line so they exit via ``gap_closed``.
+_HONEST = {"max_iterations": 60, "gap_tolerance": 0.15}
+
+#: The rigged loser: the λ-doubling ablation, with the gap/Π exits
+#: pinned shut so only the arbiter (or its iteration budget) ends it.
+_LOSER = {
+    "lambda_mode": "double",
+    "max_iterations": 150,
+    "gap_tolerance": None,
+    "gap_tol": 1e-6,
+    "pi_tol_fraction": 1e-9,
+}
+
+
+class SmokeFailure(AssertionError):
+    """One smoke assertion failed (the message says which)."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def smoke_portfolio() -> list[VariantSpec]:
+    """The pinned four-variant portfolio the smoke race runs."""
+    return build_portfolio(
+        seeds=(5,),
+        efforts=(3, 5),
+        variants={"loser": _LOSER},
+        base_overrides=_HONEST,
+    )
+
+
+def _standalone(spec: VariantSpec, netlist) -> tuple[Any, float]:
+    """Run one variant in-process; returns (result, wall seconds)."""
+    config = spec.config(ComPLxConfig())
+    placer = ComPLxPlacer(netlist, config)
+    begin = time.monotonic()
+    result = placer.place()
+    return result, time.monotonic() - begin
+
+
+def _assert_winner_bit_identical(result: RaceResult, netlist) -> None:
+    winner = result.outcomes[result.winner or ""]
+    _check(winner.placement is not None,
+           "winner outcome carries no placement")
+    rerun, _ = _standalone(winner.spec, netlist)
+    assert winner.placement is not None
+    same_x = np.array_equal(
+        np.asarray(winner.placement["x"], dtype=np.float64), rerun.upper.x)
+    same_y = np.array_equal(
+        np.asarray(winner.placement["y"], dtype=np.float64), rerun.upper.y)
+    _check(same_x and same_y,
+           f"winner {result.winner} placement is not bit-identical to "
+           "the standalone rerun of the same config")
+    _check(winner.stop_reason == rerun.history.stop_reason,
+           f"winner stop reason {winner.stop_reason!r} != standalone "
+           f"{rerun.history.stop_reason!r}")
+
+
+def run_smoke(registry_root: str = "race-smoke-runs") -> int:
+    """The smoke scenario; returns 0 so ``__main__`` can exit with it."""
+    portfolio = smoke_portfolio()
+    _check(len(portfolio) >= 5,
+           f"smoke portfolio shrank to {len(portfolio)} variants")
+    netlist = build_netlist(SMOKE_WORKLOAD)
+
+    # gap_factor=1e9 parks the stalled-gap rule so the kill path under
+    # test is the doctor's D1 evidence, deterministically.
+    controller = RaceController(
+        portfolio,
+        netlist=netlist,
+        workload=SMOKE_WORKLOAD,
+        arbiter=RaceArbiter(gap_factor=1e9),
+        tuner=AutoTuner(budget=1),
+        checkpoint_every=1,
+        max_workers=len(portfolio) + 1,
+    )
+    result = controller.execute()
+    logger.info("race finished in %.2fs: winner=%s kills=%d tuned=%s",
+                result.wall_seconds, result.winner,
+                len(result.decisions), result.tuned)
+
+    # 1. the loser was early-killed on doctor evidence, mid-flight.
+    _check(len(result.decisions) >= 1, "no variant was early-killed")
+    loser = result.outcomes.get("loser")
+    _check(loser is not None and loser.status == "killed",
+           f"rigged loser was not killed "
+           f"(status: {loser.status if loser else 'missing'})")
+    assert loser is not None and loser.kill is not None
+    _check(loser.kill.rule == "doctor:lambda-cap-saturation",
+           f"loser killed by {loser.kill.rule!r}, expected the doctor's "
+           "lambda-cap-saturation evidence")
+    _check(loser.iterations < _LOSER["max_iterations"],
+           "loser ran to its iteration budget — not killed mid-flight")
+
+    # 2. the tuner re-queued a corrected copy that raced to completion.
+    _check(result.tuned == ["loser-t1"],
+           f"expected one tuned re-entry 'loser-t1', got {result.tuned}")
+    tuned = result.outcomes["loser-t1"]
+    _check(tuned.spec.overrides.get("lambda_mode") == "complx",
+           "tuned variant did not correct the λ schedule mode")
+    _check(tuned.status in ("finished", "killed"),
+           f"tuned variant ended {tuned.status!r}")
+
+    # 3. the winner finished, and is bit-identical standalone.
+    _check(result.winner is not None, "race produced no winner")
+    _check(result.outcomes[result.winner or ""].status == "finished",
+           "winner is not a finished variant")
+    _assert_winner_bit_identical(result, netlist)
+    logger.info("winner %s is bit-identical to its standalone rerun",
+                result.winner)
+
+    # 4. racing beat running the portfolio back to back.  Concurrency
+    # is the whole mechanism, so this only holds with >= 2 cores; on a
+    # single-core host the comparison is reported but not enforced.
+    standalone_total = 0.0
+    for spec in portfolio:
+        _, seconds = _standalone(spec, netlist)
+        standalone_total += seconds
+    if (os.cpu_count() or 1) >= 2:
+        _check(result.wall_seconds < standalone_total,
+               f"race took {result.wall_seconds:.2f}s, standalone sum "
+               f"is {standalone_total:.2f}s — racing did not pay")
+        logger.info("race %.2fs vs standalone sum %.2fs",
+                    result.wall_seconds, standalone_total)
+    else:
+        logger.warning(
+            "single-core host: wall-clock assertion skipped "
+            "(race %.2fs vs standalone sum %.2fs)",
+            result.wall_seconds, standalone_total)
+
+    # 5. the full portfolio landed in the registry, winner justified.
+    summary = promote(result, registry_root, name="race-smoke")
+    _check(set(summary["run_dirs"]) == set(result.outcomes),
+           "promotion did not archive every variant")
+    winner_dir = summary["winner_run_dir"]
+    _check(bool(winner_dir) and os.path.exists(
+        os.path.join(winner_dir, "promotion.md")),
+           "winner run dir is missing promotion.md")
+    _check(os.path.exists(os.path.join(winner_dir, "promotion.json")),
+           "winner run dir is missing promotion.json")
+    rivals = summary["justification"]["rivals"]
+    _check("loser" in rivals,
+           "promotion justification does not diff the killed loser")
+    logger.info("promoted winner archived at %s", winner_dir)
+
+    logger.info("race smoke passed")
+    return 0

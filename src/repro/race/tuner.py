@@ -1,0 +1,103 @@
+"""Auto-tuner: turn a kill verdict into a corrected re-entry.
+
+When the arbiter kills a variant on doctor evidence, the tuner maps the
+diagnosed pathology to a concrete config delta — the same knob
+adjustments the doctor's textual suggestions describe — and re-queues a
+tuned copy, within a per-race budget.  Tuned variants carry their
+lineage (``parent``, ``origin="tuned"``) and are deduplicated against
+every knob set already raced, so the tuner can never spin on a config
+it has already tried.
+
+All of it is deterministic: the delta depends only on the kill rule and
+the killed variant's effective knobs, and tuned ids are assigned in
+kill order (``<parent>-t<n>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.config import ComPLxConfig
+from .arbiter import KillDecision
+from .portfolio import VariantSpec
+
+__all__ = ["AutoTuner"]
+
+
+@dataclass
+class AutoTuner:
+    """Map kill rules to config deltas, within a budget.
+
+    ``budget`` caps how many tuned variants one race may enqueue in
+    total; the controller asks for at most one per kill.
+    """
+
+    budget: int = 2
+    _spent: int = field(default=0, init=False, repr=False)
+    _seen: set[tuple] = field(default_factory=set, init=False, repr=False)
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    def register(self, spec: VariantSpec) -> None:
+        """Record a knob set already in the race (dedupe target)."""
+        self._seen.add(spec.dedupe_key())
+
+    def propose(self, spec: VariantSpec, decision: KillDecision,
+                base: ComPLxConfig) -> VariantSpec | None:
+        """A tuned replacement for a killed variant, or None.
+
+        None when the budget is spent, the rule has no known fix, or
+        the fixed knob set was already raced.
+        """
+        if self._spent >= self.budget:
+            return None
+        delta = self._delta_for(decision.rule, spec.config(base))
+        if not delta:
+            return None
+        tuned = VariantSpec(
+            variant_id=f"{spec.variant_id}-t{self._spent + 1}",
+            overrides={**spec.effective_overrides(), **delta},
+            effort=None,  # preset already folded into the overrides
+            parent=spec.variant_id,
+            origin="tuned",
+        )
+        key = tuned.dedupe_key()
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        self._spent += 1
+        return tuned
+
+    # ------------------------------------------------------------------
+    def _delta_for(self, rule: str,
+                   current: ComPLxConfig) -> dict[str, Any]:
+        """The config delta that addresses one kill rule.
+
+        Mirrors the doctor's suggestions: D1 (λ cap saturation) slows
+        the multiplier schedule, D2 plateau refines the assignment more
+        often, D2 oscillation damps the growth cap, a stalled gap gets
+        a gentler λ push plus tighter CG solves.
+        """
+        if rule == "doctor:lambda-cap-saturation":
+            delta: dict[str, Any] = {
+                "lambda_h_factor": round(current.lambda_h_factor * 0.5, 12),
+            }
+            if current.lambda_mode != "complx":
+                delta["lambda_mode"] = "complx"
+            return delta
+        if rule == "doctor:pi-plateau":
+            return {"refine_every": max(1, current.refine_every // 2),
+                    "init_sweeps": current.init_sweeps + 1}
+        if rule == "doctor:pi-oscillation":
+            return {"lambda_growth_cap":
+                    round(max(1.0 + (current.lambda_growth_cap - 1.0) * 0.5,
+                              1.1), 12)}
+        if rule == "stalled-gap":
+            return {"lambda_h_factor": round(current.lambda_h_factor * 0.7, 12),
+                    "cg_tol": current.cg_tol * 0.1}
+        # "dominated" and unknown rules: the config is simply worse,
+        # there is nothing principled to fix.
+        return {}

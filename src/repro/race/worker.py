@@ -1,0 +1,157 @@
+"""The race worker: one variant's global placement in one process.
+
+Mirrors the :mod:`repro.serve` worker protocol (crash isolation, hard
+``os._exit`` on injected crashes, deterministic errors over the pipe)
+but streams *checkpoint series* instead of progress events, because the
+parent-side arbiter consumes numbers, not prose:
+
+* ``("checkpoint", {...})`` — incremental per-iteration records since
+  the previous checkpoint (every ``checkpoint_every`` iterations),
+* ``("result", {...})`` — terminal payload: tail records, stop reason,
+  the feasible upper placement, and the full metrics registry,
+* ``("error", {...})`` — deterministic failure; the controller retries
+  only crashes (abnormal exits), never these.
+
+Heavy shared inputs — the netlist and one prebuilt
+:class:`~repro.models.assembly.AssemblyPlan` — are published by the
+parent via :func:`share_prebuilt` *before* forking, so every variant
+inherits them copy-on-write instead of rebuilding per process.  Under
+the ``spawn`` start method the globals are absent and the worker falls
+back to rebuilding from the workload descriptor; results are identical
+either way because plan construction is deterministic.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Any
+
+from ..core import ComPLxConfig, ComPLxPlacer
+from ..core.history import RunHistory
+from ..faults import SimulatedCrash
+from ..models import hpwl
+from ..models.assembly import AssemblyPlan, PLANNABLE_MODELS
+from ..netlist import Netlist
+from ..serve.worker import (CRASH_EXIT_CODE, _install_injected_faults,
+                            build_netlist)
+from .arbiter import TRACKED_SERIES
+from .portfolio import VariantSpec
+
+__all__ = ["clear_shared", "race_worker_entry", "run_variant",
+           "share_prebuilt"]
+
+logger = logging.getLogger(__name__)
+
+# Parent-published shared inputs, inherited by fork children.  Keyed so
+# a stale publication for a different netlist is never trusted.
+_SHARED: dict[str, Any] = {}
+
+
+def share_prebuilt(netlist: Netlist,
+                   plan: AssemblyPlan | None) -> None:
+    """Publish the prebuilt netlist/plan for fork children to inherit."""
+    _SHARED["netlist"] = netlist
+    _SHARED["netlist_name"] = netlist.name
+    _SHARED["plan"] = plan
+
+
+def clear_shared() -> None:
+    _SHARED.clear()
+
+
+def _materialize(payload: dict[str, Any],
+                 config: ComPLxConfig) -> tuple[Netlist, AssemblyPlan | None]:
+    """The (netlist, adoptable plan) pair for this variant.
+
+    Prefers the parent's pre-fork publication; a plan is only adoptable
+    when its (model, eps) matches this variant's config — variants that
+    override the net model or eps quietly build their own.
+    """
+    netlist = _SHARED.get("netlist")
+    if netlist is None:
+        netlist = build_netlist(payload["workload"],
+                                payload.get("aux_root"))
+    plan = _SHARED.get("plan")
+    if plan is not None and config.net_model in PLANNABLE_MODELS:
+        probe = ComPLxPlacer(netlist, config)
+        try:
+            probe.adopt_plan(plan)
+        except ValueError:
+            plan = None
+    else:
+        plan = None
+    return netlist, plan
+
+
+def run_variant(payload: dict[str, Any], conn) -> dict[str, Any]:
+    """Run one variant end to end, streaming checkpoints over ``conn``."""
+    spec = VariantSpec(**payload["variant"])
+    base = ComPLxConfig(**payload.get("base_overrides", {}))
+    config = spec.config(base)
+    checkpoint_every = max(int(payload.get("checkpoint_every", 1)), 1)
+
+    netlist, plan = _materialize(payload, config)
+    placer = ComPLxPlacer(netlist, config)
+    if plan is not None:
+        placer.adopt_plan(plan)
+
+    sent = 0          # per-iteration records already streamed
+    ordinal = 0       # checkpoint counter
+
+    def slice_records(history: RunHistory,
+                      upto: int) -> dict[str, Any]:
+        records = history.records[sent:upto]
+        return {
+            "iterations": [r.iteration for r in records],
+            "series": {name: [float(getattr(r, name)) for r in records]
+                       for name in TRACKED_SERIES},
+        }
+
+    def observer(k: int, history: RunHistory) -> None:
+        nonlocal sent, ordinal
+        if len(history.records) - sent < checkpoint_every:
+            return
+        ordinal += 1
+        body = slice_records(history, len(history.records))
+        body.update(variant_id=spec.variant_id, ordinal=ordinal)
+        conn.send(("checkpoint", body))
+        sent += len(body["iterations"])
+
+    placer.observer = observer
+    result = placer.place()
+
+    tail = slice_records(result.history, len(result.history.records))
+    return {
+        "variant_id": spec.variant_id,
+        "stop_reason": result.history.stop_reason,
+        "iterations": result.history.iterations,
+        "hpwl_upper": float(hpwl(netlist, result.upper)),
+        "tail": tail,
+        "metrics": result.metrics.to_dict(),
+        "placement": {"x": [float(v) for v in result.upper.x],
+                      "y": [float(v) for v in result.upper.y]},
+        "netlist": {"name": netlist.name, "cells": netlist.num_cells,
+                    "nets": netlist.num_nets},
+    }
+
+
+def race_worker_entry(payload: dict[str, Any], conn) -> None:
+    """Process target: run one variant, stream messages, exit."""
+    try:
+        _install_injected_faults(payload.get("_inject"))
+        body = run_variant(payload, conn)
+        conn.send(("result", body))
+        conn.close()
+    except SimulatedCrash:
+        # Mirror a SIGKILL: no cleanup, no goodbye on the pipe.
+        os._exit(CRASH_EXIT_CODE)
+    except Exception as exc:  # deterministic failure -> report, no retry
+        logger.exception("race variant %s failed in worker",
+                         payload.get("variant", {}).get("variant_id"))
+        try:
+            conn.send(("error", {"type": type(exc).__name__,
+                                 "message": str(exc)}))
+            conn.close()
+        except OSError:
+            pass

@@ -15,6 +15,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.effort import effort_preset
+from .queue import BACKGROUND_PRIORITY
+
 __all__ = [
     "CONFIG_OVERRIDES",
     "JobRecord",
@@ -49,9 +52,16 @@ CONFIG_OVERRIDES = {
     "net_model": str,
     "projection_method": str,
     "gap_tol": float,
+    "gap_tolerance": float,
     "pi_tol_fraction": float,
     "lambda_init_ratio": float,
     "lambda_growth_cap": float,
+    "lambda_h_factor": float,
+    "lambda_mode": str,
+    "refine_every": int,
+    "cg_tol": float,
+    "cg_max_iter": int,
+    "init_sweeps": int,
 }
 
 _WORKLOAD_KINDS = ("suite", "synthetic", "aux")
@@ -89,6 +99,9 @@ class JobSpec:
     deadline_seconds: float | None
     max_retries: int | None
     include_placement: bool
+    #: Coloquinte-style effort preset (1..9); the worker expands it into
+    #: config knobs, with explicit ``config`` entries winning.
+    effort: int | None = None
 
     @classmethod
     def from_payload(
@@ -105,7 +118,7 @@ class JobSpec:
         _require(isinstance(payload, dict), "payload must be a JSON object")
         known = {"tenant", "name", "priority", "workload", "config",
                  "legalizer", "detailed", "deadline_seconds",
-                 "max_retries", "include_placement"}
+                 "max_retries", "include_placement", "effort"}
         unknown = sorted(set(payload) - known)
         _require(not unknown, f"unknown field(s): {', '.join(unknown)}")
 
@@ -117,8 +130,10 @@ class JobSpec:
                  "name must match [A-Za-z0-9._-]{1,64}")
         priority = payload.get("priority", 5)
         _require(isinstance(priority, int) and not isinstance(priority, bool)
-                 and 0 <= priority <= 9,
-                 "priority must be an integer in [0, 9] (0 = most urgent)")
+                 and 0 <= priority <= 2 * BACKGROUND_PRIORITY - 1,
+                 f"priority must be an integer in "
+                 f"[0, {2 * BACKGROUND_PRIORITY - 1}] (0 = most urgent; "
+                 f">= {BACKGROUND_PRIORITY} is the background band)")
 
         workload = payload.get("workload")
         _require(isinstance(workload, dict), "workload object is required")
@@ -154,10 +169,23 @@ class JobSpec:
                     f"config.{key} must be a {caster.__name__}"
                 ) from None
 
-        legalizer = payload.get("legalizer", "abacus")
+        effort = payload.get("effort")
+        if effort is not None:
+            _require(isinstance(effort, int)
+                     and not isinstance(effort, bool) and 1 <= effort <= 9,
+                     "effort must be an integer in [1, 9]")
+        preset = effort_preset(effort) if effort is not None else None
+
+        # Absent legalizer/detailed fall back to the effort preset's
+        # flow choices; explicit values always win.
+        legalizer = payload.get("legalizer")
+        if legalizer is None:
+            legalizer = preset.legalizer if preset is not None else "abacus"
         _require(legalizer in ("abacus", "tetris", "none"),
                  "legalizer must be abacus, tetris or none")
-        detailed = payload.get("detailed", False)
+        detailed = payload.get("detailed")
+        if detailed is None:
+            detailed = preset.detailed if preset is not None else False
         _require(isinstance(detailed, bool), "detailed must be a boolean")
 
         deadline = payload.get("deadline_seconds")
@@ -178,7 +206,7 @@ class JobSpec:
             workload=dict(workload), config=clean_config,
             legalizer=legalizer, detailed=detailed,
             deadline_seconds=deadline, max_retries=retries,
-            include_placement=include_placement,
+            include_placement=include_placement, effort=effort,
         )
 
 

@@ -22,7 +22,15 @@ import threading
 import time
 from typing import Any
 
-__all__ = ["BoundedPriorityQueue", "QueueFull"]
+__all__ = ["BACKGROUND_PRIORITY", "BoundedPriorityQueue", "QueueFull"]
+
+#: Priorities at or above this value form the *background band*:
+#: portfolio-racing variants and other batch work submit here.  The
+#: dispatcher only accepts background entries while at least one worker
+#: slot stays free for interactive jobs, so racing never starves users.
+#: Interactive priorities (< this value) always sort ahead of background
+#: ones in the heap, so the band check reduces to inspecting the top.
+BACKGROUND_PRIORITY = 10
 
 
 class QueueFull(Exception):
@@ -69,20 +77,30 @@ class BoundedPriorityQueue:
             entry = [priority, self._seq, job_id, item, time.monotonic()]
             self._live[job_id] = entry
             heapq.heappush(self._heap, entry)
-            self._lock.notify()
+            # notify_all: a waiter restricted to the interactive band may
+            # decline a background entry, so every waiter must recheck.
+            self._lock.notify_all()
             return len(self._live)
 
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
-    def get(self, timeout: float | None = None) -> Any | None:
-        """Pop the best entry, blocking up to ``timeout``; None on idle."""
+    def get(self, timeout: float | None = None, *,
+            background_ok: bool = True) -> Any | None:
+        """Pop the best entry, blocking up to ``timeout``; None on idle.
+
+        ``background_ok=False`` restricts the pop to the interactive
+        band (priority < :data:`BACKGROUND_PRIORITY`); interactive
+        entries always sort ahead of background ones, so inspecting the
+        heap top suffices.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
                 while self._heap and self._heap[0][3] is None:
                     heapq.heappop(self._heap)  # tombstoned (removed) entry
-                if self._heap:
+                if self._heap and (background_ok
+                                   or self._heap[0][0] < BACKGROUND_PRIORITY):
                     entry = heapq.heappop(self._heap)
                     del self._live[entry[2]]
                     return entry[3]
@@ -126,6 +144,12 @@ class BoundedPriorityQueue:
     def depth(self) -> int:
         with self._lock:
             return len(self._live)
+
+    def interactive_depth(self) -> int:
+        """Queued entries in the interactive band only."""
+        with self._lock:
+            return sum(1 for entry in self._live.values()
+                       if entry[0] < BACKGROUND_PRIORITY)
 
     def oldest_wait_seconds(self) -> float:
         """Age of the oldest still-queued entry (0 when empty)."""

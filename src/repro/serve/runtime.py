@@ -35,7 +35,7 @@ from ..runs import RunRegistry
 from ..telemetry import MetricsRegistry
 from .config import DegradationTier, ServeConfig
 from .jobs import JobRecord, JobSpec, JobState, JobValidationError
-from .queue import BoundedPriorityQueue, QueueFull
+from .queue import BACKGROUND_PRIORITY, BoundedPriorityQueue, QueueFull
 from .tenants import RateLimited, TenantTable
 from .worker import worker_entry
 
@@ -132,6 +132,11 @@ class JobRuntime:
         self._draining = False
         self._stopped = threading.Event()
         self._slots = threading.Semaphore(self.config.workers)
+        #: Background-band jobs (priority >= BACKGROUND_PRIORITY) may
+        #: occupy at most this many slots, so at least one worker stays
+        #: free for interactive traffic whenever workers > 1.
+        self._background_limit = max(self.config.workers - 1, 1)
+        self._background_running = 0
         self._monitors: list[threading.Thread] = []
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatch", daemon=True)
@@ -317,7 +322,11 @@ class JobRuntime:
         while not self._stopped.is_set():
             if not self._slots.acquire(timeout=0.1):
                 continue
-            record = self.queue.get(timeout=0.1)
+            with self._lock:
+                background_ok = \
+                    self._background_running < self._background_limit
+            record = self.queue.get(timeout=0.1,
+                                    background_ok=background_ok)
             if record is None:
                 self._slots.release()
                 continue
@@ -327,6 +336,10 @@ class JobRuntime:
                 self.stats.inc("cancelled")
                 self._slots.release()
                 continue
+            if record.spec.priority >= BACKGROUND_PRIORITY:
+                with self._lock:
+                    self._background_running += 1
+                self.stats.inc("background_dispatched")
             monitor = threading.Thread(
                 target=self._run_job, args=(record,),
                 name=f"serve-job-{record.spec.job_id}", daemon=True)
@@ -397,6 +410,9 @@ class JobRuntime:
         finally:
             self.queue.note_service_seconds(time.monotonic() - started)
             self.stats.running_delta(-1)
+            if spec.priority >= BACKGROUND_PRIORITY:
+                with self._lock:
+                    self._background_running -= 1
             self._slots.release()
 
     def _spawn_attempt(self, record: JobRecord, tier: DegradationTier):

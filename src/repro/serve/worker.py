@@ -98,7 +98,12 @@ def _install_injected_faults(inject: dict[str, Any] | None) -> None:
 
 
 def _make_config(spec: JobSpec, tier: dict[str, Any]) -> ComPLxConfig:
-    knobs = dict(spec.config)
+    knobs: dict[str, Any] = {}
+    if spec.effort is not None:
+        from ..core.effort import effort_overrides
+        knobs.update(effort_overrides(spec.effort))
+    # Explicit config knobs win over the effort preset.
+    knobs.update(spec.config)
     factor = float(tier.get("max_iterations_factor", 1.0))
     if factor < 1.0:
         base = int(knobs.get("max_iterations",

@@ -362,20 +362,20 @@ class BroadExceptRule(Rule):
     Supervisor and its typed retry policies.  Flow code must catch the
     specific exceptions it can actually handle.  Only
     :mod:`repro.resilience` (the recovery layer, where catching
-    everything is the point) and :mod:`repro.serve` (the crash
-    barrier: a worker must report *any* deterministic failure over the
-    pipe rather than die silently) are exempt.
+    everything is the point), :mod:`repro.serve` and :mod:`repro.race`
+    (crash barriers: a worker must report *any* deterministic failure
+    over the pipe rather than die silently) are exempt.
     """
 
     id = "R7"
     name = "broad-except"
     description = ("except Exception / bare except outside "
-                   "repro.resilience and repro.serve")
+                   "repro.resilience, repro.serve and repro.race")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         parts = ctx.module.split(".")
         tail = parts[1:] if parts and parts[0] == "repro" else parts
-        if tail and tail[0] in ("resilience", "serve"):
+        if tail and tail[0] in ("resilience", "serve", "race"):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):

@@ -68,6 +68,27 @@ class TestPlacerCLI:
         assert code == 0
         assert "legal: True" in capsys.readouterr().out
 
+    def test_place_effort_preset(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        gen_dir = str(tmp_path / "gen")
+        cli_main(["generate", "adaptec1_s", "--scale", "0.03",
+                  "--out", gen_dir])
+        code = cli_main(["place", f"{gen_dir}/adaptec1_s.aux",
+                         "--effort", "1", "--out", str(tmp_path / "p")])
+        assert code == 0
+        assert "legal: True" in capsys.readouterr().out
+
+    def test_race_subcommand_dispatches(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["race", "--cells", "60", "--no-promote",
+                         "--set", "max_iterations=20",
+                         "--set", "gap_tolerance=0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "rounds=" in out
+
     def test_unknown_placer_rejected(self, tmp_path):
         from repro.cli import main as cli_main
 

@@ -1,0 +1,81 @@
+"""Effort presets: table sanity, monotonicity, config application."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import ComPLxConfig
+from repro.core.convergence import StoppingRule
+from repro.core.effort import (
+    EFFORT_LEVELS,
+    apply_effort,
+    effort_overrides,
+    effort_preset,
+)
+
+
+class TestEffortTable:
+    def test_levels_are_one_through_nine(self):
+        assert EFFORT_LEVELS == tuple(range(1, 10))
+
+    def test_table_is_monotone(self):
+        """Budgets never shrink, tolerances never loosen, as effort rises."""
+        rows = [effort_preset(e) for e in EFFORT_LEVELS]
+        for lo, hi in zip(rows, rows[1:]):
+            assert hi.max_iterations >= lo.max_iterations
+            assert hi.cg_max_iter >= lo.cg_max_iter
+            assert hi.init_sweeps >= lo.init_sweeps
+            assert hi.refine_every >= lo.refine_every
+            assert hi.gap_tolerance <= lo.gap_tolerance
+            assert hi.cg_tol <= lo.cg_tol
+
+    @pytest.mark.parametrize("bad", [0, 10, -3, True, "high", 4.5, None])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            effort_preset(bad)
+
+    def test_overrides_are_config_fields(self):
+        field_names = {f.name for f in dataclasses.fields(ComPLxConfig)}
+        for effort in EFFORT_LEVELS:
+            knobs = effort_overrides(effort)
+            assert set(knobs) <= field_names
+            # flow-level choices never leak into the config overrides
+            assert "legalizer" not in knobs
+            assert "detailed" not in knobs
+
+    def test_apply_effort(self):
+        config = apply_effort(ComPLxConfig(), 3)
+        preset = effort_preset(3)
+        assert config.max_iterations == preset.max_iterations
+        assert config.gap_tolerance == preset.gap_tolerance
+        assert config.cg_tol == preset.cg_tol
+
+    def test_default_config_has_no_gap_tolerance(self):
+        """The paper's default never takes the Coloquinte early exit."""
+        assert ComPLxConfig().gap_tolerance is None
+
+
+class TestGapClosedStop:
+    def test_gap_tolerance_fires_before_gap_tol(self):
+        rule = StoppingRule(gap_tol=0.01, gap_tolerance=0.3,
+                            max_iterations=100)
+        rule.note_initial_pi(50.0)
+        # gap = (100 - 80) / 100 = 0.2 <= 0.3 but > 0.01
+        stop, reason = rule.should_stop(5, phi_lb=80.0, phi_ub=100.0,
+                                        pi=40.0)
+        assert stop and reason == "gap_closed"
+
+    def test_without_gap_tolerance_same_gap_does_not_stop(self):
+        rule = StoppingRule(gap_tol=0.01, max_iterations=100)
+        rule.note_initial_pi(50.0)
+        stop, _ = rule.should_stop(5, phi_lb=80.0, phi_ub=100.0, pi=40.0)
+        assert not stop
+
+    def test_tight_gap_still_reports_duality_gap(self):
+        rule = StoppingRule(gap_tol=0.25, gap_tolerance=0.05,
+                            max_iterations=100)
+        rule.note_initial_pi(50.0)
+        # gap 0.2: above gap_tolerance, below the paper's gap_tol
+        stop, reason = rule.should_stop(5, phi_lb=80.0, phi_ub=100.0,
+                                        pi=40.0)
+        assert stop and reason == "duality_gap"

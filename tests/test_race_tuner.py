@@ -1,0 +1,113 @@
+"""Auto-tuner: rule→delta mapping, budget, dedupe, lineage."""
+
+from repro.core.config import ComPLxConfig
+from repro.race.arbiter import KillDecision
+from repro.race.portfolio import VariantSpec
+from repro.race.tuner import AutoTuner
+
+
+def kill(vid, rule, round_no=12):
+    return KillDecision(variant_id=vid, rule=rule, round=round_no,
+                        iteration=round_no - 1, reason="test")
+
+
+BASE = ComPLxConfig()
+
+
+class TestDeltas:
+    def test_lambda_cap_saturation_slows_the_schedule(self):
+        spec = VariantSpec("loser", overrides={"lambda_mode": "double"})
+        tuned = AutoTuner().propose(
+            spec, kill("loser", "doctor:lambda-cap-saturation"), BASE)
+        assert tuned is not None
+        assert tuned.overrides["lambda_mode"] == "complx"
+        assert tuned.overrides["lambda_h_factor"] == \
+            BASE.lambda_h_factor * 0.5
+        assert tuned.variant_id == "loser-t1"
+        assert tuned.parent == "loser" and tuned.origin == "tuned"
+
+    def test_complx_mode_not_re_set(self):
+        spec = VariantSpec("v")  # base already runs mode complx
+        tuned = AutoTuner().propose(
+            spec, kill("v", "doctor:lambda-cap-saturation"), BASE)
+        assert tuned is not None
+        assert "lambda_mode" not in tuned.overrides
+
+    def test_pi_plateau_refines_more_often(self):
+        spec = VariantSpec("v")
+        tuned = AutoTuner().propose(
+            spec, kill("v", "doctor:pi-plateau"), BASE)
+        assert tuned is not None
+        assert tuned.overrides["refine_every"] == \
+            max(1, BASE.refine_every // 2)
+        assert tuned.overrides["init_sweeps"] == BASE.init_sweeps + 1
+
+    def test_pi_oscillation_damps_the_cap(self):
+        spec = VariantSpec("v")
+        tuned = AutoTuner().propose(
+            spec, kill("v", "doctor:pi-oscillation"), BASE)
+        assert tuned is not None
+        cap = tuned.overrides["lambda_growth_cap"]
+        assert 1.1 <= cap < BASE.lambda_growth_cap
+
+    def test_stalled_gap_gentler_push_tighter_solves(self):
+        spec = VariantSpec("v")
+        tuned = AutoTuner().propose(spec, kill("v", "stalled-gap"), BASE)
+        assert tuned is not None
+        assert tuned.overrides["lambda_h_factor"] < BASE.lambda_h_factor
+        assert tuned.overrides["cg_tol"] < BASE.cg_tol
+
+    def test_dominated_has_no_fix(self):
+        spec = VariantSpec("v")
+        assert AutoTuner().propose(spec, kill("v", "dominated"), BASE) \
+            is None
+
+    def test_effort_preset_is_folded_into_the_tuned_copy(self):
+        spec = VariantSpec("e3", effort=3)
+        tuned = AutoTuner().propose(
+            spec, kill("e3", "doctor:pi-plateau"), BASE)
+        assert tuned is not None
+        assert tuned.effort is None
+        # preset knobs survive as explicit overrides
+        assert tuned.overrides["max_iterations"] == \
+            spec.effective_overrides()["max_iterations"]
+
+
+class TestBudgetAndDedupe:
+    def test_budget_caps_total_proposals(self):
+        tuner = AutoTuner(budget=1)
+        first = tuner.propose(VariantSpec("a"),
+                              kill("a", "doctor:pi-plateau"), BASE)
+        assert first is not None and tuner.spent == 1
+        second = tuner.propose(
+            VariantSpec("b", overrides={"gamma": 0.9}),
+            kill("b", "doctor:pi-plateau"), BASE)
+        assert second is None and tuner.spent == 1
+
+    def test_tuned_ids_count_up_in_kill_order(self):
+        tuner = AutoTuner(budget=2)
+        t1 = tuner.propose(VariantSpec("a"),
+                           kill("a", "doctor:pi-plateau"), BASE)
+        t2 = tuner.propose(VariantSpec("b", overrides={"gamma": 0.9}),
+                           kill("b", "stalled-gap"), BASE)
+        assert (t1.variant_id, t2.variant_id) == ("a-t1", "b-t2")
+
+    def test_already_raced_knob_set_not_reproposed(self):
+        tuner = AutoTuner(budget=5)
+        spec = VariantSpec("v")
+        fixed = VariantSpec("seen", overrides={
+            "refine_every": max(1, BASE.refine_every // 2),
+            "init_sweeps": BASE.init_sweeps + 1,
+        })
+        tuner.register(fixed)  # the fix is already in the race
+        assert tuner.propose(spec, kill("v", "doctor:pi-plateau"), BASE) \
+            is None
+        assert tuner.spent == 0
+
+    def test_same_kill_twice_proposes_once(self):
+        tuner = AutoTuner(budget=5)
+        spec = VariantSpec("v")
+        assert tuner.propose(spec, kill("v", "doctor:pi-plateau"),
+                             BASE) is not None
+        assert tuner.propose(spec, kill("v", "doctor:pi-plateau"),
+                             BASE) is None

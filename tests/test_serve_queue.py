@@ -6,7 +6,8 @@ import pytest
 
 from repro.serve.config import DEFAULT_TIERS, DegradationTier, ServeConfig
 from repro.serve.jobs import JobRecord, JobSpec, JobState, JobValidationError
-from repro.serve.queue import BoundedPriorityQueue, QueueFull
+from repro.serve.queue import (BACKGROUND_PRIORITY, BoundedPriorityQueue,
+                               QueueFull)
 from repro.serve.tenants import RateLimited, TenantTable
 
 
@@ -79,6 +80,39 @@ class TestBoundedPriorityQueue:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             BoundedPriorityQueue(capacity=0)
+
+
+class TestPriorityBands:
+    def test_interactive_always_beats_background(self):
+        q = BoundedPriorityQueue(capacity=8)
+        q.put("bg", BACKGROUND_PRIORITY, "bg")
+        q.put("fg", BACKGROUND_PRIORITY - 1, "fg")
+        assert q.get(0.1) == "fg"
+        assert q.get(0.1) == "bg"
+
+    def test_interactive_only_get_skips_background(self):
+        q = BoundedPriorityQueue(capacity=8)
+        q.put("bg", BACKGROUND_PRIORITY, "bg")
+        assert q.get(0.05, background_ok=False) is None
+        q.put("fg", 0, "fg")
+        assert q.get(0.1, background_ok=False) == "fg"
+        # the background entry is still queued, not lost
+        assert q.get(0.1) == "bg"
+
+    def test_interactive_depth_counts_only_the_interactive_band(self):
+        q = BoundedPriorityQueue(capacity=8)
+        q.put("bg1", BACKGROUND_PRIORITY, "bg1")
+        q.put("bg2", BACKGROUND_PRIORITY + 5, "bg2")
+        q.put("fg", 3, "fg")
+        assert q.depth() == 3
+        assert q.interactive_depth() == 1
+
+    def test_closed_queue_still_drains_background(self):
+        q = BoundedPriorityQueue(capacity=8)
+        q.put("bg", BACKGROUND_PRIORITY, "bg")
+        q.close()
+        assert q.get(0.05, background_ok=False) is None
+        assert q.get(0.1) == "bg"
 
 
 class TestTenantTable:
@@ -181,8 +215,11 @@ class TestJobSpec:
         ({"bogus": 1}, "unknown field"),
         ({"tenant": "no spaces"}, "tenant"),
         ({"name": ""}, "name"),
-        ({"priority": 12}, "priority"),
+        ({"priority": 42}, "priority"),
         ({"priority": True}, "priority"),
+        ({"effort": 0}, "effort"),
+        ({"effort": 10}, "effort"),
+        ({"effort": "high"}, "effort"),
         ({"workload": {"kind": "starlink"}}, "workload.kind"),
         ({"workload": {"kind": "synthetic"}}, "num_cells"),
         ({"workload": {"kind": "suite"}}, "workload.suite"),
