@@ -57,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run-registry root for winner promotion")
     parser.add_argument("--no-promote", action="store_true",
                         help="skip archiving the portfolio")
+    parser.add_argument("--trace", action="store_true",
+                        help="stream worker telemetry frames and merge "
+                             "one Chrome trace for the whole race")
     parser.add_argument("--json", action="store_true",
                         help="print the race result as JSON")
     parser.add_argument("--smoke", action="store_true",
@@ -88,7 +91,8 @@ def main(argv: list[str] | None = None) -> int:
         from .smoke import SmokeFailure, run_smoke
 
         try:
-            return run_smoke(registry_root=args.registry_root)
+            return run_smoke(registry_root=args.registry_root,
+                             trace=args.trace)
         except SmokeFailure as exc:
             print(f"race smoke FAILED: {exc}", file=sys.stderr)
             return 1
@@ -116,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         tuner=AutoTuner(budget=args.tune_budget),
         checkpoint_every=args.checkpoint_every,
         max_workers=args.max_workers,
+        trace=args.trace,
     )
     result = controller.execute()
 

@@ -35,6 +35,7 @@ from ..core import ComPLxConfig
 from ..models.assembly import PLANNABLE_MODELS, AssemblyPlan
 from ..netlist import Netlist
 from ..serve.worker import CRASH_EXIT_CODE, build_netlist
+from ..telemetry import TraceContext, TraceMerger
 from .arbiter import KillDecision, RaceArbiter, VariantView, pick_winner
 from .portfolio import VariantSpec
 from .tuner import AutoTuner
@@ -95,6 +96,9 @@ class RaceResult:
     tuned: list[str] = field(default_factory=list)
     rounds: int = 0
     wall_seconds: float = 0.0
+    #: Merged Chrome-trace document (``trace=True`` races only); kept
+    #: out of ``to_json`` — it is an artifact, not a summary.
+    trace: dict[str, Any] | None = None
 
     @property
     def winner_outcome(self) -> VariantOutcome | None:
@@ -122,6 +126,7 @@ class _Runner:
         self.process = process
         self.conn = conn
         self.started_at = started_at
+        self.span_start = time.perf_counter()
         self.was_retry = was_retry
         self.terminal = False   # result or error already drained
 
@@ -153,6 +158,7 @@ class RaceController:
         max_workers: int | None = None,
         start_method: str | None = None,
         inject: dict[str, dict[str, Any]] | None = None,
+        trace: bool = False,
     ) -> None:
         if not portfolio:
             raise ValueError("portfolio is empty")
@@ -177,6 +183,12 @@ class RaceController:
         # descriptor sets ``persist``.
         self.inject = dict(inject or {})
 
+        self.trace = bool(trace)
+        self.merger: TraceMerger | None = None
+        #: Worker label -> stable Chrome-trace pid.  Allocation follows
+        #: spawn order, which the round barrier makes deterministic.
+        self._lanes: dict[str, int] = {}
+
         self.views: dict[str, VariantView] = {}
         self.outcomes: dict[str, VariantOutcome] = {}
         self.decisions: list[KillDecision] = []
@@ -191,12 +203,18 @@ class RaceController:
         started = time.monotonic()
         if self.netlist is None:
             self.netlist = build_netlist(self.workload or {}, self.aux_root)
+        if self.trace:
+            context = TraceContext(trace_id=f"race:{self.netlist.name}",
+                                   parent_span="race")
+            self.merger = TraceMerger(context, process_name="race")
         plan = self._prebuild_plan()
         share_prebuilt(self.netlist, plan)
         try:
             result = self._race_loop(started)
         finally:
             clear_shared()
+        if self.merger is not None:
+            result.trace = self.merger.chrome_trace()
         return result
 
     def _prebuild_plan(self) -> AssemblyPlan | None:
@@ -218,6 +236,12 @@ class RaceController:
             lambda_growth_cap=config.lambda_growth_cap,
         )
 
+    def _lane_for(self, label: str) -> int:
+        lane = self._lanes.get(label)
+        if lane is None:
+            lane = self._lanes[label] = 2 + len(self._lanes)
+        return lane
+
     def _spawn(self, spec: VariantSpec, now: float,
                was_retry: bool = False) -> _Runner:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
@@ -237,6 +261,13 @@ class RaceController:
         fault = self.inject.get(spec.variant_id)
         if fault is not None and (not was_retry or fault.get("persist")):
             payload["_inject"] = dict(fault)
+        if self.merger is not None:
+            # A retry gets its own labelled lane so the crashed run's
+            # spans stay distinguishable from the rerun's.
+            label = f"{spec.variant_id}#retry" if was_retry \
+                else spec.variant_id
+            payload["trace"] = self.merger.context.child(
+                label, lane=self._lane_for(label)).to_wire()
         process = self._ctx.Process(
             target=race_worker_entry, args=(payload, child_conn),
             name=f"race-{spec.variant_id}", daemon=True,
@@ -346,12 +377,23 @@ class RaceController:
                     break
                 self._on_message(runner, kind, body)
 
+    def _trace_variant(self, runner: _Runner, outcome: str) -> None:
+        """Close the parent-side span over one worker's lifetime."""
+        if self.merger is not None:
+            self.merger.add_span(
+                f"variant {runner.spec.variant_id}", runner.span_start,
+                time.perf_counter(), outcome=outcome,
+                retry=runner.was_retry)
+
     def _on_message(self, runner: _Runner, kind: str,
                     body: dict[str, Any]) -> None:
         vid = runner.spec.variant_id
         view = self.views[vid]
         if kind == "checkpoint":
             view.record_checkpoint(body["iterations"], body["series"])
+        elif kind == "telemetry":
+            if self.merger is not None:
+                self.merger.ingest(body)
         elif kind == "result":
             view.record_finish(body.get("stop_reason", ""),
                                body.get("tail", {}).get("iterations"),
@@ -367,6 +409,7 @@ class RaceController:
                 retried=runner.was_retry,
                 wall_seconds=time.monotonic() - runner.started_at,
             )
+            self._trace_variant(runner, "finished")
         elif kind == "error":
             runner.terminal = True
             self.outcomes[vid] = VariantOutcome(
@@ -374,6 +417,7 @@ class RaceController:
                 error=f"{body.get('type')}: {body.get('message')}",
                 wall_seconds=time.monotonic() - runner.started_at,
             )
+            self._trace_variant(runner, "error")
             logger.warning("race variant %s errored: %s", vid,
                            self.outcomes[vid].error)
 
@@ -391,6 +435,7 @@ class RaceController:
                 continue
             # Abnormal exit without a terminal message: a crash.
             code = runner.process.exitcode
+            self._trace_variant(runner, "crashed")
             if vid not in retried:
                 retried.add(vid)
                 self.views[vid].reset()
@@ -415,10 +460,15 @@ class RaceController:
         vid = decision.variant_id
         killed.add(vid)
         self.decisions.append(decision)
+        if self.merger is not None:
+            self.merger.add_instant(f"kill {vid}", time.perf_counter(),
+                                    rule=decision.rule,
+                                    round=decision.round)
         spec = self._specs[vid]
         runner = running.pop(vid, None)
         if runner is not None:
             runner.close()
+            self._trace_variant(runner, "killed")
             wall = time.monotonic() - runner.started_at
         else:
             # A result raced in ahead of the verdict; the verdict is

@@ -72,8 +72,12 @@ def promote(result: RaceResult, registry_root: str, *,
         registries[vid] = metrics
         extra = {"race": dict(outcome.to_json(),
                               winner=(vid == result.winner))}
+        # The merged race trace (one Chrome document spanning every
+        # worker lane) lands with the winner, where auditors look.
+        trace_doc = result.trace if vid == result.winner else None
         run_dirs[vid] = registry.capture(
-            metrics, name=f"{name}-{vid}", manifest_extra=extra)
+            metrics, name=f"{name}-{vid}", manifest_extra=extra,
+            trace_doc=trace_doc)
 
     justification: dict[str, Any] = {
         "winner": result.winner,

@@ -112,7 +112,8 @@ def _assert_winner_bit_identical(result: RaceResult, netlist) -> None:
            f"{rerun.history.stop_reason!r}")
 
 
-def run_smoke(registry_root: str = "race-smoke-runs") -> int:
+def run_smoke(registry_root: str = "race-smoke-runs",
+              trace: bool = False) -> int:
     """The smoke scenario; returns 0 so ``__main__`` can exit with it."""
     portfolio = smoke_portfolio()
     _check(len(portfolio) >= 5,
@@ -129,6 +130,7 @@ def run_smoke(registry_root: str = "race-smoke-runs") -> int:
         tuner=AutoTuner(budget=1),
         checkpoint_every=1,
         max_workers=len(portfolio) + 1,
+        trace=trace,
     )
     result = controller.execute()
     logger.info("race finished in %.2fs: winner=%s kills=%d tuned=%s",
@@ -198,6 +200,22 @@ def run_smoke(registry_root: str = "race-smoke-runs") -> int:
     _check("loser" in rivals,
            "promotion justification does not diff the killed loser")
     logger.info("promoted winner archived at %s", winner_dir)
+
+    # 6. tracing races merge one Chrome trace spanning every worker
+    # lane and archive it with the winner.
+    if trace:
+        _check(result.trace is not None, "tracing race produced no trace")
+        assert result.trace is not None
+        workers = result.trace["otherData"]["workers"]
+        _check(len(workers) >= len(portfolio),
+               f"merged trace covers {len(workers)} worker lanes, "
+               f"expected >= {len(portfolio)}")
+        _check(bool(result.trace["traceEvents"]),
+               "merged race trace has no events")
+        _check(os.path.exists(os.path.join(winner_dir, "trace.json")),
+               "winner run dir is missing the merged trace.json")
+        logger.info("merged race trace spans %d worker lanes",
+                    len(workers))
 
     logger.info("race smoke passed")
     return 0

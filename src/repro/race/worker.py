@@ -23,10 +23,12 @@ either way because plan construction is deterministic.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 from typing import Any
 
+from .. import telemetry
 from ..core import ComPLxConfig, ComPLxPlacer
 from ..core.history import RunHistory
 from ..faults import SimulatedCrash
@@ -90,11 +92,11 @@ def run_variant(payload: dict[str, Any], conn) -> dict[str, Any]:
     base = ComPLxConfig(**payload.get("base_overrides", {}))
     config = spec.config(base)
     checkpoint_every = max(int(payload.get("checkpoint_every", 1)), 1)
+    # Absent "trace" entry -> None -> every shipping site below is
+    # skipped; the worker's math and messages are byte-identical.
+    trace_ctx = telemetry.TraceContext.from_wire(payload.get("trace"))
 
     netlist, plan = _materialize(payload, config)
-    placer = ComPLxPlacer(netlist, config)
-    if plan is not None:
-        placer.adopt_plan(plan)
 
     sent = 0          # per-iteration records already streamed
     ordinal = 0       # checkpoint counter
@@ -108,18 +110,35 @@ def run_variant(payload: dict[str, Any], conn) -> dict[str, Any]:
                        for name in TRACKED_SERIES},
         }
 
-    def observer(k: int, history: RunHistory) -> None:
-        nonlocal sent, ordinal
-        if len(history.records) - sent < checkpoint_every:
-            return
-        ordinal += 1
-        body = slice_records(history, len(history.records))
-        body.update(variant_id=spec.variant_id, ordinal=ordinal)
-        conn.send(("checkpoint", body))
-        sent += len(body["iterations"])
+    with contextlib.ExitStack() as stack:
+        shipper = None
+        if trace_ctx is not None:
+            tracer = stack.enter_context(telemetry.tracing())
+            shipper = telemetry.TelemetryShipper(trace_ctx, tracer)
+        placer = ComPLxPlacer(netlist, config)
+        if plan is not None:
+            placer.adopt_plan(plan)
 
-    placer.observer = observer
-    result = placer.place()
+        def observer(k: int, history: RunHistory) -> None:
+            nonlocal sent, ordinal
+            if len(history.records) - sent < checkpoint_every:
+                return
+            ordinal += 1
+            body = slice_records(history, len(history.records))
+            body.update(variant_id=spec.variant_id, ordinal=ordinal)
+            conn.send(("checkpoint", body))
+            sent += len(body["iterations"])
+            if shipper is not None:
+                frame = shipper.flush_frame()
+                if frame is not None:
+                    conn.send(("telemetry", frame))
+
+        placer.observer = observer
+        result = placer.place()
+        if shipper is not None:
+            frame = shipper.flush_frame(force=True)
+            if frame is not None:
+                conn.send(("telemetry", frame))
 
     tail = slice_records(result.history, len(result.history.records))
     return {

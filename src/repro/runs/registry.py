@@ -149,6 +149,7 @@ class RunRegistry:
         run_id: str | None = None,
         report_html: str | None = None,
         tracer: Tracer | None = None,
+        trace_doc: dict[str, Any] | None = None,
         manifest_extra: dict[str, Any] | None = None,
     ) -> str:
         """Archive one run; returns the run directory path.
@@ -157,8 +158,11 @@ class RunRegistry:
         serialized ``to_dict()`` form — the serve runtime archives the
         dict its worker process shipped back without rehydrating it.
         ``report_html`` is the rendered report document (a string, not a
-        path) so the capture stays a pure write.  The index is updated
-        in place.
+        path) so the capture stays a pure write.  ``tracer`` writes a
+        single-process Chrome trace; ``trace_doc`` archives an
+        already-merged multi-process trace document (the distributed
+        plane's :class:`~repro.telemetry.TraceMerger` output) — pass at
+        most one of the two.  The index is updated in place.
         """
         doc = registry if isinstance(registry, dict) else registry.to_dict()
         if run_id is None:
@@ -193,6 +197,10 @@ class RunRegistry:
             manifest["artifacts"].append("report.html")
         if tracer is not None:
             tracer.write_chrome_trace(os.path.join(run_dir, "trace.json"))
+            manifest["artifacts"].append("trace.json")
+        elif trace_doc is not None:
+            _write_atomic(os.path.join(run_dir, "trace.json"),
+                          json.dumps(trace_doc, indent=2, sort_keys=True))
             manifest["artifacts"].append("trace.json")
         if manifest_extra:
             manifest.update(manifest_extra)

@@ -43,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-tenant submissions per second")
     parser.add_argument("--tenant-burst", type=int, default=10,
                         help="per-tenant submission burst")
+    parser.add_argument("--trace", action="store_true",
+                        help="stream worker telemetry frames and merge a "
+                             "Chrome trace per job")
     parser.add_argument("--smoke", action="store_true",
                         help="run the end-to-end self-test and exit")
     parser.add_argument("-v", "--verbose", action="store_true")
@@ -59,7 +62,8 @@ def main(argv: list[str] | None = None) -> int:
         from .smoke import SmokeFailure, run_smoke
 
         try:
-            return run_smoke(registry_root=args.registry_root)
+            return run_smoke(registry_root=args.registry_root,
+                             trace=args.trace)
         except SmokeFailure as exc:
             print(f"serve smoke FAILED: {exc}", file=sys.stderr)
             return 1
@@ -74,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         start_method=args.start_method or default_start_method(),
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
+        trace=args.trace,
     )
     print(f"serving placement jobs on http://{config.host}:{config.port} "
           f"({config.workers} workers, queue {config.queue_capacity}, "

@@ -10,14 +10,25 @@ degradation — not web framework ergonomics.  Endpoints:
                                   tenant rate limit), 503 draining
 ``GET /v1/jobs``                  list this tenant's jobs
 ``GET /v1/jobs/<id>``             status snapshot
-``GET /v1/jobs/<id>/events``      progress events (``?since=N`` cursor)
+``GET /v1/jobs/<id>/events``      progress events (``?since=N`` cursor);
+                                  ``?stream=1`` upgrades to Server-Sent
+                                  Events with ``Last-Event-ID`` resume
 ``GET /v1/jobs/<id>/result``      result body; 409 until terminal
 ``GET /v1/jobs/<id>/report``      the run's HTML report
+``GET /v1/jobs/<id>/trace``       merged Chrome trace (tracing runs)
 ``DELETE /v1/jobs/<id>``          cancel (queued or running)
 ``GET /healthz``                  liveness: 200 while the process works
 ``GET /readyz``                   readiness: 200 only with queue headroom
-``GET /metricz``                  service counters as a metrics dump
+``GET /metricz``                  service + fleet metrics; JSON by
+                                  default, Prometheus text with
+                                  ``?format=prom`` or an ``Accept:
+                                  text/plain`` header
 ================================  ======================================
+
+Event cursors are absolute ordinals: the bounded per-job buffer drops
+oldest-first, and a client resuming below the drop watermark gets an
+explicit gap marker (JSON: ``"gap"``; SSE: a ``gap`` event) instead of
+a silent skip.
 
 Tenancy rides on the ``X-Tenant`` header (or the payload's ``tenant``
 field); a tenant only ever sees its own jobs.
@@ -28,9 +39,11 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..telemetry.prometheus import PROMETHEUS_CONTENT_TYPE, to_prometheus
 from .config import ServeConfig
 from .jobs import JobRecord, JobValidationError, TERMINAL_STATES
 from .queue import QueueFull
@@ -79,6 +92,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8",
+                   ) -> None:
+        data = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    @staticmethod
+    def _query_params(query: str) -> dict[str, str]:
+        params: dict[str, str] = {}
+        for chunk in query.split("&"):
+            if not chunk:
+                continue
+            key, _, value = chunk.partition("=")
+            params[key] = value
+        return params
 
     def _error(self, status: int, message: str,
                retry_after: float | None = None) -> None:
@@ -149,9 +182,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(503, "draining" if self.runtime.draining
                             else "queue at capacity")
         elif path == "/metricz":
-            registry = self.runtime.stats.to_registry(
-                self.runtime.queue.depth())
-            self._send_json(200, registry.to_dict())
+            registry = self.runtime.metrics_registry()
+            params = self._query_params(query)
+            accept = self.headers.get("Accept", "")
+            wants_prom = params.get("format") == "prom" \
+                or ("text/plain" in accept
+                    and "application/json" not in accept)
+            if wants_prom:
+                self._send_text(200, to_prometheus(registry),
+                                content_type=PROMETHEUS_CONTENT_TYPE)
+            else:
+                self._send_json(200, registry.to_dict())
         elif parts[:2] == ["v1", "jobs"] and len(parts) == 2:
             records = self.runtime.jobs(tenant=self._tenant())
             self._send_json(200, {"jobs": [r.snapshot() for r in records]})
@@ -164,14 +205,21 @@ class _Handler(BaseHTTPRequestHandler):
             if record is None:
                 return
             if parts[3] == "events":
+                params = self._query_params(query)
                 since = 0
-                for chunk in query.split("&"):
-                    key, _, value = chunk.partition("=")
-                    if key == "since" and value.isdigit():
-                        since = int(value)
-                events, next_since = record.events_since(since)
+                if params.get("since", "").isdigit():
+                    since = int(params["since"])
+                last_id = self.headers.get("Last-Event-ID", "")
+                if last_id.isdigit():
+                    since = int(last_id)
+                if params.get("stream") == "1":
+                    self._stream_events(record, since)
+                    return
+                events, next_since, dropped = record.events_since(since)
                 self._send_json(200, {"events": events,
                                       "next_since": next_since,
+                                      "dropped": dropped,
+                                      "gap": max(dropped - since, 0),
                                       "done": record.done})
             elif parts[3] == "result":
                 self._job_result(record)
@@ -181,10 +229,73 @@ class _Handler(BaseHTTPRequestHandler):
                                      "or it failed before reporting)")
                 else:
                     self._send_html(200, record.report_html)
+            elif parts[3] == "trace":
+                trace = record.trace()
+                if trace is None:
+                    self._error(409, "no trace (tracing disabled or the "
+                                     "job has not finished an attempt)")
+                else:
+                    self._send_json(200, trace)
             else:
                 self._error(404, "unknown endpoint")
         else:
             self._error(404, "unknown endpoint")
+
+    def _sse(self, event_id: int, event_type: str,
+             body: dict[str, Any]) -> None:
+        """Write one Server-Sent Event frame."""
+        data = json.dumps(body)
+        self.wfile.write(
+            f"id: {event_id}\nevent: {event_type}\n"
+            f"data: {data}\n\n".encode())
+
+    def _stream_events(self, record: JobRecord, since: int) -> None:
+        """``GET .../events?stream=1``: live Server-Sent Events.
+
+        Event ids are the absolute event ordinals, so a client that
+        reconnects with ``Last-Event-ID`` resumes exactly where it left
+        off; if the bounded buffer already shed part of that range the
+        stream opens with an explicit ``gap`` event.  The stream closes
+        itself (a ``done`` event, then EOF) once the job is terminal.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        self.wfile.flush()
+        cursor = since
+        idle_polls = 0
+        try:
+            while True:
+                events, next_since, dropped = record.events_since(cursor)
+                if dropped > cursor:
+                    self._sse(dropped, "gap",
+                              {"missed": dropped - cursor,
+                               "resume_at": dropped})
+                    cursor = dropped
+                for offset, event in enumerate(events):
+                    self._sse(cursor + offset + 1, "progress", event)
+                cursor = next_since
+                if events:
+                    idle_polls = 0
+                    self.wfile.flush()
+                if record.done:
+                    self._sse(cursor, "done",
+                              {"state": record.snapshot()["state"]})
+                    self.wfile.flush()
+                    return
+                if not events:
+                    idle_polls += 1
+                    if idle_polls % 100 == 0:
+                        # Comment heartbeat keeps proxies from timing
+                        # the idle connection out.
+                        self.wfile.write(b": keep-alive\n\n")
+                        self.wfile.flush()
+                time.sleep(0.05)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to clean up
 
     def _job_result(self, record: JobRecord) -> None:
         snapshot = record.snapshot()

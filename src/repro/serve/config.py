@@ -110,6 +110,18 @@ class ServeConfig:
     * ``registry_root`` — run-registry root; every finished job lands
       under ``<root>/<tenant>/`` with its metrics and HTML report.
     * ``keep_events`` — per-job bound on retained progress events.
+
+    Distributed tracing
+    -------------------
+    * ``trace`` — when True, every worker attempt receives a
+      :class:`~repro.telemetry.TraceContext` and streams telemetry
+      frames (spans, series increments, gauges) back over its result
+      pipe; the runtime merges them into one Chrome trace per job and
+      feeds the fleet aggregator behind ``/metricz``.  Off by default:
+      workers then ship nothing and allocate nothing extra.
+    * ``telemetry_frame_records`` / ``telemetry_max_records`` — span
+      budgets per frame and per worker; overflow is counted, never
+      silent.
     """
 
     host: str = "127.0.0.1"
@@ -136,6 +148,10 @@ class ServeConfig:
 
     registry_root: str = "serve-runs"
     keep_events: int = 2000
+
+    trace: bool = False
+    telemetry_frame_records: int = 256
+    telemetry_max_records: int = 5000
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -165,6 +181,11 @@ class ServeConfig:
             raise ValueError("drain_timeout_seconds must be >= 0")
         if self.keep_events < 10:
             raise ValueError("keep_events must be >= 10")
+        if self.telemetry_frame_records < 1:
+            raise ValueError("telemetry_frame_records must be >= 1")
+        if self.telemetry_max_records < self.telemetry_frame_records:
+            raise ValueError("telemetry_max_records must be >= "
+                             "telemetry_frame_records")
         if not self.tiers:
             raise ValueError("at least one degradation tier is required")
         if self.tiers[0].activate_wait_seconds > 0 \

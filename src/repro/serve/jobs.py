@@ -223,6 +223,7 @@ class JobRecord:
     result: dict[str, Any] | None = None
     report_html: str | None = None
     metrics: dict[str, Any] | None = None
+    trace_doc: dict[str, Any] | None = None
     run_dir: str | None = None
     enqueued_at: float = 0.0
     started_at: float | None = None
@@ -286,6 +287,15 @@ class JobRecord:
         with self._lock:
             self.run_dir = run_dir
 
+    def set_trace(self, doc: dict[str, Any]) -> None:
+        """Attach the merged Chrome-trace document (tracing runs only)."""
+        with self._lock:
+            self.trace_doc = doc
+
+    def trace(self) -> dict[str, Any] | None:
+        with self._lock:
+            return self.trace_doc
+
     # ------------------------------------------------------------------
     # cancellation flag (Event is internally synchronized)
     # ------------------------------------------------------------------
@@ -308,12 +318,24 @@ class JobRecord:
         with self._lock:
             return self.state in TERMINAL_STATES
 
-    def events_since(self, since: int) -> tuple[list[dict[str, Any]], int]:
-        """Events with ordinal > ``since``; returns (events, next_since)."""
+    def events_since(
+        self, since: int,
+    ) -> tuple[list[dict[str, Any]], int, int]:
+        """Events with ordinal > ``since``.
+
+        Returns ``(events, next_since, dropped)``.  Event ordinals are
+        1-based and *stable*: the bounded buffer drops oldest-first, and
+        ``dropped`` counts how many ordinals have been shed so far.  A
+        client whose cursor ``since`` is below ``dropped`` has a gap of
+        ``dropped - since`` events it can never fetch — the serving
+        layer surfaces that as an explicit marker instead of silently
+        resuming.
+        """
         with self._lock:
             total = self._events_dropped + len(self._events)
             start = max(since - self._events_dropped, 0)
-            return list(self._events[start:]), total
+            return (list(self._events[start:]), total,
+                    self._events_dropped)
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-ready consistent view for the status endpoint."""
@@ -327,6 +349,7 @@ class JobRecord:
                 "attempts": self.attempts,
                 "tier": self.tier,
                 "events": self._events_dropped + len(self._events),
+                "events_dropped": self._events_dropped,
                 "cancel_requested": self._cancel.is_set(),
             }
             if self.error is not None:

@@ -32,7 +32,12 @@ from typing import Any
 
 from .. import faults
 from ..runs import RunRegistry
-from ..telemetry import MetricsRegistry
+from ..telemetry import (
+    FleetAggregator,
+    MetricsRegistry,
+    TraceContext,
+    TraceMerger,
+)
 from .config import DegradationTier, ServeConfig
 from .jobs import JobRecord, JobSpec, JobState, JobValidationError
 from .queue import BACKGROUND_PRIORITY, BoundedPriorityQueue, QueueFull
@@ -125,6 +130,9 @@ class JobRuntime:
         self.tenants = TenantTable(self.config.tenant_rate,
                                    self.config.tenant_burst)
         self.stats = ServiceStats()
+        #: Fleet-wide rollup of worker telemetry; always on (service
+        #: times feed it even without tracing, frames only with it).
+        self.fleet = FleetAggregator()
         self._ctx = multiprocessing.get_context(self.config.start_method)
         self._lock = threading.Lock()
         self._jobs: dict[str, JobRecord] = {}
@@ -242,6 +250,13 @@ class JobRuntime:
 
     def registry_for(self, tenant: str) -> RunRegistry:
         return RunRegistry(os.path.join(self.config.registry_root, tenant))
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Service counters merged with the fleet telemetry rollup."""
+        registry = self.stats.to_registry(self.queue.depth())
+        registry.merge(self.fleet.to_registry())
+        registry.meta["component"] = "repro.serve"
+        return registry
 
     # ------------------------------------------------------------------
     # cancellation
@@ -367,10 +382,20 @@ class JobRuntime:
         retries = spec.max_retries
         if retries is None:
             retries = self.config.max_retries
+        merger: TraceMerger | None = None
+        if self.config.trace:
+            context = TraceContext(
+                trace_id=spec.job_id,
+                parent_span=f"job:{spec.job_id}",
+                max_frame_records=self.config.telemetry_frame_records,
+                max_total_records=self.config.telemetry_max_records,
+            )
+            merger = TraceMerger(context,
+                                 process_name=f"serve {spec.job_id}")
         try:
             outcome: str | None = None
             for attempt in range(1, retries + 2):
-                outcome = self._run_attempt(record, tier, attempt)
+                outcome = self._run_attempt(record, tier, attempt, merger)
                 if outcome in ("succeeded", "failed", "cancelled"):
                     break
                 # outcome == "crashed": back off, then go again.
@@ -408,14 +433,22 @@ class JobRuntime:
                 logger.error("%s failed: retry budget exhausted",
                              spec.job_id)
         finally:
-            self.queue.note_service_seconds(time.monotonic() - started)
+            if merger is not None and record.trace() is None:
+                # Failed/cancelled jobs keep whatever trace evidence
+                # their attempts shipped before dying.
+                record.set_trace(merger.chrome_trace())
+            service_seconds = time.monotonic() - started
+            self.fleet.note_service_seconds(service_seconds)
+            self.queue.note_service_seconds(service_seconds)
             self.stats.running_delta(-1)
             if spec.priority >= BACKGROUND_PRIORITY:
                 with self._lock:
                     self._background_running -= 1
             self._slots.release()
 
-    def _spawn_attempt(self, record: JobRecord, tier: DegradationTier):
+    def _spawn_attempt(self, record: JobRecord, tier: DegradationTier,
+                       attempt: int = 1,
+                       merger: TraceMerger | None = None):
         """Fire parent-side fault sites and start one worker process."""
         spec = record.spec
         payload: dict[str, Any] = {
@@ -428,6 +461,11 @@ class JobRuntime:
             },
             "aux_root": self.aux_root,
         }
+        if merger is not None:
+            # Stable lane per attempt: attempt 1 -> pid 2, ... so the
+            # merged trace is deterministic given the retry history.
+            payload["trace"] = merger.context.child(
+                f"{spec.job_id}/a{attempt}", lane=attempt + 1).to_wire()
         crash = faults.fire("serve.worker.crash")
         if crash is not None:
             payload["_inject"] = {"mode": "crash",
@@ -452,17 +490,29 @@ class JobRuntime:
             return spec.deadline_seconds * self.config.deadline_grace_factor
         return self.config.no_deadline_kill_seconds
 
+    @staticmethod
+    def _trace_attempt(merger: TraceMerger | None, attempt: int,
+                       tier: DegradationTier, start: float,
+                       outcome: str) -> None:
+        """Close the parent-side span over one worker attempt."""
+        if merger is not None:
+            merger.add_span(f"attempt {attempt}", start,
+                            time.perf_counter(),
+                            tier=tier.name, outcome=outcome)
+
     def _run_attempt(self, record: JobRecord, tier: DegradationTier,
-                     attempt: int) -> str:
+                     attempt: int,
+                     merger: TraceMerger | None = None) -> str:
         """One isolated worker attempt; returns the outcome class:
         ``succeeded`` / ``failed`` / ``cancelled`` / ``crashed``."""
         spec = record.spec
         record.start_attempt(tier.name, time.monotonic())
         record.add_event({"stage": "attempt_started", "attempt": attempt,
                           "tier": tier.name})
-        process, conn = self._spawn_attempt(record, tier)
+        process, conn = self._spawn_attempt(record, tier, attempt, merger)
         kill_after = self._hard_kill_seconds(spec)
         attempt_start = time.monotonic()
+        span_start = time.perf_counter()
         result: dict[str, Any] | None = None
         error: dict[str, Any] | None = None
         try:
@@ -476,6 +526,8 @@ class JobRuntime:
                                       "attempt": attempt})
                     self.stats.inc("cancelled")
                     logger.info("%s cancelled while running", spec.job_id)
+                    self._trace_attempt(merger, attempt, tier,
+                                        span_start, "cancelled")
                     return "cancelled"
                 got = False
                 try:
@@ -484,6 +536,10 @@ class JobRuntime:
                         got = True
                         if kind == "event":
                             record.add_event(body)
+                        elif kind == "telemetry":
+                            if merger is not None:
+                                merger.ingest(body)
+                                self.fleet.observe_frame(body)
                         elif kind == "result":
                             result = body
                         else:
@@ -502,6 +558,10 @@ class JobRuntime:
                             kind, body = conn.recv()
                             if kind == "event":
                                 record.add_event(body)
+                            elif kind == "telemetry":
+                                if merger is not None:
+                                    merger.ingest(body)
+                                    self.fleet.observe_frame(body)
                             elif kind == "result":
                                 result = body
                             else:
@@ -521,14 +581,20 @@ class JobRuntime:
                                       "after_seconds": kill_after})
                     logger.warning("%s attempt %d hard-killed after %.1fs",
                                    spec.job_id, attempt, kill_after)
+                    self._trace_attempt(merger, attempt, tier,
+                                        span_start, "hard_killed")
                     return "crashed"
         finally:
             conn.close()
 
         if result is not None:
-            self._finish_success(record, result)
+            self._trace_attempt(merger, attempt, tier, span_start,
+                                "succeeded")
+            self._finish_success(record, result, merger)
             return "succeeded"
         if error is not None:
+            self._trace_attempt(merger, attempt, tier, span_start,
+                                "failed")
             record.transition(
                 JobState.FAILED, now=time.monotonic(),
                 error=f"{error.get('type', 'Error')}: "
@@ -540,6 +606,7 @@ class JobRuntime:
                            spec.job_id, record.error)
             return "failed"
         # Abnormal exit with nothing on the pipe: a crash.
+        self._trace_attempt(merger, attempt, tier, span_start, "crashed")
         self.stats.inc("crashes")
         record.record_recovery({
             "action": "crash_detected", "attempt": attempt,
@@ -564,15 +631,21 @@ class JobRuntime:
             process.join(timeout=10.0)
 
     def _finish_success(self, record: JobRecord,
-                        body: dict[str, Any]) -> None:
+                        body: dict[str, Any],
+                        merger: TraceMerger | None = None) -> None:
         metrics = body.pop("metrics", None)
         report_html = body.pop("report_html", None)
         record.complete(body, report_html, metrics, time.monotonic())
         self.stats.inc("completed")
+        trace_doc = None
+        if merger is not None:
+            trace_doc = merger.chrome_trace()
+            record.set_trace(trace_doc)
         try:
             run_dir = self.registry_for(record.spec.tenant).capture(
                 metrics or {}, name=record.spec.name,
                 report_html=report_html,
+                trace_doc=trace_doc,
                 manifest_extra={
                     "job_id": record.spec.job_id,
                     "tenant": record.spec.tenant,

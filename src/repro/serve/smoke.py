@@ -58,6 +58,36 @@ def _check(condition: bool, message: str) -> None:
         raise SmokeFailure(message)
 
 
+def _stream_events(base: str, job_id: str, tenant: str = "smoke",
+                   last_event_id: int | None = None,
+                   timeout: float = 60.0) -> list[tuple[int, str, dict]]:
+    """Consume the SSE stream until its ``done`` event; parsed frames."""
+    request = urllib.request.Request(
+        f"{base}/v1/jobs/{job_id}/events?stream=1",
+        headers={"X-Tenant": tenant, "Accept": "text/event-stream"})
+    if last_event_id is not None:
+        request.add_header("Last-Event-ID", str(last_event_id))
+    frames: list[tuple[int, str, dict]] = []
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        _check(response.headers.get_content_type() == "text/event-stream",
+               f"SSE content type is {response.headers.get_content_type()}")
+        event_id, event_type, data = 0, "", ""
+        for raw in response:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("id: "):
+                event_id = int(line[4:])
+            elif line.startswith("event: "):
+                event_type = line[7:]
+            elif line.startswith("data: "):
+                data = line[6:]
+            elif not line and event_type:
+                frames.append((event_id, event_type, json.loads(data)))
+                if event_type == "done":
+                    break
+                event_type, data = "", ""
+    return frames
+
+
 def _submit_and_wait(base: str, payload: dict[str, Any],
                      timeout: float = 120.0) -> dict[str, Any]:
     status, body = _request("POST", f"{base}/v1/jobs", payload)
@@ -76,11 +106,13 @@ def _submit_and_wait(base: str, payload: dict[str, Any],
     raise SmokeFailure(f"job {job_id} did not finish within {timeout}s")
 
 
-def run_smoke(registry_root: str = "serve-smoke-runs") -> int:
+def run_smoke(registry_root: str = "serve-smoke-runs",
+              trace: bool = False) -> int:
     """The smoke scenario; returns 0 so ``__main__`` can exit with it."""
     config = ServeConfig(port=0, workers=2, queue_capacity=8,
                          registry_root=registry_root,
-                         retry_backoff_seconds=0.05)
+                         retry_backoff_seconds=0.05,
+                         trace=trace)
     service = PlacementService(config).start()
     host, port = service.address
     base = f"http://{host}:{port}"
@@ -105,6 +137,34 @@ def run_smoke(registry_root: str = "serve-smoke-runs") -> int:
         _check(len(registry.run_ids()) >= 1,
                "run registry index has no entry for the smoke run")
         logger.info("clean run archived at %s", run_dir)
+
+        # The SSE stream replays the finished job's events and closes.
+        frames = _stream_events(base, final["job_id"])
+        kinds = [kind for _, kind, _ in frames]
+        _check("progress" in kinds, "SSE stream carried no progress events")
+        _check(kinds[-1] == "done", "SSE stream did not end with done")
+        stages = [body.get("stage") for _, kind, body in frames
+                  if kind == "progress"]
+        _check("doctor" in stages, "SSE stream carried no doctor event")
+
+        if trace:
+            status, doc = _request(
+                "GET", f"{base}/v1/jobs/{final['job_id']}/trace")
+            _check(status == 200, f"trace endpoint returned {status}")
+            _check(bool(doc.get("traceEvents")),
+                   "merged trace has no events")
+            _check(doc.get("otherData", {}).get("workers"),
+                   "merged trace records no worker lanes")
+            _check(os.path.exists(os.path.join(run_dir, "trace.json")),
+                   "archived run is missing trace.json")
+            with urllib.request.urlopen(urllib.request.Request(
+                    f"{base}/metricz?format=prom"),
+                    timeout=30.0) as response:
+                prom = response.read().decode()
+            _check("# TYPE repro_fleet_frames counter" in prom,
+                   "/metricz prom output lacks the fleet rollup")
+            logger.info("merged trace spans %d workers",
+                        len(doc["otherData"]["workers"]))
 
         # Now with one injected worker crash: must succeed on the retry.
         faults.install(faults.FaultPlan((

@@ -126,10 +126,19 @@ def _legalize(netlist: Netlist, placement: Placement,
 
 
 def run_job(payload: dict[str, Any],
-            emit: Callable[[dict[str, Any]], None]) -> dict[str, Any]:
-    """Run one attempt end to end; returns the result message body."""
+            emit: Callable[[dict[str, Any]], None],
+            ship: Callable[[dict[str, Any]], None] | None = None,
+            ) -> dict[str, Any]:
+    """Run one attempt end to end; returns the result message body.
+
+    ``ship`` receives incremental telemetry frames when (and only when)
+    the payload carries a trace context — a payload from a runtime with
+    tracing disabled lacks the ``"trace"`` entry, the rebuilt context is
+    None, and this function allocates nothing telemetry-frame-related.
+    """
     spec = JobSpec(**payload["spec"])
     tier = payload.get("tier", {})
+    trace_ctx = telemetry.TraceContext.from_wire(payload.get("trace"))
     netlist = build_netlist(spec.workload, payload.get("aux_root"))
     emit({"stage": "loaded", "cells": netlist.num_cells,
           "nets": netlist.num_nets})
@@ -138,9 +147,18 @@ def run_job(payload: dict[str, Any],
     with telemetry.tracing() as tracer, telemetry.metrics() as registry:
         placer = ComPLxPlacer(netlist, config)
 
+        shipper = None
+        if trace_ctx is not None and ship is not None:
+            shipper = telemetry.TelemetryShipper(trace_ctx, tracer,
+                                                 registry)
+
         def progress(k: int, lower: Placement, upper: Placement) -> None:
             emit({"stage": "iteration", "iteration": k,
                   "hpwl_upper": float(hpwl(netlist, upper))})
+            if shipper is not None:
+                frame = shipper.flush_frame()
+                if frame is not None:
+                    ship(frame)
 
         result = placer.place(callback=progress)
         emit({"stage": "global_done",
@@ -174,6 +192,12 @@ def run_job(payload: dict[str, Any],
         density = grid.utilization(grid.usage(final), config.gamma)
         diagnosis = diagnose(registry, config=config,
                              recovery_events=recovery_events)
+        emit({"stage": "doctor",
+              "findings": [f.to_json() for f in diagnosis.findings]})
+        if shipper is not None:
+            frame = shipper.flush_frame(force=True)
+            if frame is not None:
+                ship(frame)
         report_html = render_html(build_report(
             registry,
             title=f"{spec.tenant}/{spec.name} ({spec.job_id})",
@@ -208,7 +232,10 @@ def worker_entry(payload: dict[str, Any], conn) -> None:
         def emit(event: dict[str, Any]) -> None:
             conn.send(("event", event))
 
-        body = run_job(payload, emit)
+        def ship(frame: dict[str, Any]) -> None:
+            conn.send(("telemetry", frame))
+
+        body = run_job(payload, emit, ship)
         conn.send(("result", body))
         conn.close()
     except SimulatedCrash:

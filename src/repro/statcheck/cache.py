@@ -25,7 +25,9 @@ __all__ = ["AnalysisCache", "DEFAULT_CACHE"]
 
 DEFAULT_CACHE = ".statcheck-cache.json"
 
-_CACHE_VERSION = 1
+# v2: FunctionInfo grew frame_sites (the G3 facts); older cached
+# summaries would KeyError in from_json, so the version gates them out.
+_CACHE_VERSION = 2
 
 
 class AnalysisCache:

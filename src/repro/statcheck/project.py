@@ -105,6 +105,11 @@ CHEAP_BUILTINS = frozenset({
 #: The telemetry accessors that open a None-gate (G1).
 PROBE_GETTERS = frozenset({"get_metrics", "get_tracer"})
 
+#: Distributed-plane frame shipping (G3): constructing a shipper or
+#: flushing a frame in worker code must sit behind an installed-context
+#: gate, or tracing-off runs pay for frame assembly.
+FRAME_SHIPPERS = frozenset({"TelemetryShipper", "flush_frame"})
+
 #: Mutating container methods: a call ``self.X.append(...)`` (or on a
 #: module global) writes shared state just like ``self.X[...] = v``.
 MUTATOR_METHODS = frozenset({
@@ -185,6 +190,7 @@ class FunctionInfo:
     pregate_sites: list[tuple[str, Site]] = field(default_factory=list)
     telemetry_arg_sites: list[tuple[str, Site]] = field(
         default_factory=list)
+    frame_sites: list[Site] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return asdict(self)
@@ -212,6 +218,7 @@ class FunctionInfo:
             order_call_sites=pairs("order_call_sites"),
             pregate_sites=pairs("pregate_sites"),
             telemetry_arg_sites=pairs("telemetry_arg_sites"),
+            frame_sites=[Site(**s) for s in raw["frame_sites"]],
         )
 
 
@@ -512,6 +519,12 @@ class _Summarizer(ast.NodeVisitor):
                 info.telemetry_arg_sites.append((offender, Site(
                     node.lineno, node.col_offset,
                     f"{name}(...) argument computes {offender}")))
+        # G3 facts: telemetry-frame construction/shipping outside an
+        # installed-context gate — tracing-off runs would pay for the
+        # frame assembly the distributed plane promises to skip.
+        if parts[-1] in FRAME_SHIPPERS and self._gate_depth == 0:
+            info.frame_sites.append(Site(
+                node.lineno, node.col_offset, f"{name}(...)", guarded))
         # Shared-state mutation through container methods:
         # self.X.append(...) / MODULE_GLOBAL.append(...).
         if parts[-1] in MUTATOR_METHODS and len(parts) >= 2:

@@ -34,6 +34,7 @@ __all__ = [
     "IterationOrderRule",
     "ThreadSharedWriteRule",
     "ThreadTelemetryRule",
+    "UngatedFrameShippingRule",
     "UngatedTelemetryArgsRule",
     "UnseededRandomRule",
     "WallClockNumericRule",
@@ -282,4 +283,33 @@ class UngatedTelemetryArgsRule(ProjectRule):
                     f"{site.detail}{where}, evaluated even when "
                     "telemetry is disabled; guard with `if tracer is "
                     "not None:` or precompute cheaply",
+                )
+
+
+@register
+class UngatedFrameShippingRule(ProjectRule):
+    id = "G3"
+    name = "ungated-frame-shipping"
+    description = (
+        "telemetry-frame construction (TelemetryShipper(...)) or "
+        "shipping (flush_frame(...)) outside an `is not None` gate on "
+        "the installed trace context: tracing-off worker runs must "
+        "never assemble frames"
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for node in sorted(model.functions):
+            # The distributed plane itself is the implementation — the
+            # contract binds its *callers* (worker code).
+            if model.module_of(node).startswith("repro.telemetry"):
+                continue
+            fn = model.functions[node]
+            path = model.summary_of(node).path
+            for site in fn.frame_sites:
+                yield Finding(
+                    self.id, path, site.line, site.col,
+                    f"{site.detail} runs unconditionally; gate it on "
+                    "the rebuilt TraceContext / shipper being installed "
+                    "(`if shipper is not None:`) so tracing-off workers "
+                    "ship and allocate nothing",
                 )

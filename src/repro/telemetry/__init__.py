@@ -22,6 +22,12 @@ See ``docs/observability.md`` for the full tour, and
 :mod:`repro.bench` for the regression harness built on top.
 """
 
+from .distributed import (
+    FleetAggregator,
+    TelemetryShipper,
+    TraceContext,
+    TraceMerger,
+)
 from .memory import peak_rss_mb, record_stage_memory
 from .metrics import (
     Counter,
@@ -32,6 +38,7 @@ from .metrics import (
     metrics,
     set_metrics,
 )
+from .prometheus import sanitize_metric_name, to_prometheus
 from .tracer import (
     NULL_SPAN,
     SpanRecord,
@@ -48,11 +55,15 @@ from .tracer import (
 __all__ = [
     "NULL_SPAN",
     "Counter",
+    "FleetAggregator",
     "Gauge",
     "MetricsRegistry",
     "Series",
     "SpanRecord",
     "StageStats",
+    "TelemetryShipper",
+    "TraceContext",
+    "TraceMerger",
     "Tracer",
     "get_metrics",
     "get_tracer",
@@ -60,9 +71,11 @@ __all__ = [
     "metrics",
     "peak_rss_mb",
     "record_stage_memory",
+    "sanitize_metric_name",
     "set_metrics",
     "set_tracer",
     "span",
+    "to_prometheus",
     "traced",
     "tracing",
 ]

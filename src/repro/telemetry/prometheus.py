@@ -1,0 +1,98 @@
+"""Prometheus text exposition of a metrics registry snapshot.
+
+The serve ``/metricz`` endpoint speaks JSON by default; Prometheus (and
+everything that scrapes its text format) wants::
+
+    # TYPE repro_jobs_running gauge
+    repro_jobs_running 2
+
+This module renders either a live
+:class:`~repro.telemetry.MetricsRegistry` or its serialized
+``to_dict()`` form into text exposition format 0.0.4.  Metric names are
+sanitized to the Prometheus grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``):
+every illegal character becomes ``_``, a leading digit gets a ``_``
+prefix, and collisions after sanitization keep the first writer (later
+ones are suffixed ``_2``, ``_3``, ... so nothing is silently lost).
+
+Series (per-iteration trajectories) are summarized as their last value
+— a scrape wants current state, not history; the JSON form keeps the
+full series for everything else.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = ["sanitize_metric_name", "to_prometheus"]
+
+#: Content type a compliant scraper expects.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """A Prometheus-legal metric name for ``name``.
+
+    ``prefix`` (e.g. ``"repro_"``) is applied before the grammar check
+    so a prefixed name never needs the leading-digit escape.
+    """
+    cleaned = _ILLEGAL.sub("_", f"{prefix}{name}")
+    if not cleaned:
+        cleaned = "_"
+    if _LEADING_DIGIT.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _unique(name: str, taken: dict[str, int]) -> str:
+    count = taken.get(name, 0)
+    taken[name] = count + 1
+    return name if count == 0 else f"{name}_{count + 1}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(source: "MetricsRegistry | dict[str, Any]",
+                  prefix: str = "repro_") -> str:
+    """Render a registry (or its ``to_dict`` form) as text exposition.
+
+    Counters keep their monotone semantics (``# TYPE ... counter``),
+    gauges and series-last-values are gauges.  Output order is the
+    document order within each kind, so two renders of the same
+    snapshot are identical.
+    """
+    doc = source.to_dict() if isinstance(source, MetricsRegistry) \
+        else source
+    taken: dict[str, int] = {}
+    lines: list[str] = []
+    for item in doc.get("counters", []):
+        name = _unique(sanitize_metric_name(item["name"], prefix), taken)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(item['value'])}")
+    for item in doc.get("gauges", []):
+        name = _unique(sanitize_metric_name(item["name"], prefix), taken)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(item['value'])}")
+    for item in doc.get("series", []):
+        values = item.get("values") or []
+        if not values:
+            continue
+        name = _unique(
+            sanitize_metric_name(f"{item['name']}_last", prefix), taken)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(values[-1])}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -96,7 +96,7 @@ class TestSuccessPath:
         assert manifest["attempts"] == 1
 
         # Progress events streamed through the record.
-        events, _ = record.events_since(0)
+        events, _, _ = record.events_since(0)
         stages = [e.get("stage") for e in events]
         assert "queued" in stages
         assert "iteration" in stages
@@ -171,7 +171,7 @@ class TestCancellation:
         record = runtime.submit(payload(cells=200, iterations=400))
 
         def iterating():
-            events, _ = record.events_since(0)
+            events, _, _ = record.events_since(0)
             return any(e.get("stage") == "iteration" for e in events)
 
         wait_until(iterating, message="first iteration event")

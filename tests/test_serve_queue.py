@@ -248,23 +248,27 @@ class TestJobRecord:
         record = self._record()
         for i in range(5):
             record.add_event({"i": i})
-        events, cursor = record.events_since(0)
+        events, cursor, dropped = record.events_since(0)
         assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert dropped == 0
         record.add_event({"i": 5})
-        events, cursor = record.events_since(cursor)
+        events, cursor, _ = record.events_since(cursor)
         assert [e["i"] for e in events] == [5]
-        assert record.events_since(cursor) == ([], 6)
+        assert record.events_since(cursor) == ([], 6, 0)
 
     def test_event_buffer_is_bounded(self):
         record = self._record(keep_events=3)
         for i in range(10):
             record.add_event({"i": i})
-        events, cursor = record.events_since(0)
+        events, cursor, dropped = record.events_since(0)
         assert [e["i"] for e in events] == [7, 8, 9]
         assert cursor == 10
-        # A cursor pointing into the dropped range clamps cleanly.
-        events, _ = record.events_since(5)
+        assert dropped == 7
+        # A cursor pointing into the dropped range clamps cleanly and
+        # reports the watermark so callers can surface the gap.
+        events, _, dropped = record.events_since(5)
         assert [e["i"] for e in events] == [7, 8, 9]
+        assert dropped - 5 == 2  # the gap this cursor can never see
 
     def test_lifecycle_snapshot(self):
         record = self._record()

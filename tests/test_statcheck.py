@@ -439,12 +439,13 @@ class TestEngine:
     def test_registry_has_the_shipped_rules(self):
         ids = [r.id for r in all_rules()]
         assert ids == ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
-                       "R10", "D1", "D2", "D3", "T1", "T2", "G1", "G2"]
+                       "R10", "D1", "D2", "D3", "T1", "T2", "G1", "G2",
+                       "G3"]
 
     def test_project_rules_are_marked(self):
         scopes = {r.id: r.scope for r in all_rules()}
         assert scopes["R1"] == "module"
-        for rid in ("D1", "D2", "D3", "T1", "T2", "G1", "G2"):
+        for rid in ("D1", "D2", "D3", "T1", "T2", "G1", "G2", "G3"):
             assert scopes[rid] == "project", rid
 
     def test_select_rules_enable_disable(self):

@@ -549,3 +549,64 @@ class TestUngatedTelemetryArgs:
             ),
         }, enable=["G2"])
         assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# G3 ungated-frame-shipping
+# ----------------------------------------------------------------------
+class TestUngatedFrameShipping:
+    def test_fires_on_ungated_shipper_construction(self):
+        result = dtg({
+            "src/repro/serve/wrk.py": (
+                "from .. import telemetry\n"
+                "def run_job(payload, ship):\n"
+                "    ctx = telemetry.TraceContext.from_wire("
+                "payload.get('trace'))\n"
+                "    shipper = telemetry.TelemetryShipper(ctx, None)\n"
+                "    return shipper\n"
+            ),
+        }, enable=["G3"])
+        assert rules_of(result) == ["G3"]
+        assert "gate it on" in result.findings[0].message
+
+    def test_fires_on_ungated_flush(self):
+        result = dtg({
+            "src/repro/serve/wrk.py": (
+                "def progress(shipper, emit):\n"
+                "    frame = shipper.flush_frame()\n"
+                "    if frame is not None:\n"
+                "        emit(frame)\n"
+            ),
+        }, enable=["G3"])
+        assert rules_of(result) == ["G3"]
+        assert "flush_frame" in result.findings[0].message
+
+    def test_quiet_inside_is_not_none_gate(self):
+        result = dtg({
+            "src/repro/serve/wrk.py": (
+                "from .. import telemetry\n"
+                "def run_job(payload, ship):\n"
+                "    ctx = telemetry.TraceContext.from_wire("
+                "payload.get('trace'))\n"
+                "    shipper = None\n"
+                "    if ctx is not None and ship is not None:\n"
+                "        shipper = telemetry.TelemetryShipper(ctx, None)\n"
+                "    if shipper is not None:\n"
+                "        ship(shipper.flush_frame(force=True))\n"
+            ),
+        }, enable=["G3"])
+        assert result.findings == []
+
+    def test_quiet_inside_the_telemetry_plane_itself(self):
+        # The plane's own modules construct/flush unconditionally by
+        # design; the gating contract binds worker-side callers only.
+        result = dtg({
+            "src/repro/telemetry/distributed2.py": (
+                "class TelemetryShipper:\n"
+                "    pass\n"
+                "def helper(ctx):\n"
+                "    shipper = TelemetryShipper()\n"
+                "    return shipper.flush_frame()\n"
+            ),
+        }, enable=["G3"])
+        assert result.findings == []
